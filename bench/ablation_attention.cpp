@@ -1,0 +1,127 @@
+// Ablation A3: the paper's future-work architecture — attention pooling
+// over server vectors — against the published kernel-based design.
+//
+// Attention pooling is permutation-invariant over servers by construction,
+// so the "same load on different OSTs" robustness the kernel design *aims*
+// for (shared per-server interpretation) holds exactly; the question is
+// whether giving up slot identity costs in-distribution accuracy.
+#include <cstdio>
+#include <cstring>
+
+#include "qif/core/datasets.hpp"
+#include "qif/ml/attention_net.hpp"
+#include "qif/ml/kernel_net.hpp"
+#include "qif/ml/metrics.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/ml/trainer.hpp"
+
+using namespace qif;
+
+namespace {
+
+monitor::Dataset rotate_osts(const monitor::Dataset& ds, int shift) {
+  monitor::Dataset out = ds;
+  const int n_osts = ds.n_servers - 1;  // the MDT block (last) stays put
+  for (auto& s : out.samples) {
+    std::vector<double> rotated = s.features;
+    for (int o = 0; o < n_osts; ++o) {
+      const int dst = (o + shift) % n_osts;
+      std::copy(s.features.begin() + o * ds.dim, s.features.begin() + (o + 1) * ds.dim,
+                rotated.begin() + dst * ds.dim);
+    }
+    s.features = std::move(rotated);
+  }
+  return out;
+}
+
+// Shared manual training loop so both architectures get identical budgets.
+template <typename Net>
+void train_net(Net& net, const ml::Matrix& x, const std::vector<int>& y,
+               const std::vector<double>& weights, int epochs) {
+  sim::Rng rng(31);
+  std::vector<std::size_t> idx(x.rows());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::int64_t t = 0;
+  const std::size_t batch = 64;
+  for (int e = 0; e < epochs; ++e) {
+    for (std::size_t i = idx.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(idx[i - 1], idx[j]);
+    }
+    for (std::size_t lo = 0; lo < idx.size(); lo += batch) {
+      const std::size_t hi = std::min(idx.size(), lo + batch);
+      ml::Matrix xb(hi - lo, x.cols());
+      std::vector<int> yb(hi - lo);
+      for (std::size_t k = lo; k < hi; ++k) {
+        std::copy(x.row(idx[k]), x.row(idx[k]) + x.cols(), xb.row(k - lo));
+        yb[k - lo] = y[idx[k]];
+      }
+      const ml::Matrix logits = net.forward(xb);
+      auto [loss, d] = ml::SoftmaxXent::loss_and_grad(logits, yb, weights);
+      net.backward(d);
+      net.step(ml::AdamParams{}, ++t);
+    }
+  }
+}
+
+template <typename Net>
+std::pair<double, double> evaluate_both(const Net& net, const ml::Matrix& xt,
+                                        const std::vector<int>& yt,
+                                        const ml::Matrix& xr,
+                                        const std::vector<int>& yr) {
+  ml::ConfusionMatrix cm(2), cr(2);
+  cm.add_all(yt, net.predict(xt));
+  cr.add_all(yr, net.predict(xr));
+  return {cm.macro_f1(), cr.macro_f1()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double richness = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
+      richness = std::atof(argv[++i]);
+    }
+  }
+  std::printf("=== Ablation: attention pooling (future work) vs kernel-based net ===\n");
+  core::DatasetOptions opts;
+  opts.richness = richness;
+  const monitor::Dataset ds = core::build_io500_dataset(opts);
+  auto [train, test] = ml::split_dataset(ds, 0.2, 37);
+  const monitor::Dataset rotated = rotate_osts(test, 2);
+  std::printf("windows: %zu train / %zu test\n\n", train.size(), test.size());
+
+  ml::Standardizer stdz;
+  stdz.fit(train);
+  auto [x, y] = ml::to_matrix(train, &stdz);
+  auto [xt, yt] = ml::to_matrix(test, &stdz);
+  auto [xr, yr] = ml::to_matrix(rotated, &stdz);
+  const auto weights = ml::inverse_frequency_weights(train, 2);
+  const int epochs = 40;
+
+  ml::KernelNetConfig kc;
+  kc.per_server_dim = ds.dim;
+  kc.n_servers = ds.n_servers;
+  kc.n_classes = 2;
+  ml::KernelNet kernel(kc);
+  train_net(kernel, x, y, weights, epochs);
+  const auto [kf1, krot] = evaluate_both(kernel, xt, yt, xr, yr);
+
+  ml::AttentionNetConfig ac;
+  ac.per_server_dim = ds.dim;
+  ac.n_servers = ds.n_servers;
+  ac.n_classes = 2;
+  ml::AttentionNet attention(ac);
+  train_net(attention, x, y, weights, epochs);
+  const auto [af1, arot] = evaluate_both(attention, xt, yt, xr, yr);
+
+  std::printf("%-24s %12s %25s\n", "architecture", "test mF1", "rotated-OST test mF1");
+  std::printf("%-24s %12.3f %25.3f\n", "kernel-based (paper)", kf1, krot);
+  std::printf("%-24s %12.3f %25.3f\n", "attention pooling", af1, arot);
+  std::printf("\nexpected: comparable in-distribution; attention pooling is exactly"
+              "\ninvariant to OST permutation (rotated == unrotated score), while the"
+              "\nkernel design's slot-indexed head can degrade.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation A2 (DESIGN.md): which metric groups carry the signal?
+//
+// Retrains the binary IO500 model with one feature group zeroed out at a
+// time — the client-side block (§III-A) and each Table II server-side
+// group — and reports the test macro-F1 damage.  This quantifies the
+// paper's design claim that *both* application-side request patterns and
+// server-side queue state are needed to predict interference impact.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "qif/core/datasets.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/monitor/schema.hpp"
+
+using namespace qif;
+
+namespace {
+
+monitor::Dataset mask_group(const monitor::Dataset& ds,
+                            const std::vector<int>& drop_indices) {
+  monitor::Dataset out = ds;
+  for (auto& s : out.samples) {
+    for (int server = 0; server < ds.n_servers; ++server) {
+      for (const int f : drop_indices) {
+        s.features[static_cast<std::size_t>(server * ds.dim + f)] = 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+double train_eval(const monitor::Dataset& train, const monitor::Dataset& test) {
+  core::TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  core::TrainingServer server(cfg);
+  server.fit(train);
+  return server.evaluate(test).macro_f1();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double richness = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
+      richness = std::atof(argv[++i]);
+    }
+  }
+  std::printf("=== Ablation: feature-group importance (binary IO500 model) ===\n");
+  core::DatasetOptions opts;
+  opts.richness = richness;
+  const monitor::Dataset ds = core::build_io500_dataset(opts);
+  auto [train, test] = ml::split_dataset(ds, 0.2, 31);
+  std::printf("windows: %zu train / %zu test\n\n", train.size(), test.size());
+
+  const monitor::MetricSchema schema;
+  const std::vector<monitor::FeatureGroup> groups = {
+      monitor::FeatureGroup::kClient, monitor::FeatureGroup::kIoSpeed,
+      monitor::FeatureGroup::kDevice, monitor::FeatureGroup::kQueue};
+  const double full = train_eval(train, test);
+  std::printf("%-28s macro-F1 %6.3f   delta %+6.3f\n", "all features", full, 0.0);
+
+  // Knockout direction: how much does losing one group cost?
+  for (const auto group : groups) {
+    const auto idx = schema.group_indices(group);
+    const double f1 = train_eval(mask_group(train, idx), mask_group(test, idx));
+    std::printf("drop %-23s macro-F1 %6.3f   delta %+6.3f\n",
+                monitor::group_name(group), f1, f1 - full);
+  }
+  std::printf("\n");
+
+  // Sufficiency direction: how far does one group get on its own?
+  for (const auto keep : groups) {
+    std::vector<int> drop_idx;
+    for (const auto group : groups) {
+      if (group == keep) continue;
+      const auto idx = schema.group_indices(group);
+      drop_idx.insert(drop_idx.end(), idx.begin(), idx.end());
+    }
+    const double f1 = train_eval(mask_group(train, drop_idx), mask_group(test, drop_idx));
+    std::printf("keep only %-18s macro-F1 %6.3f   delta %+6.3f\n",
+                monitor::group_name(keep), f1, f1 - full);
+  }
+  std::printf("\nexpected: single-group knockouts barely move the score — the signal is"
+              "\nredundant across groups (queue pressure shows up in client I/O times"
+              "\nand in server counters alike).  The sufficiency direction separates"
+              "\nthem: the client-side block alone nearly suffices (the app feels the"
+              "\npressure it suffers), while raw device counters alone lose the most.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A1 (DESIGN.md): the kernel-based architecture vs. a flat MLP.
+//
+// The paper chose the kernel design "to account for the fact that some
+// applications may only utilize a subset of OSTs or target different ones
+// in multiple runs": one shared dense network interprets any server's
+// vector.  The ablation trains (a) the kernel-based network and (b) a flat
+// MLP over the concatenated vectors with no weight sharing, on the same
+// IO500 windows, and compares:
+//   1. test macro-F1,
+//   2. robustness when the test windows' OST vectors are rotated — i.e.
+//      the same load lands on *different* servers than in training.
+#include <cstdio>
+#include <cstring>
+
+#include "qif/core/datasets.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/ml/preprocess.hpp"
+
+using namespace qif;
+
+namespace {
+
+/// Reinterprets a per-server dataset as flat vectors: one "server" of
+/// width n_servers * dim.  Same numbers, no weight sharing.
+monitor::Dataset flatten(const monitor::Dataset& ds) {
+  monitor::Dataset out = ds;
+  out.dim = ds.n_servers * ds.dim;
+  out.n_servers = 1;
+  return out;
+}
+
+/// Rotates the OST blocks of every sample by `shift` (the MDT block, last,
+/// stays in place): the workload that hit OSTs {0,1} now appears on
+/// {shift, shift+1}, emulating a run that targeted different servers.
+monitor::Dataset rotate_osts(const monitor::Dataset& ds, int shift) {
+  monitor::Dataset out = ds;
+  const int n_osts = ds.n_servers - 1;
+  for (auto& s : out.samples) {
+    std::vector<double> rotated = s.features;
+    for (int o = 0; o < n_osts; ++o) {
+      const int dst = (o + shift) % n_osts;
+      std::copy(s.features.begin() + o * ds.dim, s.features.begin() + (o + 1) * ds.dim,
+                rotated.begin() + dst * ds.dim);
+    }
+    s.features = std::move(rotated);
+  }
+  return out;
+}
+
+struct Scores {
+  double test_f1 = 0.0;
+  double rotated_f1 = 0.0;
+};
+
+Scores run(const monitor::Dataset& train, const monitor::Dataset& test,
+           const monitor::Dataset& rotated_test) {
+  core::TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  core::TrainingServer server(cfg);
+  server.fit(train);
+  Scores sc;
+  sc.test_f1 = server.evaluate(test).macro_f1();
+  sc.rotated_f1 = server.evaluate(rotated_test).macro_f1();
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double richness = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
+      richness = std::atof(argv[++i]);
+    }
+  }
+  std::printf("=== Ablation: kernel-based network vs flat MLP ===\n");
+  core::DatasetOptions opts;
+  opts.richness = richness;
+  const monitor::Dataset ds = core::build_io500_dataset(opts);
+  auto [train, test] = ml::split_dataset(ds, 0.2, 29);
+  const monitor::Dataset rotated = rotate_osts(test, 3);
+  std::printf("windows: %zu train / %zu test\n\n", train.size(), test.size());
+
+  const Scores kernel = run(train, test, rotated);
+  const Scores flat = run(flatten(train), flatten(test), flatten(rotated));
+
+  std::printf("%-22s %12s %25s\n", "architecture", "test mF1", "rotated-OST test mF1");
+  std::printf("%-22s %12.3f %25.3f\n", "kernel-based (shared)", kernel.test_f1,
+              kernel.rotated_f1);
+  std::printf("%-22s %12.3f %25.3f\n", "flat MLP", flat.test_f1, flat.rotated_f1);
+  std::printf("\nexpected: comparable scores in distribution — the kernel design's"
+              "\nadvantage is structural, not raw accuracy: the flat MLP spends ~%dx"
+              "\nmore first-layer parameters for the same windows, and only the shared"
+              "\nkernel generalizes to cluster shapes it was not trained on (it can be"
+              "\napplied to any number of servers; the flat head cannot).\n",
+              train.n_servers);
+  return 0;
+}

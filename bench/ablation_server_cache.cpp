@@ -1,0 +1,77 @@
+// Ablation A4: how much of Table I's read-back behaviour the server
+// page-cache model carries.
+//
+// Without the cache (cold reads), mdt-hard-read as a *target* is far too
+// sensitive to data noise (~2.2-2.7x vs. the paper's 1.06-1.39x), because
+// its 3901-byte read-backs always hit the media.  With the testbed-default
+// 4 GiB/OST cache those reads are RAM hits and the cells land on the
+// paper's values; pure streaming reads (data nobody wrote this run) do not
+// move at all.  This is why the cache is enabled in
+// core::testbed_cluster_config().
+#include <cstdio>
+#include <string>
+
+#include "qif/core/report.hpp"
+#include "qif/core/scenario.hpp"
+
+using namespace qif;
+
+namespace {
+
+double slowdown(const std::string& target, double target_scale, const std::string& noise,
+                std::int64_t cache_bytes) {
+  core::ScenarioConfig cfg;
+  cfg.cluster = core::testbed_cluster_config(1);
+  cfg.cluster.read_cache.capacity_bytes = cache_bytes;
+  cfg.target.workload = target;
+  cfg.target.nodes = {0, 1};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = 1;
+  cfg.target.scale = target_scale;
+  cfg.monitors = false;
+  const double solo = sim::to_seconds(core::run_scenario(cfg).target_body_duration());
+  core::InterferenceSpec spec;
+  spec.workload = noise;
+  spec.nodes = {2, 3, 4, 5, 6};
+  spec.instances = 15;
+  spec.seed = 77;
+  cfg.interference = spec;
+  const double noisy = sim::to_seconds(core::run_scenario(cfg).target_body_duration());
+  return noisy / solo;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: server read-cache model vs Table I deviations ===\n\n");
+  const std::int64_t kCache = 4ll << 30;  // a realistic RAM share per OST
+
+  core::TextTable table;
+  table.add_row({"cell (target <- noise)", "cache off", "cache on (default)", "paper"});
+  struct Cell {
+    const char* target;
+    double scale;
+    const char* noise;
+    const char* paper;
+  };
+  const Cell cells[] = {
+      {"mdt-hard-read", 2.0, "ior-easy-read", "1.058"},
+      {"mdt-hard-read", 2.0, "ior-hard-read", "1.394"},
+      {"mdt-hard-read", 2.0, "ior-easy-write", "1.009"},
+      {"ior-easy-read", 1.0, "mdt-hard-read", "10.895"},
+      {"ior-easy-read", 1.0, "ior-easy-read", "29.304"},
+  };
+  for (const Cell& c : cells) {
+    const double cold = slowdown(c.target, c.scale, c.noise, 0);
+    const double cached = slowdown(c.target, c.scale, c.noise, kCache);
+    table.add_row({std::string(c.target) + " <- " + c.noise, core::fmt(cold, 3),
+                   core::fmt(cached, 3), c.paper});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("expected: with the page cache, mdt-hard-read's read-backs become RAM\n"
+              "hits and its sensitivity to data noise collapses toward the paper's\n"
+              "~1.0-1.4x, while pure streaming cells (last row) barely move — they\n"
+              "read data nobody wrote this run.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension E1: regression on the degradation level itself.
+//
+// The paper deliberately bins ("we do not try to predict the exact
+// slowdown ratio as the exact ratio ... is often less important than
+// knowing the I/O slowdown is in certain category").  This extension
+// quantifies what that choice costs and buys: a one-output kernel network
+// trained with squared error on log2(Level_degrade), evaluated as
+//  (a) a regressor (median / p90 multiplicative error), and
+//  (b) a classifier (thresholding the predicted level at 2x), against the
+//      directly-trained binary classifier on the same windows.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "qif/core/datasets.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/ml/preprocess.hpp"
+
+using namespace qif;
+
+int main(int argc, char** argv) {
+  double richness = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
+      richness = std::atof(argv[++i]);
+    }
+  }
+  std::printf("=== Extension: degradation regression vs. binned classification ===\n");
+  core::DatasetOptions opts;
+  opts.richness = richness;
+  const monitor::Dataset ds = core::build_io500_dataset(opts);
+  auto [train, test] = ml::split_dataset(ds, 0.2, 41);
+  std::printf("windows: %zu train / %zu test\n\n", train.size(), test.size());
+
+  ml::Standardizer stdz;
+  stdz.fit(train);
+  auto [x, y_unused] = ml::to_matrix(train, &stdz);
+  auto [xt, yt_unused] = ml::to_matrix(test, &stdz);
+  (void)y_unused;
+  (void)yt_unused;
+  std::vector<double> target(train.size()), target_test(test.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    target[i] = std::log2(std::max(train.samples[i].degradation, 1.0));
+  }
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    target_test[i] = std::log2(std::max(test.samples[i].degradation, 1.0));
+  }
+
+  ml::KernelNetConfig kc;
+  kc.per_server_dim = ds.dim;
+  kc.n_servers = ds.n_servers;
+  kc.n_classes = 1;  // regression head
+  ml::KernelNet reg(kc);
+  sim::Rng rng(43);
+  std::vector<std::size_t> idx(x.rows());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::int64_t t = 0;
+  const std::size_t batch = 64;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    for (std::size_t i = idx.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(idx[i - 1], idx[j]);
+    }
+    for (std::size_t lo = 0; lo < idx.size(); lo += batch) {
+      const std::size_t hi = std::min(idx.size(), lo + batch);
+      ml::Matrix xb(hi - lo, x.cols());
+      std::vector<double> tb(hi - lo);
+      for (std::size_t k = lo; k < hi; ++k) {
+        std::copy(x.row(idx[k]), x.row(idx[k]) + x.cols(), xb.row(k - lo));
+        tb[k - lo] = target[idx[k]];
+      }
+      const ml::Matrix pred = reg.forward(xb);
+      auto [loss, d] = ml::SquaredError::loss_and_grad(pred, tb);
+      reg.backward(d);
+      reg.step(ml::AdamParams{}, ++t);
+    }
+  }
+
+  // (a) Regression quality: multiplicative error in x-factor space.
+  const ml::Matrix pred = reg.forward_inference(xt);
+  std::vector<double> mult_err;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    mult_err.push_back(std::abs(pred.at(i, 0) - target_test[i]));
+  }
+  std::sort(mult_err.begin(), mult_err.end());
+  const double median = mult_err[mult_err.size() / 2];
+  const double p90 = mult_err[mult_err.size() * 9 / 10];
+  std::printf("regressor: |log2 error| median %.3f (within %.2fx), p90 %.3f"
+              " (within %.2fx)\n",
+              median, std::exp2(median), p90, std::exp2(p90));
+
+  // (b) Regressor-as-classifier at the 2x threshold vs. the direct model.
+  ml::ConfusionMatrix from_reg(2);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    from_reg.add(test.samples[i].label, pred.at(i, 0) >= 1.0 ? 1 : 0);  // log2(2)=1
+  }
+  core::TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  core::TrainingServer direct(cfg);
+  direct.fit(train);
+  const ml::ConfusionMatrix from_cls = direct.evaluate(test);
+
+  std::printf("\n%-34s %10s %10s\n", "binary decision (>=2x) via", "accuracy", "F1(+)");
+  std::printf("%-34s %10.3f %10.3f\n", "thresholded regressor", from_reg.accuracy(),
+              from_reg.binary_f1());
+  std::printf("%-34s %10.3f %10.3f\n", "direct classifier (paper)", from_cls.accuracy(),
+              from_cls.binary_f1());
+  std::printf("\nexpected: the direct classifier wins at the decision boundary (it\n"
+              "optimizes exactly that), while the regressor adds magnitude estimates\n"
+              "the binned model cannot provide.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 5: binary interference prediction for the three real
+// HPC applications — AMReX, Enzo (data-intensive) and OpenPMD
+// (metadata-intensive) — using the paper's protocol of one quiet run plus
+// runs with increasing amounts of concurrent IO500 instances.
+//
+// Expected shape: AMReX and Enzo models perform well (strong diagonal);
+// OpenPMD is visibly weaker — the paper attributes this to its small
+// sample count, which our proxy reproduces (short metadata-bound runs
+// yield few labelled windows).
+#include <cstdio>
+#include <cstring>
+
+#include "qif/core/datasets.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/ml/preprocess.hpp"
+
+using namespace qif;
+
+int main(int argc, char** argv) {
+  double richness = 3.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
+      richness = std::atof(argv[++i]);
+    }
+  }
+  std::printf("=== Figure 5: real-application interference prediction ===\n");
+
+  for (const char* app : {"amrex", "enzo", "openpmd"}) {
+    core::DatasetOptions opts;
+    opts.bin_thresholds = {2.0};
+    // OpenPMD keeps the paper's handicap: few samples.
+    opts.richness = std::strcmp(app, "openpmd") == 0 ? 0.25 : richness;
+    opts.verbose = true;
+    std::printf("\ncollecting %s campaign...\n", app);
+    const monitor::Dataset ds = core::build_app_dataset(app, opts);
+
+    auto [train, test] = ml::split_dataset(ds, 0.2, /*seed=*/23);
+    const auto hist = train.class_histogram();
+    std::printf("=== %s ===\ntrain: %zu samples (", app, train.size());
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      std::printf("%sclass%zu=%zu", c ? ", " : "", c, hist[c]);
+    }
+    std::printf(")  test: %zu samples\n", test.size());
+    if (train.empty() || test.empty()) {
+      std::printf("not enough windows collected — skipping\n");
+      continue;
+    }
+
+    core::TrainingServerConfig cfg;
+    cfg.n_classes = 2;
+    core::TrainingServer server(cfg);
+    const ml::TrainResult tr = server.fit(train);
+    const ml::ConfusionMatrix cm = server.evaluate(test);
+    std::printf("trained (best epoch %d, val macro-F1 %.3f)\n", tr.best_epoch,
+                tr.best_val_macro_f1);
+    std::printf("%s", cm.to_string({"<2x", ">=2x"}).c_str());
+    std::printf("positive-class F1 = %.3f\n", cm.binary_f1());
+  }
+  std::printf("\nexpected: amrex/enzo strong; openpmd weaker (small dataset, as in the"
+              " paper)\n");
+  return 0;
+}

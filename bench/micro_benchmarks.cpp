@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) for the framework's hot paths:
+// the event engine, the contended-resource models, the monitor sampling
+// path, the network training step, and a small end-to-end scenario.
+// These bound the cost of the paper's "real-time monitoring and modelling
+// capabilities at the scale of HPC systems".
+#include <benchmark/benchmark.h>
+
+#include "qif/core/scenario.hpp"
+#include "qif/ml/kernel_net.hpp"
+#include "qif/ml/nn.hpp"
+#include "qif/monitor/server_monitor.hpp"
+#include "qif/pfs/cluster.hpp"
+#include "qif/pfs/disk.hpp"
+#include "qif/sim/fair_link.hpp"
+#include "qif/sim/simulation.hpp"
+#include "qif/workloads/driver.hpp"
+
+using namespace qif;
+
+namespace {
+
+void BM_EventEngine(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      s.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(s.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventEngine)->Arg(1000)->Arg(100000);
+
+void BM_FairLink(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::FairLink link(s, 1e9);
+    int done = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      link.transfer(1 << 20, [&done] { ++done; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FairLink)->Arg(64)->Arg(512);
+
+void BM_DiskSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    pfs::DiskModel disk(s, {}, 1);
+    int done = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      disk.submit(false, static_cast<std::int64_t>(i) << 20, 1 << 20, [&done] { ++done; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiskSequential)->Arg(256);
+
+void BM_DiskInterleavedStreams(benchmark::State& state) {
+  // Two far-apart streams: the seek-storm case.
+  for (auto _ : state) {
+    sim::Simulation s;
+    pfs::DiskModel disk(s, {}, 1);
+    int done = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      const std::int64_t base = (i % 2 == 0) ? 0 : (512ll << 30);
+      disk.submit(false, base + (static_cast<std::int64_t>(i / 2) << 20), 1 << 20,
+                  [&done] { ++done; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiskInterleavedStreams)->Arg(256);
+
+void BM_ServerMonitorSample(benchmark::State& state) {
+  sim::Simulation s;
+  pfs::ClusterConfig cc;
+  pfs::Cluster cluster(s, cc);
+  for (auto _ : state) {
+    for (int srv = 0; srv < cluster.n_servers(); ++srv) {
+      benchmark::DoNotOptimize(cluster.server_counters(srv));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * cluster.n_servers());
+}
+BENCHMARK(BM_ServerMonitorSample);
+
+void BM_KernelNetTrainStep(benchmark::State& state) {
+  ml::KernelNetConfig cfg;
+  cfg.per_server_dim = 37;
+  cfg.n_servers = 7;
+  cfg.n_classes = 2;
+  ml::KernelNet net(cfg);
+  const std::size_t batch = 64;
+  ml::Matrix x(batch, 7 * 37);
+  sim::Rng rng(3);
+  for (auto& v : x.data()) v = rng.normal(0, 1);
+  std::vector<int> y(batch);
+  for (std::size_t i = 0; i < batch; ++i) y[i] = static_cast<int>(i % 2);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const ml::Matrix logits = net.forward(x);
+    auto [loss, grad] = ml::SoftmaxXent::loss_and_grad(logits, y, {});
+    net.backward(grad);
+    net.step({}, ++t);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_KernelNetTrainStep);
+
+void BM_KernelNetInference(benchmark::State& state) {
+  ml::KernelNetConfig cfg;
+  ml::KernelNet net(cfg);
+  ml::Matrix x(1, 7 * 37);
+  sim::Rng rng(4);
+  for (auto& v : x.data()) v = rng.normal(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelNetInference);
+
+void BM_EndToEndScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ScenarioConfig cfg;
+    cfg.cluster = core::testbed_cluster_config(11);
+    cfg.target.workload = "ior-easy-write";
+    cfg.target.nodes = {0};
+    cfg.target.procs_per_node = 2;
+    cfg.target.seed = 11;
+    cfg.target.scale = 0.25;
+    cfg.monitors = true;
+    const auto res = core::run_scenario(cfg);
+    benchmark::DoNotOptimize(res.events_executed);
+  }
+}
+BENCHMARK(BM_EndToEndScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

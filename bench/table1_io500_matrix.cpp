@@ -1,0 +1,119 @@
+// Reproduces Table I: the 7x7 IO500 cross-interference slowdown matrix.
+//
+// Methodology mirrors the paper: each of the 7 IO500 tasks runs standalone
+// to get its baseline completion time, then once per background task with
+// 3 concurrent instances of that task kept active on separate compute
+// nodes for the whole run.  The cell (row=target task, col=noise task) is
+// the target's completion-time slowdown.  (The paper averages 3 repeats;
+// pass --repeats N to do the same; default 1 keeps the bench fast.)
+//
+// Expected shape (not exact values — our substrate is a simulator):
+//   * read targets crushed by read noise, nearly untouched by data writes
+//   * write targets slowed several-fold by read noise (flusher starvation)
+//   * mdt-easy-write (pure namespace) insensitive to data noise
+//   * mdt-hard-write (small data tails) crushed by ior write noise
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qif/core/report.hpp"
+#include "qif/core/scenario.hpp"
+#include "qif/workloads/registry.hpp"
+
+using namespace qif;
+
+namespace {
+
+// Per-task op-count scale so every task's standalone run lands in a
+// comparable 8-20 simulated-second band (the IO500 "stonewall" spirit).
+double task_scale(const std::string& task) {
+  static const std::map<std::string, double> kScale = {
+      {"ior-easy-read", 1.0},  {"ior-hard-read", 1.0},  {"mdt-hard-read", 2.0},
+      {"ior-easy-write", 1.5}, {"ior-hard-write", 4.0}, {"mdt-easy-write", 8.0},
+      {"mdt-hard-write", 6.0},
+  };
+  return kScale.at(task);
+}
+
+core::ScenarioConfig make_config(const std::string& target, std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.cluster = core::testbed_cluster_config(seed);
+  cfg.target.workload = target;
+  cfg.target.nodes = {0, 1};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = seed;
+  cfg.target.scale = task_scale(target);
+  cfg.monitors = false;  // Table I only needs completion times
+  cfg.horizon = 600 * sim::kSecond;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) repeats = std::atoi(argv[++i]);
+  }
+
+  const auto& tasks = workloads::io500_tasks();
+  std::printf("=== Table I: IO500 task slowdown under cross-application interference ===\n");
+  std::printf("rows: standalone task; columns: background task (3 concurrent instances"
+              " on separate nodes); %d repeat(s)\n\n", repeats);
+
+  // Baselines.
+  std::map<std::string, double> baseline;
+  for (const auto& t : tasks) {
+    double total = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      const auto res = core::run_scenario(make_config(t, 1 + static_cast<std::uint64_t>(r)));
+      total += sim::to_seconds(res.target_body_duration());
+    }
+    baseline[t] = total / repeats;
+    std::printf("baseline %-16s %7.2f s\n", t.c_str(), baseline[t]);
+  }
+  std::printf("\n");
+
+  core::TextTable table;
+  {
+    std::vector<std::string> header = {"target \\ noise"};
+    for (const auto& t : tasks) header.push_back(t);
+    table.add_row(std::move(header));
+  }
+  for (const auto& target : tasks) {
+    std::vector<std::string> row = {target};
+    for (const auto& noise : tasks) {
+      double total = 0.0;
+      for (int r = 0; r < repeats; ++r) {
+        core::ScenarioConfig cfg = make_config(target, 1 + static_cast<std::uint64_t>(r));
+        core::InterferenceSpec spec;
+        spec.workload = noise;
+        spec.nodes = {2, 3, 4, 5, 6};
+        spec.instances = 15;  // the paper's 3 concurrent runs on each noise node
+        spec.scale = 1.0;
+        spec.seed = 77 + static_cast<std::uint64_t>(r);
+        cfg.interference = spec;
+        const auto res = core::run_scenario(cfg);
+        total += sim::to_seconds(res.target_body_duration());
+      }
+      row.push_back(core::fmt(total / repeats / baseline[target], 3));
+      std::fflush(stdout);
+    }
+    table.add_row(std::move(row));
+    std::printf("row done: %s\n", target.c_str());
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  std::printf("paper's Table I for comparison:\n"
+              "                 ior-e-rd ior-h-rd mdt-h-rd ior-e-wr ior-h-wr mdt-e-wr mdt-h-wr\n"
+              "ior-easy-read      29.304   10.722   10.895    1.004    1.285    1.002    1.003\n"
+              "ior-hard-read       5.747   15.156    5.789    3.593    1.000    3.394    0.998\n"
+              "mdt-hard-read       1.058    1.394    1.199    1.009    1.010    2.106    3.961\n"
+              "ior-easy-write      4.384    1.047    0.976    2.720    5.012    1.802    3.032\n"
+              "ior-hard-write      3.383    0.956    1.291    2.946    4.252    1.273    1.586\n"
+              "mdt-easy-write      1.441    1.018    1.022    1.044    1.032    1.465    1.539\n"
+              "mdt-hard-write     11.145    4.211    1.190   26.219   40.923    1.480    1.496\n");
+  return 0;
+}

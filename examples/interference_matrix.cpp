@@ -1,0 +1,77 @@
+// Measure the cross-interference between any two workloads from the CLI.
+//
+//   interference_matrix [target] [noise] [instances]
+//   interference_matrix ior-easy-read mdt-hard-write 9
+//
+// Runs the target alone and under `instances` looping copies of the noise
+// workload on separate nodes, then reports run-level slowdown and the
+// per-op-type latency breakdown — a command-line version of the paper's
+// Table I methodology for ad-hoc pairs.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "qif/core/report.hpp"
+#include "qif/core/scenario.hpp"
+#include "qif/sim/stats.hpp"
+#include "qif/trace/matcher.hpp"
+#include "qif/workloads/registry.hpp"
+
+using namespace qif;
+
+int main(int argc, char** argv) {
+  const std::string target = argc > 1 ? argv[1] : "ior-easy-write";
+  const std::string noise = argc > 2 ? argv[2] : "ior-easy-read";
+  const int instances = argc > 3 ? std::atoi(argv[3]) : 9;
+  if (!workloads::is_known_workload(target) || !workloads::is_known_workload(noise)) {
+    std::printf("unknown workload; choose from:\n");
+    for (const auto& w : workloads::known_workloads()) std::printf("  %s\n", w.c_str());
+    return 1;
+  }
+
+  core::ScenarioConfig cfg;
+  cfg.cluster = core::testbed_cluster_config(1);
+  cfg.target.workload = target;
+  cfg.target.nodes = {0, 1};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = 1;
+  cfg.monitors = false;
+
+  std::printf("baseline %s ...\n", target.c_str());
+  const auto solo = core::run_scenario(cfg);
+
+  std::printf("with %d x %s ...\n", instances, noise.c_str());
+  core::InterferenceSpec spec;
+  spec.workload = noise;
+  spec.nodes = {2, 3, 4, 5, 6};
+  spec.instances = instances;
+  spec.seed = 42;
+  cfg.interference = spec;
+  const auto mixed = core::run_scenario(cfg);
+
+  std::printf("\ntimed phase: %.2f s -> %.2f s   slowdown %.2fx\n",
+              sim::to_seconds(solo.target_body_duration()),
+              sim::to_seconds(mixed.target_body_duration()),
+              static_cast<double>(mixed.target_body_duration()) /
+                  static_cast<double>(solo.target_body_duration()));
+
+  // Per-op-type breakdown via matched traces.
+  const auto matched = trace::TraceMatcher::match(solo.trace, mixed.trace, 0);
+  std::map<pfs::OpType, std::pair<sim::RunningStats, sim::RunningStats>> by_type;
+  for (const auto& m : matched) {
+    auto& [base, noisy] = by_type[m.base.type];
+    base.add(sim::to_millis(m.base.duration()));
+    noisy.add(sim::to_millis(m.interference.duration()));
+  }
+  core::TextTable table;
+  table.add_row({"op type", "count", "solo mean (ms)", "noisy mean (ms)", "slowdown"});
+  for (const auto& [type, stats] : by_type) {
+    const auto& [base, noisy] = stats;
+    table.add_row({pfs::op_name(type), std::to_string(base.count()),
+                   core::fmt(base.mean(), 3), core::fmt(noisy.mean(), 3),
+                   core::fmt(base.mean() > 0 ? noisy.mean() / base.mean() : 0.0, 2) + "x"});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Mitigation study: what the prediction is *for*.
+//
+// The paper's thesis is that a quantitative interference prediction enables
+// targeted mitigation ("users can develop more effective methods to
+// mitigate such impacts"), unlike today's uniform treatment.  This example
+// measures that claim end to end on a checkpointing application under
+// bursty background interference:
+//
+//   naive   — checkpoint every K compute steps, whatever the system state;
+//   guarded — when a checkpoint is due and the deployed model predicts
+//             >= 2x degradation, keep computing and re-check each window,
+//             up to a bounded deferral.
+//
+// Both runs perform identical work (same steps, same checkpoints, same
+// bytes); only the checkpoint *timing* differs.  Expected: the guard moves
+// checkpoints out of interference bursts, cutting checkpoint stall time
+// and total runtime.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "qif/core/datasets.hpp"
+#include "qif/core/online.hpp"
+#include "qif/core/scenario.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/monitor/client_monitor.hpp"
+#include "qif/monitor/server_monitor.hpp"
+#include "qif/workloads/driver.hpp"
+
+using namespace qif;
+
+namespace {
+
+struct RunStats {
+  double completion_s = 0.0;
+  double checkpoint_stall_s = 0.0;
+  int deferral_windows = 0;
+};
+
+/// Runs the checkpointing app once.  `guard` (may be null) returns true
+/// when a due checkpoint should be deferred one compute step.
+RunStats run_app(const core::TrainingServer* model, bool guarded) {
+  sim::Simulation simulation;
+  pfs::ClusterConfig cc = core::testbed_cluster_config(123);
+  pfs::Cluster cluster(simulation, cc);
+
+  monitor::ClientMonitor cmon(0, sim::kSecond, cluster.n_servers(),
+                              cluster.mdt_server_index());
+  monitor::ServerMonitor smon(cluster, sim::kSecond);
+  smon.start();
+  cluster.trace_log().set_observer(
+      [&cmon](const trace::OpRecord& r) { cmon.observe(r); });
+
+  // Bursty interference: heavy write noise during [4, 14) s and [22, 32) s.
+  auto burst1 = std::make_unique<workloads::InterferenceDriver>(
+      cluster, "ior-easy-write", std::vector<pfs::NodeId>{2, 3, 4, 5, 6}, 12,
+      14 * sim::kSecond, 31, 100);
+  auto burst2 = std::make_unique<workloads::InterferenceDriver>(
+      cluster, "ior-easy-write", std::vector<pfs::NodeId>{2, 3, 4, 5, 6}, 12,
+      32 * sim::kSecond, 33, 200);
+  simulation.schedule_at(4 * sim::kSecond, [&burst1] { burst1->start(); });
+  simulation.schedule_at(22 * sim::kSecond, [&burst2] { burst2->start(); });
+
+  // The deployed predictor tracks the latest closed window.
+  int latest_prediction = 0;
+  std::unique_ptr<core::OnlinePredictor> predictor;
+  if (model != nullptr) {
+    predictor = std::make_unique<core::OnlinePredictor>(
+        cluster, *model, cmon, smon, [&](const core::Prediction& p) {
+          latest_prediction = p.predicted_class;
+        });
+    predictor->start();
+  }
+
+  // The application: 60 compute steps of 500 ms; a 64 MiB checkpoint is
+  // due every 10 steps (checkpoints beyond the last step flush at the end).
+  pfs::PfsClient& client = cluster.make_client(0, 0, 0);
+  RunStats stats;
+  int step = 0;
+  int checkpoints_written = 0;
+  int defer_budget = 0;
+  constexpr int kSteps = 60;
+  constexpr int kCheckpointEvery = 10;
+  constexpr int kMaxDefer = 12;  // compute steps a checkpoint may slip
+  constexpr std::int64_t kCkptBytes = 64ll << 20;
+  bool done = false;
+
+  std::function<void()> next_action;
+  auto write_checkpoint = [&](std::function<void()> then) {
+    const std::string path = "/app/ckpt" + std::to_string(checkpoints_written);
+    const sim::SimTime t0 = simulation.now();
+    client.create(path, 0, [&, t0, then](pfs::FileHandle fh) {
+      std::shared_ptr<std::function<void(std::int64_t)>> chunk_writer =
+          std::make_shared<std::function<void(std::int64_t)>>();
+      *chunk_writer = [&, fh, t0, then, chunk_writer](std::int64_t off) {
+        if (off >= kCkptBytes) {
+          client.close(fh, [&, t0, then] {
+            stats.checkpoint_stall_s += sim::to_seconds(simulation.now() - t0);
+            ++checkpoints_written;
+            then();
+          });
+          return;
+        }
+        client.write(fh, off, 4 << 20,
+                     [chunk_writer, off] { (*chunk_writer)(off + (4 << 20)); });
+      };
+      (*chunk_writer)(0);
+    });
+  };
+
+  next_action = [&] {
+    if (step >= kSteps) {
+      // Flush any checkpoint still owed, then finish.
+      if (checkpoints_written < kSteps / kCheckpointEvery) {
+        write_checkpoint(next_action);
+        return;
+      }
+      done = true;
+      return;
+    }
+    const bool ckpt_due =
+        step > 0 && step % kCheckpointEvery == 0 &&
+        checkpoints_written < step / kCheckpointEvery;
+    if (ckpt_due) {
+      const bool defer = guarded && latest_prediction >= 1 && defer_budget < kMaxDefer;
+      if (!defer) {
+        defer_budget = 0;
+        write_checkpoint(next_action);
+        return;
+      }
+      ++defer_budget;
+      ++stats.deferral_windows;
+    }
+    ++step;
+    simulation.schedule_after(500 * sim::kMillisecond, next_action);
+  };
+  next_action();
+
+  while (!done && simulation.now() < 300 * sim::kSecond) {
+    simulation.run_until(simulation.now() + sim::kSecond);
+  }
+  if (predictor) predictor->stop();
+  stats.completion_s = sim::to_seconds(simulation.now());
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Mitigation study: prediction-guided checkpoint deferral ===\n\n");
+  std::printf("training the guard model on an IO500 campaign...\n");
+  core::DatasetOptions opts;
+  opts.richness = 1.0;
+  const monitor::Dataset ds = core::build_io500_dataset(opts);
+  core::TrainingServerConfig tsc;
+  tsc.n_classes = 2;
+  core::TrainingServer model(tsc);
+  model.fit(ds);
+  std::printf("model ready (%zu windows)\n\n", ds.size());
+
+  const RunStats naive = run_app(&model, /*guarded=*/false);
+  const RunStats guarded = run_app(&model, /*guarded=*/true);
+
+  std::printf("%-28s %14s %20s %12s\n", "policy", "completion (s)",
+              "checkpoint stall (s)", "deferrals");
+  std::printf("%-28s %14.2f %20.2f %12d\n", "naive (fixed cadence)", naive.completion_s,
+              naive.checkpoint_stall_s, naive.deferral_windows);
+  std::printf("%-28s %14.2f %20.2f %12d\n", "guarded (defer on >=2x)",
+              guarded.completion_s, guarded.checkpoint_stall_s,
+              guarded.deferral_windows);
+  std::printf("\ncheckpoint stall reduced %.1fx; same work, same bytes — the "
+              "checkpoints simply\nland outside the interference bursts the model "
+              "detects.\n",
+              naive.checkpoint_stall_s / std::max(guarded.checkpoint_stall_s, 1e-9));
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "qif/core/campaign.hpp"
+
+#include <map>
+
+#include "qif/trace/matcher.hpp"
+
+namespace qif::core {
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+workloads::JobSpec Campaign::target_spec(std::uint64_t seed) const {
+  workloads::JobSpec spec;
+  spec.workload = config_.target_workload;
+  for (int n = 0; n < config_.target_nodes; ++n) spec.nodes.push_back(n);
+  spec.procs_per_node = config_.target_procs_per_node;
+  spec.job = 0;
+  spec.seed = seed;
+  spec.scale = config_.target_scale;
+  return spec;
+}
+
+std::vector<pfs::NodeId> Campaign::interference_nodes() const {
+  std::vector<pfs::NodeId> nodes;
+  for (int n = config_.target_nodes; n < config_.cluster.n_client_nodes; ++n) {
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+monitor::Dataset Campaign::run() {
+  monitor::Dataset dataset;
+  outcomes_.clear();
+
+  // Baselines depend only on the target seed; cache them across cases.
+  std::map<std::uint64_t, trace::TraceLog> baselines;
+  auto baseline_for = [&](std::uint64_t seed) -> const trace::TraceLog& {
+    auto it = baselines.find(seed);
+    if (it == baselines.end()) {
+      ScenarioConfig base;
+      base.cluster = config_.cluster;
+      base.cluster.seed = sim::Rng::derive_seed(config_.cluster.seed,
+                                                "base" + std::to_string(seed));
+      base.target = target_spec(seed);
+      base.window = config_.window;
+      base.horizon = config_.horizon;
+      base.monitors = false;  // baseline only needs the trace
+      it = baselines.emplace(seed, run_scenario(base).trace).first;
+    }
+    return it->second;
+  };
+
+  trace::LabelerConfig lbl_cfg;
+  lbl_cfg.window = config_.window;
+  lbl_cfg.bin_thresholds = config_.bin_thresholds;
+  lbl_cfg.min_ops_per_window = config_.min_ops_per_window;
+  const trace::Labeler labeler(lbl_cfg);
+
+  for (const CaseSpec& cs : config_.cases) {
+    const trace::TraceLog& base_trace = baseline_for(cs.seed);
+
+    ScenarioConfig sc;
+    sc.cluster = config_.cluster;
+    sc.cluster.seed = sim::Rng::derive_seed(config_.cluster.seed,
+                                            "case" + std::to_string(cs.seed) +
+                                                cs.interference_workload);
+    sc.target = target_spec(cs.seed);
+    sc.window = config_.window;
+    sc.horizon = config_.horizon;
+    sc.monitors = true;
+    if (!cs.interference_workload.empty()) {
+      InterferenceSpec spec;
+      spec.workload = cs.interference_workload;
+      spec.nodes = interference_nodes();
+      spec.instances = cs.instances;
+      spec.scale = cs.intensity_scale;
+      spec.seed = sim::Rng::derive_seed(cs.seed, "noise" + cs.interference_workload);
+      sc.interference = spec;
+    }
+    const ScenarioResult run = run_scenario(sc);
+
+    trace::MatchStats mstats;
+    const auto matched = trace::TraceMatcher::match(base_trace, run.trace, /*job=*/0, &mstats);
+    const auto labels = labeler.label(matched);
+
+    CaseOutcome outcome;
+    outcome.spec = cs;
+    outcome.matched_ops = mstats.matched;
+    outcome.windows = labels.size();
+    outcome.target_finished = run.target_finished;
+    double deg_sum = 0.0;
+
+    monitor::Dataset case_ds;
+    case_ds.n_servers = run.n_servers;
+    case_ds.dim = run.dim;
+    for (const trace::WindowLabel& lbl : labels) {
+      const auto it = run.window_features.find(lbl.window_index);
+      if (it == run.window_features.end()) continue;  // no features captured
+      monitor::Sample s;
+      s.window_index = lbl.window_index;
+      s.features = it->second;
+      s.label = lbl.label;
+      s.degradation = lbl.degradation;
+      case_ds.samples.push_back(std::move(s));
+      deg_sum += lbl.degradation;
+    }
+    outcome.mean_degradation =
+        labels.empty() ? 1.0 : deg_sum / static_cast<double>(labels.size());
+    outcomes_.push_back(outcome);
+    dataset.append(case_ds);
+  }
+  return dataset;
+}
+
+}  // namespace qif::core

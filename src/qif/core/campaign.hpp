@@ -1,0 +1,70 @@
+// Training-data campaigns (paper §III-D).
+//
+// "We collect high-quality labelled data by executing an application in the
+// presence and absence of additional I/O workloads running on other
+// computing nodes."  A campaign runs the target workload once per seed as a
+// baseline, then once per interference case; matches the two traces op by
+// op; computes per-window degradation labels; and joins them with the
+// interference run's monitor features into a labelled dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qif/core/scenario.hpp"
+#include "qif/monitor/features.hpp"
+#include "qif/trace/labeler.hpp"
+
+namespace qif::core {
+
+/// One interference case: which background workload, how many concurrent
+/// instances ("levels of interference"), and the seed that varies both the
+/// target run and the background phase alignment.
+struct CaseSpec {
+  std::string interference_workload;  ///< empty = quiet case (negatives)
+  int instances = 3;
+  double intensity_scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct CampaignConfig {
+  std::string target_workload;
+  int target_nodes = 2;            ///< leading nodes host the target...
+  int target_procs_per_node = 2;
+  double target_scale = 1.0;
+  std::vector<CaseSpec> cases;     ///< ...remaining nodes host interference
+  pfs::ClusterConfig cluster;      ///< topology template (seed overridden per run)
+  sim::SimDuration window = sim::kSecond;
+  sim::SimDuration horizon = 240 * sim::kSecond;
+  std::vector<double> bin_thresholds = {2.0};  ///< {2} binary, {2,5} 3-class
+  std::size_t min_ops_per_window = 1;
+};
+
+struct CaseOutcome {
+  CaseSpec spec;
+  std::size_t matched_ops = 0;
+  std::size_t windows = 0;
+  double mean_degradation = 0.0;
+  bool target_finished = false;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  /// Runs every case and returns the accumulated labelled dataset.
+  [[nodiscard]] monitor::Dataset run();
+
+  [[nodiscard]] const std::vector<CaseOutcome>& outcomes() const { return outcomes_; }
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] workloads::JobSpec target_spec(std::uint64_t seed) const;
+  [[nodiscard]] std::vector<pfs::NodeId> interference_nodes() const;
+
+  CampaignConfig config_;
+  std::vector<CaseOutcome> outcomes_;
+};
+
+}  // namespace qif::core

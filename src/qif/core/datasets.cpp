@@ -1,0 +1,131 @@
+#include "qif/core/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "qif/core/scenario.hpp"
+
+namespace qif::core {
+namespace {
+
+// Per-task op-count scale placing every standalone run in a comparable
+// 8-30 simulated-second band.
+double standard_scale(const std::string& workload) {
+  if (workload == "ior-easy-read") return 3.0;
+  if (workload == "ior-hard-read") return 1.0;
+  if (workload == "mdt-hard-read") return 2.0;
+  if (workload == "ior-easy-write") return 3.0;
+  if (workload == "ior-hard-write") return 4.0;
+  if (workload == "mdt-easy-write") return 8.0;
+  if (workload == "mdt-hard-write") return 1.5;
+  if (workload == "dlio-unet3d") return 4.0;
+  if (workload == "dlio-bert") return 6.0;
+  if (workload == "enzo") return 6.0;
+  if (workload == "amrex") return 3.0;
+  if (workload == "openpmd") return 1.0;
+  return 1.0;
+}
+
+int scaled_cases(int base, double richness) {
+  return std::max(1, static_cast<int>(std::lround(base * richness)));
+}
+
+monitor::Dataset run_campaign_for_target(const std::string& target,
+                                         const std::vector<CaseSpec>& cases,
+                                         const DatasetOptions& options) {
+  CampaignConfig cc;
+  cc.target_workload = target;
+  cc.target_nodes = 2;
+  cc.target_procs_per_node = 2;
+  cc.target_scale = standard_scale(target);
+  cc.cases = cases;
+  cc.cluster = testbed_cluster_config(options.seed);
+  cc.bin_thresholds = options.bin_thresholds;
+  cc.min_ops_per_window = options.min_ops_per_window;
+  Campaign campaign(cc);
+  monitor::Dataset ds = campaign.run();
+  if (options.verbose) {
+    std::size_t windows = 0;
+    for (const auto& o : campaign.outcomes()) windows += o.windows;
+    std::printf("  campaign %-14s: %2zu cases, %4zu windows\n", target.c_str(),
+                campaign.outcomes().size(), windows);
+    std::fflush(stdout);
+  }
+  return ds;
+}
+
+}  // namespace
+
+monitor::Dataset build_io500_dataset(const DatasetOptions& options) {
+  const std::vector<std::string> noises = {"ior-easy-read", "ior-easy-write",
+                                           "mdt-hard-write"};
+  monitor::Dataset all;
+  std::uint64_t seed = options.seed;
+  for (const auto& target : workloads::io500_tasks()) {
+    std::vector<CaseSpec> cases;
+    const int reps = scaled_cases(1, options.richness);
+    for (int r = 0; r < reps; ++r) {
+      // Quiet runs provide the "no interference" class.
+      cases.push_back({"", 0, 1.0, ++seed});
+      for (const auto& noise : noises) {
+        for (const int instances : {6, 15}) {
+          cases.push_back({noise, instances, 1.0, ++seed});
+        }
+      }
+    }
+    all.append(run_campaign_for_target(target, cases, options));
+  }
+  return all;
+}
+
+monitor::Dataset build_dlio_dataset(const DatasetOptions& options) {
+  monitor::Dataset all;
+  DatasetOptions opts = options;
+  // Loader I/O is bursty: a window often holds one or two sample reads,
+  // and a single-op Level_degrade is label noise at the 2x boundary.
+  opts.min_ops_per_window = std::max<std::size_t>(options.min_ops_per_window, 3);
+  std::uint64_t seed = options.seed + 1000;
+  for (const std::string target : {"dlio-unet3d", "dlio-bert"}) {
+    std::vector<CaseSpec> cases;
+    const int reps = scaled_cases(1, options.richness);
+    for (int r = 0; r < reps; ++r) {
+      // Loader think-time plus metadata-only or light background noise
+      // rarely doubles I/O latency, so the class balance skews negative as
+      // in the paper (~20% positive).
+      for (std::uint64_t q = 0; q < 4; ++q) cases.push_back({"", 0, 1.0, ++seed});
+      cases.push_back({"mdt-easy-write", 6, 1.0, ++seed});
+      cases.push_back({"mdt-easy-write", 15, 1.0, ++seed});
+      cases.push_back({"ior-easy-write", 2, 1.0, ++seed});
+      cases.push_back({"ior-easy-read", 2, 1.0, ++seed});
+      cases.push_back({"ior-easy-read", 8, 1.0, ++seed});
+      cases.push_back({"ior-hard-read", 15, 1.0, ++seed});
+    }
+    all.append(run_campaign_for_target(target, cases, opts));
+  }
+  return all;
+}
+
+monitor::Dataset build_app_dataset(const std::string& app, const DatasetOptions& options) {
+  // The paper's protocol: "each application was run once without
+  // interference ... and then repeated three times with increasing amounts
+  // of concurrent instances of IO500 launched on each of the other nodes".
+  monitor::Dataset all;
+  std::uint64_t seed = options.seed + 2000;
+  const std::vector<std::string> noises = {"ior-easy-write", "ior-easy-read",
+                                           "mdt-hard-write"};
+  std::vector<CaseSpec> cases;
+  const int reps = scaled_cases(2, options.richness);
+  for (int r = 0; r < reps; ++r) {
+    cases.push_back({"", 0, 1.0, ++seed});
+    for (std::size_t n = 0; n < noises.size(); ++n) {
+      for (const int instances : {5, 10, 15}) {
+        cases.push_back({noises[n], instances, 1.0, ++seed});
+      }
+    }
+  }
+  all.append(run_campaign_for_target(app, cases, options));
+  return all;
+}
+
+}  // namespace qif::core

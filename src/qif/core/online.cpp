@@ -1,0 +1,30 @@
+#include "qif/core/online.hpp"
+
+namespace qif::core {
+
+OnlinePredictor::OnlinePredictor(pfs::Cluster& cluster, const TrainingServer& server,
+                                 const monitor::ClientMonitor& client_mon,
+                                 const monitor::ServerMonitor& server_mon,
+                                 Callback on_prediction)
+    : server_(server),
+      client_mon_(client_mon),
+      assembler_(client_mon, server_mon, cluster.n_servers()),
+      on_prediction_(std::move(on_prediction)),
+      // Fire just after each window boundary so both monitors have closed it.
+      ticker_(cluster.sim(), client_mon.window(), [this](std::uint64_t tick) {
+        on_window_close(static_cast<std::int64_t>(tick) - 1);
+      }) {}
+
+void OnlinePredictor::on_window_close(std::int64_t window_index) {
+  Prediction p;
+  p.window_index = window_index;
+  p.had_activity = client_mon_.cell(window_index, 0) != nullptr;
+  std::vector<double> features = assembler_.window_features(window_index);
+  p.predicted_class = server_.predict(features);
+  p.probabilities = server_.predict_proba(features);
+  p.server_scores = server_.server_scores(std::move(features));
+  history_.push_back(p);
+  if (on_prediction_) on_prediction_(history_.back());
+}
+
+}  // namespace qif::core

@@ -1,0 +1,58 @@
+// Online prediction path.
+//
+// "After training, the model is deployed in the same training server and
+// receives time window metrics from both the server-side and client-side
+// monitors in the same per-server vector format at runtime."
+//
+// The OnlinePredictor wires live monitors to a trained TrainingServer: at
+// every closed window it assembles the per-server vectors and publishes a
+// prediction (class, probabilities, per-server kernel scores) to a user
+// callback — the hook an adaptive I/O middleware or scheduler would consume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qif/core/training_server.hpp"
+#include "qif/monitor/client_monitor.hpp"
+#include "qif/monitor/features.hpp"
+#include "qif/monitor/server_monitor.hpp"
+#include "qif/sim/sampler.hpp"
+
+namespace qif::core {
+
+struct Prediction {
+  std::int64_t window_index = 0;
+  int predicted_class = 0;
+  std::vector<double> probabilities;   ///< per class
+  std::vector<double> server_scores;   ///< per monitored server
+  bool had_activity = false;           ///< target issued I/O in this window
+};
+
+class OnlinePredictor {
+ public:
+  using Callback = std::function<void(const Prediction&)>;
+
+  /// Publishes a prediction at the close of every monitor window.
+  OnlinePredictor(pfs::Cluster& cluster, const TrainingServer& server,
+                  const monitor::ClientMonitor& client_mon,
+                  const monitor::ServerMonitor& server_mon, Callback on_prediction);
+
+  void start() { ticker_.start(); }
+  void stop() { ticker_.stop(); }
+
+  [[nodiscard]] const std::vector<Prediction>& history() const { return history_; }
+
+ private:
+  void on_window_close(std::int64_t window_index);
+
+  const TrainingServer& server_;
+  const monitor::ClientMonitor& client_mon_;
+  monitor::FeatureAssembler assembler_;
+  Callback on_prediction_;
+  sim::Sampler ticker_;
+  std::vector<Prediction> history_;
+};
+
+}  // namespace qif::core

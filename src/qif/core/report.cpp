@@ -1,0 +1,53 @@
+#include "qif/core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qif::core {
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (const std::size_t w : widths) total += w + 2;
+      os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_rate(double bytes_per_second) {
+  const char* units[] = {"B/s", "KiB/s", "MiB/s", "GiB/s"};
+  int u = 0;
+  double v = bytes_per_second;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  return fmt(v, 1) + " " + units[u];
+}
+
+}  // namespace qif::core

@@ -1,0 +1,27 @@
+// Plain-text reporting helpers shared by the benches: aligned tables (the
+// stand-in for the paper's tables/heatmaps) and small format utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qif::core {
+
+class TextTable {
+ public:
+  /// First row added is the header.
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("2.72", "40.92").
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// "12.3 MiB/s"-style byte-rate formatting.
+[[nodiscard]] std::string fmt_rate(double bytes_per_second);
+
+}  // namespace qif::core

@@ -1,0 +1,66 @@
+#include "qif/core/training_server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace qif::core {
+
+ml::TrainResult TrainingServer::fit(const monitor::Dataset& train_ds) {
+  if (train_ds.empty()) throw std::invalid_argument("cannot train on an empty dataset");
+  ml::KernelNetConfig net_cfg;
+  net_cfg.per_server_dim = train_ds.dim;
+  net_cfg.n_servers = train_ds.n_servers;
+  net_cfg.n_classes = config_.n_classes;
+  net_cfg.kernel_hidden = config_.kernel_hidden;
+  net_cfg.head_hidden = config_.head_hidden;
+  net_cfg.seed = config_.seed;
+  net_ = ml::KernelNet(net_cfg);
+
+  ml::TrainConfig tc = config_.train;
+  tc.seed = sim::Rng::derive_seed(config_.seed, "train");
+  const ml::Trainer trainer(tc);
+  return trainer.train(net_, stdz_, train_ds);
+}
+
+ml::ConfusionMatrix TrainingServer::evaluate(const monitor::Dataset& test_ds) const {
+  return ml::Trainer::evaluate(net_, stdz_, test_ds);
+}
+
+int TrainingServer::predict(std::vector<double> features) const {
+  stdz_.transform(features);
+  ml::Matrix x(1, features.size());
+  x.data() = std::move(features);
+  return net_.predict(x)[0];
+}
+
+std::vector<double> TrainingServer::predict_proba(std::vector<double> features) const {
+  stdz_.transform(features);
+  ml::Matrix x(1, features.size());
+  x.data() = std::move(features);
+  const ml::Matrix p = ml::SoftmaxXent::softmax(net_.forward_inference(x));
+  return {p.row(0), p.row(0) + p.cols()};
+}
+
+std::vector<double> TrainingServer::server_scores(std::vector<double> features) const {
+  stdz_.transform(features);
+  return net_.server_scores(features);
+}
+
+void TrainingServer::save(std::ostream& os) const {
+  os << "qif-model 1\n" << config_.n_classes << '\n';
+  net_.save(os);
+  stdz_.save(os);
+}
+
+void TrainingServer::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "qif-model") throw std::runtime_error("not a qif model bundle");
+  is >> config_.n_classes;
+  net_.load(is);
+  stdz_.load(is);
+}
+
+}  // namespace qif::core

@@ -1,0 +1,57 @@
+// Training server (paper §III-C): owns the model bundle — the kernel-based
+// network plus the fitted standardizer — trains it offline on a labelled
+// dataset, and serves predictions afterwards.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qif/ml/kernel_net.hpp"
+#include "qif/ml/metrics.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/ml/trainer.hpp"
+#include "qif/monitor/features.hpp"
+
+namespace qif::core {
+
+struct TrainingServerConfig {
+  int n_classes = 2;               ///< 2 = binary (>=2x), 3 = mild/moderate/severe
+  std::vector<int> kernel_hidden = {64, 32};
+  std::vector<int> head_hidden = {32};
+  ml::TrainConfig train{};
+  std::uint64_t seed = 7;
+};
+
+class TrainingServer {
+ public:
+  explicit TrainingServer(TrainingServerConfig config) : config_(std::move(config)) {}
+
+  /// Trains a fresh model on `train_ds` (shape taken from the dataset).
+  ml::TrainResult fit(const monitor::Dataset& train_ds);
+
+  /// Confusion matrix of the current model on a held-out set.
+  [[nodiscard]] ml::ConfusionMatrix evaluate(const monitor::Dataset& test_ds) const;
+
+  /// Class prediction for one window's flattened features.
+  [[nodiscard]] int predict(std::vector<double> features) const;
+  /// Softmax probabilities for one window's flattened features.
+  [[nodiscard]] std::vector<double> predict_proba(std::vector<double> features) const;
+  /// Per-server kernel scores (which server the model attributes pressure to).
+  [[nodiscard]] std::vector<double> server_scores(std::vector<double> features) const;
+
+  [[nodiscard]] const ml::KernelNet& net() const { return net_; }
+  [[nodiscard]] const ml::Standardizer& standardizer() const { return stdz_; }
+  [[nodiscard]] const TrainingServerConfig& config() const { return config_; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  TrainingServerConfig config_;
+  ml::KernelNet net_;
+  ml::Standardizer stdz_;
+};
+
+}  // namespace qif::core

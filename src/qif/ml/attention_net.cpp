@@ -1,0 +1,191 @@
+#include "qif/ml/attention_net.hpp"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace qif::ml {
+
+AttentionNet::AttentionNet(const AttentionNetConfig& config) : config_(config) {
+  sim::Rng rng(sim::Rng::derive_seed(config.seed, "attention-net"));
+  embed_ = Dense(static_cast<std::size_t>(config_.per_server_dim),
+                 static_cast<std::size_t>(config_.embed_dim), rng);
+  attn_hidden_ = Dense(static_cast<std::size_t>(config_.embed_dim),
+                       static_cast<std::size_t>(config_.attention_dim), rng);
+  attn_score_ = Dense(static_cast<std::size_t>(config_.attention_dim), 1, rng);
+  std::size_t in = static_cast<std::size_t>(config_.embed_dim);
+  for (const int h : config_.head_hidden) {
+    head_layers_.emplace_back(in, static_cast<std::size_t>(h), rng);
+    head_relus_.emplace_back();
+    in = static_cast<std::size_t>(h);
+  }
+  head_layers_.emplace_back(in, static_cast<std::size_t>(config_.n_classes), rng);
+}
+
+namespace {
+
+/// pooled[b] = sum_s alpha[b,s] * embed[b*S+s].
+Matrix pool(const Matrix& embed, const Matrix& alpha) {
+  const std::size_t b = alpha.rows();
+  const std::size_t s = alpha.cols();
+  const std::size_t e = embed.cols();
+  Matrix pooled(b, e);
+  for (std::size_t i = 0; i < b; ++i) {
+    double* out = pooled.row(i);
+    for (std::size_t j = 0; j < s; ++j) {
+      const double a = alpha.at(i, j);
+      const double* row = embed.row(i * s + j);
+      for (std::size_t k = 0; k < e; ++k) out[k] += a * row[k];
+    }
+  }
+  return pooled;
+}
+
+}  // namespace
+
+Matrix AttentionNet::forward(const Matrix& x) {
+  const auto b = x.rows();
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(x.cols() == s * d);
+
+  cache_.embed = embed_relu_.forward(embed_.forward(x.reshaped(b * s, d)));
+  const Matrix u = attn_tanh_.forward(attn_hidden_.forward(cache_.embed));
+  const Matrix scores = attn_score_.forward(u).reshaped(b, s);
+  cache_.alpha = SoftmaxXent::softmax(scores);
+  cache_.pooled = pool(cache_.embed, cache_.alpha);
+
+  Matrix h = cache_.pooled;
+  for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
+    h = head_relus_[l].forward(head_layers_[l].forward(h));
+  }
+  return head_layers_.back().forward(h);
+}
+
+void AttentionNet::backward(const Matrix& dlogits) {
+  Matrix d = head_layers_.back().backward(dlogits);
+  for (std::size_t l = head_layers_.size() - 1; l-- > 0;) {
+    d = head_layers_[l].backward(head_relus_[l].backward(d));
+  }
+  // d == dpooled (B, E).
+  const std::size_t b = cache_.alpha.rows();
+  const std::size_t s = cache_.alpha.cols();
+  const std::size_t e = cache_.embed.cols();
+
+  Matrix dalpha(b, s);
+  Matrix dembed(b * s, e);
+  for (std::size_t i = 0; i < b; ++i) {
+    const double* dp = d.row(i);
+    for (std::size_t j = 0; j < s; ++j) {
+      const double* erow = cache_.embed.row(i * s + j);
+      double dot = 0.0;
+      for (std::size_t k = 0; k < e; ++k) dot += dp[k] * erow[k];
+      dalpha.at(i, j) = dot;
+      const double a = cache_.alpha.at(i, j);
+      double* de = dembed.row(i * s + j);
+      for (std::size_t k = 0; k < e; ++k) de[k] = a * dp[k];
+    }
+  }
+  // Softmax jacobian per row.
+  Matrix dscores(b, s);
+  for (std::size_t i = 0; i < b; ++i) {
+    double inner = 0.0;
+    for (std::size_t j = 0; j < s; ++j) inner += cache_.alpha.at(i, j) * dalpha.at(i, j);
+    for (std::size_t j = 0; j < s; ++j) {
+      dscores.at(i, j) = cache_.alpha.at(i, j) * (dalpha.at(i, j) - inner);
+    }
+  }
+  // Attention branch back to the embeddings.
+  Matrix du = attn_score_.backward(dscores.reshaped(b * s, 1));
+  Matrix dembed_attn = attn_hidden_.backward(attn_tanh_.backward(du));
+  for (std::size_t i = 0; i < dembed.size(); ++i) {
+    dembed.data()[i] += dembed_attn.data()[i];
+  }
+  embed_.backward(embed_relu_.backward(dembed));
+}
+
+void AttentionNet::step(const AdamParams& params, std::int64_t t) {
+  embed_.step(params, t);
+  attn_hidden_.step(params, t);
+  attn_score_.step(params, t);
+  for (auto& l : head_layers_) l.step(params, t);
+}
+
+Matrix AttentionNet::forward_inference(const Matrix& x) const {
+  const auto b = x.rows();
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(x.cols() == s * d);
+  const Matrix embed =
+      ReLU::forward_inference(embed_.forward_inference(x.reshaped(b * s, d)));
+  const Matrix u =
+      Tanh::forward_inference(attn_hidden_.forward_inference(embed));
+  const Matrix alpha =
+      SoftmaxXent::softmax(attn_score_.forward_inference(u).reshaped(b, s));
+  Matrix h = pool(embed, alpha);
+  for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
+    h = ReLU::forward_inference(head_layers_[l].forward_inference(h));
+  }
+  return head_layers_.back().forward_inference(h);
+}
+
+std::vector<int> AttentionNet::predict(const Matrix& x) const {
+  const Matrix logits = forward_inference(x);
+  std::vector<int> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const double* row = logits.row(i);
+    int best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+std::vector<double> AttentionNet::attention_weights(
+    const std::vector<double>& features) const {
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(features.size() == s * d);
+  Matrix x(s, d);
+  x.data() = features;
+  const Matrix embed = ReLU::forward_inference(embed_.forward_inference(x));
+  const Matrix u = Tanh::forward_inference(attn_hidden_.forward_inference(embed));
+  const Matrix alpha =
+      SoftmaxXent::softmax(attn_score_.forward_inference(u).reshaped(1, s));
+  return {alpha.row(0), alpha.row(0) + s};
+}
+
+void AttentionNet::save(std::ostream& os) const {
+  os << "attentionnet 1\n";
+  os << config_.per_server_dim << ' ' << config_.n_servers << ' ' << config_.n_classes
+     << ' ' << config_.embed_dim << ' ' << config_.attention_dim << '\n';
+  os << config_.head_hidden.size();
+  for (const int h : config_.head_hidden) os << ' ' << h;
+  os << '\n';
+  embed_.save(os);
+  attn_hidden_.save(os);
+  attn_score_.save(os);
+  for (const auto& l : head_layers_) l.save(os);
+}
+
+void AttentionNet::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  AttentionNetConfig cfg;
+  is >> cfg.per_server_dim >> cfg.n_servers >> cfg.n_classes >> cfg.embed_dim >>
+      cfg.attention_dim;
+  std::size_t nh = 0;
+  is >> nh;
+  cfg.head_hidden.resize(nh);
+  for (auto& h : cfg.head_hidden) is >> h;
+  *this = AttentionNet(cfg);
+  embed_.load(is);
+  attn_hidden_.load(is);
+  attn_score_.load(is);
+  for (auto& l : head_layers_) l.load(is);
+}
+
+}  // namespace qif::ml

@@ -1,0 +1,78 @@
+// Attention-pooling network over per-server vectors.
+//
+// The paper's future work: "we plan to further investigate other possible
+// network architectures, such as transformers".  This model replaces the
+// kernel-based design's concatenate-in-server-order head with additive
+// attention pooling:
+//
+//   e_s   = ReLU(W1 x_s + b1)          shared per-server embedding
+//   u_s   = tanh(W2 e_s + b2)          attention pre-activation
+//   a     = softmax_s(v . u_s)         attention weights over servers
+//   pooled = sum_s a_s e_s             order-free aggregate
+//   logits = MLP(pooled)
+//
+// Unlike the kernel net — whose head weights are tied to server *slots* —
+// attention pooling is permutation-invariant over servers: the same load
+// observed on a different subset of OSTs produces the same prediction by
+// construction.  bench/ablation_attention quantifies the trade-off.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "qif/ml/nn.hpp"
+
+namespace qif::ml {
+
+struct AttentionNetConfig {
+  int per_server_dim = 37;
+  int n_servers = 7;
+  int n_classes = 2;
+  int embed_dim = 32;              ///< E: shared embedding width
+  int attention_dim = 16;          ///< A: additive-attention width
+  std::vector<int> head_hidden = {32};
+  std::uint64_t seed = 7;
+};
+
+class AttentionNet {
+ public:
+  AttentionNet() = default;
+  explicit AttentionNet(const AttentionNetConfig& config);
+
+  /// Training forward: X is (B, S*D); returns logits (B, C).
+  Matrix forward(const Matrix& x);
+  void backward(const Matrix& dlogits);
+  void step(const AdamParams& params, std::int64_t t);
+
+  [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Attention weights over servers for one sample (which servers the
+  /// model attends to).
+  [[nodiscard]] std::vector<double> attention_weights(
+      const std::vector<double>& features) const;
+
+  [[nodiscard]] const AttentionNetConfig& config() const { return config_; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  struct ForwardState {
+    Matrix embed;   // (B*S, E) post-ReLU embeddings
+    Matrix alpha;   // (B, S) attention weights
+    Matrix pooled;  // (B, E)
+  };
+
+  AttentionNetConfig config_;
+  Dense embed_;
+  ReLU embed_relu_;
+  Dense attn_hidden_;   // W2 (E -> A)
+  Tanh attn_tanh_;
+  Dense attn_score_;    // v   (A -> 1)
+  std::vector<Dense> head_layers_;
+  std::vector<ReLU> head_relus_;
+  ForwardState cache_;  // from the last training forward
+};
+
+}  // namespace qif::ml

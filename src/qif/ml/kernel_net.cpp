@@ -1,0 +1,156 @@
+#include "qif/ml/kernel_net.hpp"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace qif::ml {
+
+KernelNet::KernelNet(const KernelNetConfig& config) : config_(config) {
+  sim::Rng rng(sim::Rng::derive_seed(config.seed, "kernel-net"));
+  // Shared kernel: D -> hidden... -> 1 (linear output scalar).
+  std::size_t in = static_cast<std::size_t>(config_.per_server_dim);
+  for (const int h : config_.kernel_hidden) {
+    kernel_layers_.emplace_back(in, static_cast<std::size_t>(h), rng);
+    kernel_relus_.emplace_back();
+    in = static_cast<std::size_t>(h);
+  }
+  kernel_layers_.emplace_back(in, 1, rng);
+
+  // Head: S -> hidden... -> C.
+  in = static_cast<std::size_t>(config_.n_servers);
+  for (const int h : config_.head_hidden) {
+    head_layers_.emplace_back(in, static_cast<std::size_t>(h), rng);
+    head_relus_.emplace_back();
+    in = static_cast<std::size_t>(h);
+  }
+  head_layers_.emplace_back(in, static_cast<std::size_t>(config_.n_classes), rng);
+}
+
+Matrix KernelNet::kernel_forward(const Matrix& xk, bool train) {
+  Matrix h = xk;
+  for (std::size_t l = 0; l + 1 < kernel_layers_.size(); ++l) {
+    h = train ? kernel_layers_[l].forward(h) : kernel_layers_[l].forward_inference(h);
+    h = train ? kernel_relus_[l].forward(h) : ReLU::forward_inference(h);
+  }
+  return train ? kernel_layers_.back().forward(h)
+               : kernel_layers_.back().forward_inference(h);
+}
+
+Matrix KernelNet::kernel_forward_inference(const Matrix& xk) const {
+  Matrix h = xk;
+  for (std::size_t l = 0; l + 1 < kernel_layers_.size(); ++l) {
+    h = kernel_layers_[l].forward_inference(h);
+    h = ReLU::forward_inference(h);
+  }
+  return kernel_layers_.back().forward_inference(h);
+}
+
+Matrix KernelNet::forward(const Matrix& x) {
+  const auto b = x.rows();
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(x.cols() == s * d);
+
+  Matrix scores = kernel_forward(x.reshaped(b * s, d), /*train=*/true).reshaped(b, s);
+  Matrix h = scores;
+  for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
+    h = head_layers_[l].forward(h);
+    h = head_relus_[l].forward(h);
+  }
+  return head_layers_.back().forward(h);
+}
+
+void KernelNet::backward(const Matrix& dlogits) {
+  Matrix d = head_layers_.back().backward(dlogits);
+  for (std::size_t l = head_layers_.size() - 1; l-- > 0;) {
+    d = head_relus_[l].backward(d);
+    d = head_layers_[l].backward(d);
+  }
+  // d is now (B, S): gradient w.r.t. the per-server kernel scores.
+  const auto b = d.rows();
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  Matrix dk = d.reshaped(b * s, 1);
+  dk = kernel_layers_.back().backward(dk);
+  for (std::size_t l = kernel_layers_.size() - 1; l-- > 0;) {
+    dk = kernel_relus_[l].backward(dk);
+    dk = kernel_layers_[l].backward(dk);
+  }
+}
+
+void KernelNet::step(const AdamParams& params, std::int64_t t) {
+  for (auto& l : kernel_layers_) l.step(params, t);
+  for (auto& l : head_layers_) l.step(params, t);
+}
+
+Matrix KernelNet::forward_inference(const Matrix& x) const {
+  const auto b = x.rows();
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(x.cols() == s * d);
+  Matrix h = kernel_forward_inference(x.reshaped(b * s, d)).reshaped(b, s);
+  for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
+    h = head_layers_[l].forward_inference(h);
+    h = ReLU::forward_inference(h);
+  }
+  return head_layers_.back().forward_inference(h);
+}
+
+std::vector<int> KernelNet::predict(const Matrix& x) const {
+  const Matrix logits = forward_inference(x);
+  std::vector<int> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const double* row = logits.row(i);
+    int best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = static_cast<int>(j);
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+std::vector<double> KernelNet::server_scores(const std::vector<double>& features) const {
+  const auto s = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(features.size() == s * d);
+  Matrix x(s, d);
+  x.data() = features;
+  const Matrix scores = kernel_forward_inference(x);
+  std::vector<double> out(s);
+  for (std::size_t i = 0; i < s; ++i) out[i] = scores.at(i, 0);
+  return out;
+}
+
+void KernelNet::save(std::ostream& os) const {
+  os << "kernelnet 1\n";
+  os << config_.per_server_dim << ' ' << config_.n_servers << ' ' << config_.n_classes
+     << '\n';
+  os << config_.kernel_hidden.size();
+  for (const int h : config_.kernel_hidden) os << ' ' << h;
+  os << '\n' << config_.head_hidden.size();
+  for (const int h : config_.head_hidden) os << ' ' << h;
+  os << '\n';
+  for (const auto& l : kernel_layers_) l.save(os);
+  for (const auto& l : head_layers_) l.save(os);
+}
+
+void KernelNet::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  KernelNetConfig cfg;
+  is >> cfg.per_server_dim >> cfg.n_servers >> cfg.n_classes;
+  std::size_t nk = 0, nh = 0;
+  is >> nk;
+  cfg.kernel_hidden.resize(nk);
+  for (auto& h : cfg.kernel_hidden) is >> h;
+  is >> nh;
+  cfg.head_hidden.resize(nh);
+  for (auto& h : cfg.head_hidden) is >> h;
+  *this = KernelNet(cfg);
+  for (auto& l : kernel_layers_) l.load(is);
+  for (auto& l : head_layers_) l.load(is);
+}
+
+}  // namespace qif::ml

@@ -1,0 +1,75 @@
+// The paper's kernel-based neural network (§III-C).
+//
+// "the kernel-based model applies the same dense network to each of the
+// server's vectors, and learns to generally interpret the data from any
+// server.  Once the kernel-based network has processed each of the
+// per-server vectors, resulting in a single value for each server, all
+// output values are concatenated and further fed through a simple MLP
+// classification network for multi-bin classification."
+//
+// Implementation: a sample is S per-server vectors of width D.  The batch
+// (B, S*D) is reshaped to (B*S, D), pushed through the shared kernel MLP
+// down to one scalar per server, reshaped back to (B, S) and classified by
+// the MLP head into `n_classes` bins.  Because the kernel is shared, its
+// gradient accumulates over all S applications — exactly weight sharing.
+//
+// The architecture is what makes the model robust to "applications [that]
+// may only utilize a subset of OSTs or target different ones in multiple
+// runs": any server's vector is interpreted by the same function.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qif/ml/nn.hpp"
+
+namespace qif::ml {
+
+struct KernelNetConfig {
+  int per_server_dim = 37;           ///< D: width of one server vector
+  int n_servers = 7;                 ///< S: monitored servers (OSTs + MDT)
+  int n_classes = 2;                 ///< output bins (2 binary; 3 multi-class)
+  std::vector<int> kernel_hidden = {64, 32};  ///< shared kernel MLP widths
+  std::vector<int> head_hidden = {32};        ///< classifier MLP widths
+  std::uint64_t seed = 7;
+};
+
+class KernelNet {
+ public:
+  KernelNet() = default;
+  explicit KernelNet(const KernelNetConfig& config);
+
+  /// Training forward: X is (B, S*D); returns logits (B, C).
+  Matrix forward(const Matrix& x);
+  /// Backward from dlogits; accumulates all layer gradients.
+  void backward(const Matrix& dlogits);
+  /// Adam update on every layer (t is the 1-based step count).
+  void step(const AdamParams& params, std::int64_t t);
+
+  /// Inference without touching training caches.
+  [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
+  /// Predicted class per row of X.
+  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  /// Per-server kernel scores for one sample (interpretability hook: which
+  /// server the model blames).
+  [[nodiscard]] std::vector<double> server_scores(const std::vector<double>& features) const;
+
+  [[nodiscard]] const KernelNetConfig& config() const { return config_; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  [[nodiscard]] Matrix kernel_forward(const Matrix& xk, bool train);
+  [[nodiscard]] Matrix kernel_forward_inference(const Matrix& xk) const;
+
+  KernelNetConfig config_;
+  std::vector<Dense> kernel_layers_;
+  std::vector<ReLU> kernel_relus_;  // one per hidden kernel layer
+  std::vector<Dense> head_layers_;
+  std::vector<ReLU> head_relus_;    // one per hidden head layer
+};
+
+}  // namespace qif::ml

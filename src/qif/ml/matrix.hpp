@@ -1,0 +1,60 @@
+// Dense row-major matrix with just the operations the network needs.
+//
+// Sizes here are small (batch x 37-dim vectors through 64-wide layers), so
+// a cache-friendly ikj GEMM is ample; no BLAS dependency.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace qif::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double* row(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reinterprets the buffer with a new shape of identical element count.
+  [[nodiscard]] Matrix reshaped(std::size_t rows, std::size_t cols) const {
+    assert(rows * cols == data_.size());
+    Matrix out;
+    out.rows_ = rows;
+    out.cols_ = cols;
+    out.data_ = data_;
+    return out;
+  }
+
+  /// C = A * B
+  static Matrix matmul(const Matrix& a, const Matrix& b);
+  /// C = A^T * B  (used for weight gradients)
+  static Matrix matmul_tn(const Matrix& a, const Matrix& b);
+  /// C = A * B^T  (used for input gradients)
+  static Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace qif::ml

@@ -1,0 +1,85 @@
+#include "qif/ml/metrics.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace qif::ml {
+
+void ConfusionMatrix::add_all(const std::vector<int>& truth,
+                              const std::vector<int>& predicted) {
+  assert(truth.size() == predicted.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+std::int64_t ConfusionMatrix::total() const {
+  std::int64_t t = 0;
+  for (const auto v : counts_) t += v;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t t = total();
+  if (t == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (int c = 0; c < n_classes(); ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  std::int64_t pred = 0;
+  for (int t = 0; t < n_classes(); ++t) pred += at(t, c);
+  return pred == 0 ? 0.0 : static_cast<double>(at(c, c)) / static_cast<double>(pred);
+}
+
+double ConfusionMatrix::recall(int c) const {
+  std::int64_t truth = 0;
+  for (int p = 0; p < n_classes(); ++p) truth += at(c, p);
+  return truth == 0 ? 0.0 : static_cast<double>(at(c, c)) / static_cast<double>(truth);
+}
+
+double ConfusionMatrix::f1(int c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (int c = 0; c < n_classes(); ++c) sum += f1(c);
+  return sum / static_cast<double>(n_classes());
+}
+
+std::string ConfusionMatrix::to_string(const std::vector<std::string>& class_names) const {
+  auto name = [&](int c) {
+    return c < static_cast<int>(class_names.size()) ? class_names[static_cast<std::size_t>(c)]
+                                                    : "class" + std::to_string(c);
+  };
+  std::ostringstream os;
+  os << "                 predicted\n";
+  os << "truth         ";
+  for (int c = 0; c < n_classes(); ++c) {
+    os << ' ';
+    os.width(12);
+    os << name(c);
+  }
+  os << '\n';
+  for (int t = 0; t < n_classes(); ++t) {
+    os.width(14);
+    os << name(t);
+    for (int p = 0; p < n_classes(); ++p) {
+      os << ' ';
+      os.width(12);
+      os << at(t, p);
+    }
+    os << '\n';
+  }
+  os << "accuracy " << accuracy();
+  for (int c = 0; c < n_classes(); ++c) {
+    os << " | " << name(c) << " P=" << precision(c) << " R=" << recall(c)
+       << " F1=" << f1(c);
+  }
+  os << " | macroF1=" << macro_f1() << '\n';
+  return os.str();
+}
+
+}  // namespace qif::ml

@@ -1,0 +1,46 @@
+// Classification metrics: confusion matrices (the paper's Figures 3-5 are
+// confusion matrices) plus precision/recall/F1 summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qif::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int n_classes)
+      : n_(n_classes), counts_(static_cast<std::size_t>(n_classes) *
+                               static_cast<std::size_t>(n_classes)) {}
+
+  void add(int truth, int predicted) {
+    counts_[static_cast<std::size_t>(truth) * n_ + static_cast<std::size_t>(predicted)] += 1;
+  }
+  void add_all(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+  [[nodiscard]] int n_classes() const { return static_cast<int>(n_); }
+  [[nodiscard]] std::int64_t at(int truth, int predicted) const {
+    return counts_[static_cast<std::size_t>(truth) * n_ + static_cast<std::size_t>(predicted)];
+  }
+  [[nodiscard]] std::int64_t total() const;
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision(int c) const;
+  [[nodiscard]] double recall(int c) const;
+  [[nodiscard]] double f1(int c) const;
+  /// Unweighted mean of per-class F1.
+  [[nodiscard]] double macro_f1() const;
+  /// F1 of the positive class — the headline metric for the binary model
+  /// ("F1 scores exceeding 90%"); class 1 is ">= 2x slowdown".
+  [[nodiscard]] double binary_f1() const { return f1(1); }
+
+  /// Pretty grid with per-class P/R/F1 — the textual stand-in for the
+  /// paper's confusion-matrix heatmaps.
+  [[nodiscard]] std::string to_string(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::int64_t> counts_;
+};
+
+}  // namespace qif::ml

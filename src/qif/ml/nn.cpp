@@ -1,0 +1,196 @@
+#include "qif/ml/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace qif::ml {
+
+Dense::Dense(std::size_t in, std::size_t out, sim::Rng& rng)
+    : w_(in, out),
+      b_(out, 0.0),
+      dw_(in, out),
+      db_(out, 0.0),
+      mw_(in, out),
+      vw_(in, out),
+      mb_(out, 0.0),
+      vb_(out, 0.0) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in));  // He init
+  for (double& v : w_.data()) v = rng.normal(0.0, stddev);
+}
+
+Matrix Dense::forward(const Matrix& x) {
+  x_cache_ = x;
+  return forward_inference(x);
+}
+
+Matrix Dense::forward_inference(const Matrix& x) const {
+  Matrix y = Matrix::matmul(x, w_);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double* row = y.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j) row[j] += b_[j];
+  }
+  return y;
+}
+
+Matrix Dense::backward(const Matrix& dy) {
+  // Accumulate so several backward calls per step (the shared kernel is
+  // applied once per server) sum their gradients before step().
+  Matrix dw = Matrix::matmul_tn(x_cache_, dy);
+  for (std::size_t i = 0; i < dw_.size(); ++i) dw_.data()[i] += dw.data()[i];
+  for (std::size_t i = 0; i < dy.rows(); ++i) {
+    const double* row = dy.row(i);
+    for (std::size_t j = 0; j < dy.cols(); ++j) db_[j] += row[j];
+  }
+  return Matrix::matmul_nt(dy, w_);
+}
+
+void Dense::zero_grad() {
+  dw_.fill(0.0);
+  std::fill(db_.begin(), db_.end(), 0.0);
+}
+
+void Dense::step(const AdamParams& p, std::int64_t t) {
+  const double bc1 = 1.0 - std::pow(p.beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(p.beta2, static_cast<double>(t));
+  auto update = [&](double& w, double& m, double& v, double g) {
+    if (p.weight_decay > 0.0) g += p.weight_decay * w;
+    m = p.beta1 * m + (1.0 - p.beta1) * g;
+    v = p.beta2 * v + (1.0 - p.beta2) * g * g;
+    const double mhat = m / bc1;
+    const double vhat = v / bc2;
+    w -= p.lr * mhat / (std::sqrt(vhat) + p.eps);
+  };
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    update(w_.data()[i], mw_.data()[i], vw_.data()[i], dw_.data()[i]);
+  }
+  for (std::size_t j = 0; j < b_.size(); ++j) {
+    double g = db_[j];
+    double& m = mb_[j];
+    double& v = vb_[j];
+    m = p.beta1 * m + (1.0 - p.beta1) * g;
+    v = p.beta2 * v + (1.0 - p.beta2) * g * g;
+    b_[j] -= p.lr * (m / bc1) / (std::sqrt(v / bc2) + p.eps);
+  }
+  zero_grad();
+}
+
+void Dense::save(std::ostream& os) const {
+  // max_digits10 so weights survive the text round trip bit-exactly.
+  os.precision(17);
+  os << w_.rows() << ' ' << w_.cols() << '\n';
+  for (const double v : w_.data()) os << v << ' ';
+  os << '\n';
+  for (const double v : b_) os << v << ' ';
+  os << '\n';
+}
+
+void Dense::load(std::istream& is) {
+  std::size_t in = 0, out = 0;
+  is >> in >> out;
+  *this = Dense();
+  w_ = Matrix(in, out);
+  b_.assign(out, 0.0);
+  dw_ = Matrix(in, out);
+  db_.assign(out, 0.0);
+  mw_ = Matrix(in, out);
+  vw_ = Matrix(in, out);
+  mb_.assign(out, 0.0);
+  vb_.assign(out, 0.0);
+  for (double& v : w_.data()) is >> v;
+  for (double& v : b_) is >> v;
+}
+
+Matrix ReLU::forward(const Matrix& x) {
+  x_cache_ = x;
+  return forward_inference(x);
+}
+
+Matrix ReLU::forward_inference(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& dy) const {
+  Matrix dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (x_cache_.data()[i] <= 0.0) dx.data()[i] = 0.0;
+  }
+  return dx;
+}
+
+Matrix Tanh::forward(const Matrix& x) {
+  Matrix y = forward_inference(x);
+  y_cache_ = y;
+  return y;
+}
+
+Matrix Tanh::forward_inference(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) v = std::tanh(v);
+  return y;
+}
+
+Matrix Tanh::backward(const Matrix& dy) const {
+  Matrix dx = dy;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const double t = y_cache_.data()[i];
+    dx.data()[i] *= 1.0 - t * t;
+  }
+  return dx;
+}
+
+std::pair<double, Matrix> SquaredError::loss_and_grad(const Matrix& pred,
+                                                      const std::vector<double>& targets) {
+  const std::size_t n = pred.rows();
+  Matrix d(pred.rows(), 1);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double err = pred.at(i, 0) - targets[i];
+    loss += err * err;
+    d.at(i, 0) = 2.0 * err / static_cast<double>(n);
+  }
+  return {loss / static_cast<double>(n), std::move(d)};
+}
+
+Matrix SoftmaxXent::softmax(const Matrix& logits) {
+  Matrix p = logits;
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double* row = p.row(i);
+    double mx = row[0];
+    for (std::size_t j = 1; j < p.cols(); ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    for (std::size_t j = 0; j < p.cols(); ++j) row[j] /= sum;
+  }
+  return p;
+}
+
+std::pair<double, Matrix> SoftmaxXent::loss_and_grad(
+    const Matrix& logits, const std::vector<int>& labels,
+    const std::vector<double>& class_weights) {
+  const std::size_t n = logits.rows();
+  Matrix p = softmax(logits);
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  Matrix d = p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    const double w = class_weights.empty() ? 1.0 : class_weights[y];
+    loss += -w * std::log(std::max(p.at(i, y), 1e-12));
+    weight_sum += w;
+    double* row = d.row(i);
+    for (std::size_t j = 0; j < d.cols(); ++j) row[j] *= w;
+    row[y] -= w;
+  }
+  const double norm = weight_sum > 0.0 ? weight_sum : 1.0;
+  for (double& v : d.data()) v /= norm;
+  return {loss / norm, std::move(d)};
+}
+
+}  // namespace qif::ml

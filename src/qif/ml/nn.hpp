@@ -1,0 +1,103 @@
+// Neural network building blocks: dense layer, ReLU, softmax
+// cross-entropy with class weights, and the Adam optimizer.
+//
+// Everything is implemented from first principles — the training server in
+// the paper is a PyTorch model, but a dependency-free C++ implementation
+// keeps the framework deployable on the login/management node of a cluster
+// where a Python stack is unwelcome.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "qif/ml/matrix.hpp"
+#include "qif/sim/rng.hpp"
+
+namespace qif::ml {
+
+struct AdamParams {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// Fully connected layer: Y = X W + b, with He-initialized weights.
+class Dense {
+ public:
+  Dense() = default;
+  Dense(std::size_t in, std::size_t out, sim::Rng& rng);
+
+  /// Forward pass; caches X for the backward pass.
+  Matrix forward(const Matrix& x);
+  /// Inference-only forward: no cache, usable on a const layer.
+  [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
+  /// Backward pass: accumulates dW/db from the cached X, returns dX.
+  Matrix backward(const Matrix& dy);
+  /// Applies one Adam update with bias correction at step `t` (1-based)
+  /// and clears the gradient accumulators.
+  void step(const AdamParams& p, std::int64_t t);
+  void zero_grad();
+
+  [[nodiscard]] std::size_t in_dim() const { return w_.rows(); }
+  [[nodiscard]] std::size_t out_dim() const { return w_.cols(); }
+  [[nodiscard]] const Matrix& weights() const { return w_; }
+  [[nodiscard]] const std::vector<double>& bias() const { return b_; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  Matrix w_;               // (in, out)
+  std::vector<double> b_;  // (out)
+  Matrix dw_;
+  std::vector<double> db_;
+  Matrix mw_, vw_;         // Adam first/second moments for W
+  std::vector<double> mb_, vb_;
+  Matrix x_cache_;
+};
+
+/// ReLU activation with cached mask.
+class ReLU {
+ public:
+  Matrix forward(const Matrix& x);
+  [[nodiscard]] static Matrix forward_inference(const Matrix& x);
+  Matrix backward(const Matrix& dy) const;
+
+ private:
+  Matrix x_cache_;
+};
+
+/// Tanh activation with cached output (tanh' = 1 - tanh^2).
+class Tanh {
+ public:
+  Matrix forward(const Matrix& x);
+  [[nodiscard]] static Matrix forward_inference(const Matrix& x);
+  Matrix backward(const Matrix& dy) const;
+
+ private:
+  Matrix y_cache_;
+};
+
+/// Mean squared error for the regression extension (predicting the
+/// degradation level itself rather than its bin).
+struct SquaredError {
+  /// Returns (loss, dpred) for column-vector predictions (N, 1).
+  static std::pair<double, Matrix> loss_and_grad(const Matrix& pred,
+                                                 const std::vector<double>& targets);
+};
+
+/// Softmax cross-entropy with optional per-class weights (for the skewed
+/// datasets: IO500 is ~75% positive, DLIO ~20%).
+struct SoftmaxXent {
+  /// Returns (loss, dlogits).  `class_weights` empty means uniform.
+  static std::pair<double, Matrix> loss_and_grad(const Matrix& logits,
+                                                 const std::vector<int>& labels,
+                                                 const std::vector<double>& class_weights);
+  /// Row-wise softmax probabilities.
+  static Matrix softmax(const Matrix& logits);
+};
+
+}  // namespace qif::ml

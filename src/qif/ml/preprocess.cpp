@@ -1,0 +1,117 @@
+#include "qif/ml/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "qif/sim/rng.hpp"
+
+namespace qif::ml {
+
+void Standardizer::fit(const monitor::Dataset& ds) {
+  const auto d = static_cast<std::size_t>(ds.dim);
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (ds.empty()) return;
+  std::vector<double> m2(d, 0.0);
+  std::size_t n = 0;
+  for (const auto& s : ds.samples) {
+    for (std::size_t off = 0; off < s.features.size(); off += d) {
+      ++n;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double x = s.features[off + j];
+        const double delta = x - mean_[j];
+        mean_[j] += delta / static_cast<double>(n);
+        m2[j] += delta * (x - mean_[j]);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double var = n > 1 ? m2[j] / static_cast<double>(n) : 0.0;
+    const double sd = std::sqrt(var);
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;  // constant features pass through
+  }
+}
+
+void Standardizer::transform(std::vector<double>& features) const {
+  const std::size_t d = mean_.size();
+  if (d == 0) return;
+  for (std::size_t off = 0; off < features.size(); off += d) {
+    for (std::size_t j = 0; j < d; ++j) {
+      features[off + j] = (features[off + j] - mean_[j]) * inv_std_[j];
+    }
+  }
+}
+
+void Standardizer::save(std::ostream& os) const {
+  os.precision(17);
+  os << mean_.size() << '\n';
+  for (const double v : mean_) os << v << ' ';
+  os << '\n';
+  for (const double v : inv_std_) os << v << ' ';
+  os << '\n';
+}
+
+void Standardizer::load(std::istream& is) {
+  std::size_t d = 0;
+  is >> d;
+  mean_.resize(d);
+  inv_std_.resize(d);
+  for (double& v : mean_) is >> v;
+  for (double& v : inv_std_) is >> v;
+}
+
+std::pair<monitor::Dataset, monitor::Dataset> split_dataset(const monitor::Dataset& ds,
+                                                            double test_fraction,
+                                                            std::uint64_t seed) {
+  std::vector<std::size_t> idx(ds.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  sim::Rng rng(sim::Rng::derive_seed(seed, "split"));
+  // Fisher-Yates shuffle.
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  const auto n_test = static_cast<std::size_t>(
+      std::llround(test_fraction * static_cast<double>(ds.size())));
+  monitor::Dataset train, test;
+  train.n_servers = test.n_servers = ds.n_servers;
+  train.dim = test.dim = ds.dim;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    (k < n_test ? test : train).samples.push_back(ds.samples[idx[k]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::pair<Matrix, std::vector<int>> to_matrix(const monitor::Dataset& ds,
+                                              const Standardizer* stdz) {
+  const std::size_t width =
+      static_cast<std::size_t>(ds.n_servers) * static_cast<std::size_t>(ds.dim);
+  Matrix x(ds.size(), width);
+  std::vector<int> y(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    std::vector<double> f = ds.samples[i].features;
+    if (stdz != nullptr && stdz->fitted()) stdz->transform(f);
+    std::copy(f.begin(), f.end(), x.row(i));
+    y[i] = ds.samples[i].label;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+std::vector<double> inverse_frequency_weights(const monitor::Dataset& ds, int n_classes) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes), 0);
+  for (const auto& s : ds.samples) {
+    if (s.label >= 0 && s.label < n_classes) counts[static_cast<std::size_t>(s.label)] += 1;
+  }
+  std::vector<double> w(static_cast<std::size_t>(n_classes), 1.0);
+  const double n = static_cast<double>(ds.size());
+  for (int c = 0; c < n_classes; ++c) {
+    const auto nc = counts[static_cast<std::size_t>(c)];
+    w[static_cast<std::size_t>(c)] =
+        nc == 0 ? 0.0 : n / (static_cast<double>(n_classes) * static_cast<double>(nc));
+  }
+  return w;
+}
+
+}  // namespace qif::ml

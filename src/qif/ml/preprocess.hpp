@@ -1,0 +1,52 @@
+// Dataset preprocessing: standardization and the 80/20 window split.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "qif/ml/matrix.hpp"
+#include "qif/monitor/features.hpp"
+
+namespace qif::ml {
+
+/// Per-feature z-score standardizer.  Statistics are pooled over every
+/// (sample, server) pair within each of the D per-server feature columns —
+/// consistent with the shared kernel, which must interpret any server's
+/// vector with the same scaling.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Fits on a dataset's per-server columns (train split only).
+  void fit(const monitor::Dataset& ds);
+  /// In-place transform of a flattened (n_servers * dim) feature vector.
+  void transform(std::vector<double>& features) const;
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+  [[nodiscard]] int dim() const { return static_cast<int>(mean_.size()); }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Random split preserving the paper's protocol: "we randomly select time
+/// windows accounting for 20% of the total amount of windows and reserve
+/// these for a test set".
+[[nodiscard]] std::pair<monitor::Dataset, monitor::Dataset> split_dataset(
+    const monitor::Dataset& ds, double test_fraction, std::uint64_t seed);
+
+/// Packs a dataset into an (N, n_servers*dim) matrix and a label vector,
+/// applying the standardizer if fitted.
+[[nodiscard]] std::pair<Matrix, std::vector<int>> to_matrix(const monitor::Dataset& ds,
+                                                            const Standardizer* stdz);
+
+/// Inverse-frequency class weights: w_c = N / (K * N_c).
+[[nodiscard]] std::vector<double> inverse_frequency_weights(const monitor::Dataset& ds,
+                                                            int n_classes);
+
+}  // namespace qif::ml

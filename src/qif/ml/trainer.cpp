@@ -1,0 +1,124 @@
+#include "qif/ml/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "qif/sim/rng.hpp"
+
+namespace qif::ml {
+namespace {
+
+Matrix gather_rows(const Matrix& x, const std::vector<std::size_t>& idx, std::size_t lo,
+                   std::size_t hi) {
+  Matrix out(hi - lo, x.cols());
+  for (std::size_t k = lo; k < hi; ++k) {
+    std::copy(x.row(idx[k]), x.row(idx[k]) + x.cols(), out.row(k - lo));
+  }
+  return out;
+}
+
+std::vector<int> gather_labels(const std::vector<int>& y, const std::vector<std::size_t>& idx,
+                               std::size_t lo, std::size_t hi) {
+  std::vector<int> out(hi - lo);
+  for (std::size_t k = lo; k < hi; ++k) out[k - lo] = y[idx[k]];
+  return out;
+}
+
+}  // namespace
+
+TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
+                           const monitor::Dataset& train_ds) const {
+  TrainResult result;
+  if (train_ds.empty()) return result;
+
+  // Validation carve-out for early stopping.
+  auto [fit_ds, val_ds] =
+      split_dataset(train_ds, config_.validation_fraction,
+                    sim::Rng::derive_seed(config_.seed, "val-split"));
+  if (fit_ds.empty()) fit_ds = train_ds;  // tiny datasets: validate on train
+
+  stdz.fit(fit_ds);
+  auto [x, y] = to_matrix(fit_ds, &stdz);
+  auto [xv, yv] = to_matrix(val_ds.empty() ? fit_ds : val_ds, &stdz);
+
+  const int n_classes = net.config().n_classes;
+  const std::vector<double> weights =
+      config_.class_weighted ? inverse_frequency_weights(fit_ds, n_classes)
+                             : std::vector<double>{};
+
+  sim::Rng rng(sim::Rng::derive_seed(config_.seed, "shuffle"));
+  std::vector<std::size_t> idx(x.rows());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+
+  std::ostringstream best_weights;
+  double best_f1 = -1.0;
+  int best_epoch = 0;
+  int since_best = 0;
+  std::int64_t adam_t = 0;
+
+  for (int epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+    // Shuffle each epoch.
+    for (std::size_t i = idx.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(idx[i - 1], idx[j]);
+    }
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t lo = 0; lo < idx.size(); lo += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t hi =
+          std::min(idx.size(), lo + static_cast<std::size_t>(config_.batch_size));
+      const Matrix xb = gather_rows(x, idx, lo, hi);
+      const std::vector<int> yb = gather_labels(y, idx, lo, hi);
+      const Matrix logits = net.forward(xb);
+      auto [loss, dlogits] = SoftmaxXent::loss_and_grad(logits, yb, weights);
+      net.backward(dlogits);
+      net.step(config_.adam, ++adam_t);
+      loss_sum += loss;
+      ++batches;
+    }
+
+    // Validation macro-F1.
+    ConfusionMatrix cm(n_classes);
+    cm.add_all(yv, net.predict(xv));
+    const double val_f1 = cm.macro_f1();
+    result.history.push_back(
+        EpochStats{epoch, loss_sum / static_cast<double>(std::max<std::size_t>(batches, 1)),
+                   val_f1});
+    if (config_.verbose) {
+      std::printf("epoch %3d  loss %.4f  val macro-F1 %.4f\n", epoch,
+                  result.history.back().train_loss, val_f1);
+    }
+    if (val_f1 > best_f1) {
+      best_f1 = val_f1;
+      best_epoch = epoch;
+      since_best = 0;
+      best_weights.str({});
+      best_weights.clear();
+      net.save(best_weights);
+    } else if (++since_best >= config_.patience) {
+      break;
+    }
+  }
+
+  // Restore the best snapshot.
+  if (best_f1 >= 0.0) {
+    std::istringstream is(best_weights.str());
+    net.load(is);
+  }
+  result.best_epoch = best_epoch;
+  result.best_val_macro_f1 = best_f1;
+  return result;
+}
+
+ConfusionMatrix Trainer::evaluate(const KernelNet& net, const Standardizer& stdz,
+                                  const monitor::Dataset& test) {
+  ConfusionMatrix cm(net.config().n_classes);
+  if (test.empty()) return cm;
+  auto [x, y] = to_matrix(test, &stdz);
+  cm.add_all(y, net.predict(x));
+  return cm;
+}
+
+}  // namespace qif::ml

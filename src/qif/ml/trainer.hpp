@@ -1,0 +1,54 @@
+// Minibatch trainer for the kernel-based network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qif/ml/kernel_net.hpp"
+#include "qif/ml/metrics.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/monitor/features.hpp"
+
+namespace qif::ml {
+
+struct TrainConfig {
+  int max_epochs = 80;
+  int batch_size = 64;
+  AdamParams adam{};                  ///< lr defaults to 1e-3
+  double validation_fraction = 0.15;  ///< carved from the training split
+  int patience = 12;                  ///< early-stop epochs without val improvement
+  bool class_weighted = true;         ///< inverse-frequency loss weights
+  std::uint64_t seed = 11;
+  bool verbose = false;               ///< print per-epoch losses to stdout
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_macro_f1 = 0.0;
+};
+
+struct TrainResult {
+  int best_epoch = 0;
+  double best_val_macro_f1 = 0.0;
+  std::vector<EpochStats> history;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config) : config_(std::move(config)) {}
+
+  /// Fits `stdz` on `train`, then trains `net` with minibatch Adam, early
+  /// stopping on validation macro-F1 (restoring the best weights).
+  TrainResult train(KernelNet& net, Standardizer& stdz, const monitor::Dataset& train) const;
+
+  /// Evaluates a trained net on a dataset, returning its confusion matrix.
+  static ConfusionMatrix evaluate(const KernelNet& net, const Standardizer& stdz,
+                                  const monitor::Dataset& test);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace qif::ml

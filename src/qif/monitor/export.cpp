@@ -1,0 +1,129 @@
+#include "qif/monitor/export.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "qif/monitor/schema.hpp"
+
+namespace qif::monitor {
+
+void write_dxt(std::ostream& os, const trace::TraceLog& log) {
+  os << "# DXT qif 1\n";
+  os << "# job rank op_index type offset bytes start_ns end_ns targets...\n";
+  for (const trace::OpRecord& r : log.records()) {
+    os << r.job << ' ' << r.rank << ' ' << r.op_index << ' ' << pfs::op_name(r.type)
+       << ' ' << r.offset << ' ' << r.bytes << ' ' << r.start << ' ' << r.end;
+    for (const auto t : r.targets) os << ' ' << t;
+    os << '\n';
+  }
+}
+
+namespace {
+
+pfs::OpType op_from_name(const std::string& name) {
+  for (int i = 0; i < pfs::kNumOpTypes; ++i) {
+    const auto t = static_cast<pfs::OpType>(i);
+    if (name == pfs::op_name(t)) return t;
+  }
+  throw std::runtime_error("unknown op type in DXT dump: " + name);
+}
+
+}  // namespace
+
+trace::TraceLog read_dxt(std::istream& is) {
+  trace::TraceLog log;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    trace::OpRecord r;
+    std::string type;
+    if (!(ls >> r.job >> r.rank >> r.op_index >> type >> r.offset >> r.bytes >> r.start >>
+          r.end)) {
+      throw std::runtime_error("malformed DXT line: " + line);
+    }
+    r.type = op_from_name(type);
+    std::int32_t target = 0;
+    while (ls >> target) r.targets.push_back(target);
+    log.record(std::move(r));
+  }
+  return log;
+}
+
+void write_dataset_csv(std::ostream& os, const Dataset& ds) {
+  os.precision(17);
+  const MetricSchema schema;
+  os << "window_index,label,degradation";
+  for (int s = 0; s < ds.n_servers; ++s) {
+    for (int f = 0; f < ds.dim; ++f) {
+      os << ",s" << s << '.';
+      // Feature names are known when dim matches the standard schema;
+      // otherwise fall back to positional names.
+      if (ds.dim == schema.dim()) {
+        os << schema.at(f).name;
+      } else {
+        os << 'f' << f;
+      }
+    }
+  }
+  os << '\n';
+  for (const auto& sample : ds.samples) {
+    os << sample.window_index << ',' << sample.label << ',' << sample.degradation;
+    for (const double v : sample.features) os << ',' << v;
+    os << '\n';
+  }
+}
+
+Dataset read_dataset_csv(std::istream& is) {
+  Dataset ds;
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("empty dataset CSV");
+  // Infer the shape from the header: count "sK." prefixes and the highest K.
+  std::size_t n_features = 0;
+  int max_server = -1;
+  {
+    std::istringstream hs(line);
+    std::string cell;
+    int col = 0;
+    while (std::getline(hs, cell, ',')) {
+      if (col++ < 3) continue;
+      ++n_features;
+      if (cell.size() > 1 && cell[0] == 's') {
+        max_server = std::max(max_server, std::atoi(cell.c_str() + 1));
+      }
+    }
+  }
+  if (n_features == 0 || max_server < 0) {
+    throw std::runtime_error("dataset CSV header has no feature columns");
+  }
+  ds.n_servers = max_server + 1;
+  if (n_features % static_cast<std::size_t>(ds.n_servers) != 0) {
+    throw std::runtime_error("dataset CSV feature count not divisible by servers");
+  }
+  ds.dim = static_cast<int>(n_features / static_cast<std::size_t>(ds.n_servers));
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    Sample s;
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
+    s.window_index = std::atoll(cell.c_str());
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
+    s.label = std::atoi(cell.c_str());
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
+    s.degradation = std::atof(cell.c_str());
+    s.features.reserve(n_features);
+    while (std::getline(ls, cell, ',')) s.features.push_back(std::atof(cell.c_str()));
+    if (s.features.size() != n_features) {
+      throw std::runtime_error("dataset CSV row width mismatch");
+    }
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+}  // namespace qif::monitor

@@ -1,0 +1,37 @@
+// Trace and dataset export.
+//
+// The paper's artifact ships collected data as text files consumed by
+// Python scripts; these exporters provide the same interop surface:
+//  * TraceLog -> a Darshan-DXT-flavoured text dump (one op per line),
+//  * Dataset  -> CSV with a header naming every per-server feature,
+// plus a CSV reader so externally produced window datasets can be trained
+// on with the same TrainingServer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qif/monitor/features.hpp"
+#include "qif/pfs/types.hpp"
+#include "qif/trace/op_record.hpp"
+
+namespace qif::monitor {
+
+/// Writes one op per line:
+///   job rank op_index type offset bytes start_ns end_ns targets...
+/// with a `# DXT` comment header.  Stable, diffable, grep-friendly.
+void write_dxt(std::ostream& os, const trace::TraceLog& log);
+
+/// Reads a dump produced by write_dxt.  Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] trace::TraceLog read_dxt(std::istream& is);
+
+/// Writes the dataset as CSV: window_index, label, degradation, then one
+/// column per (server, feature) named like "s0.cli_n_read".
+void write_dataset_csv(std::ostream& os, const Dataset& ds);
+
+/// Reads a CSV produced by write_dataset_csv.  Throws std::runtime_error
+/// on malformed input or inconsistent width.
+[[nodiscard]] Dataset read_dataset_csv(std::istream& is);
+
+}  // namespace qif::monitor

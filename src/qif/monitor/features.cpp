@@ -1,0 +1,54 @@
+#include "qif/monitor/features.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qif::monitor {
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  int max_label = 0;
+  for (const auto& s : samples) max_label = std::max(max_label, s.label);
+  std::vector<std::size_t> hist(static_cast<std::size_t>(max_label) + 1, 0);
+  for (const auto& s : samples) hist[static_cast<std::size_t>(s.label)] += 1;
+  return hist;
+}
+
+void Dataset::append(const Dataset& other) {
+  assert((empty() || other.empty() ||
+          (n_servers == other.n_servers && dim == other.dim)) &&
+         "dataset shapes must match");
+  if (n_servers == 0) {
+    n_servers = other.n_servers;
+    dim = other.dim;
+  }
+  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+}
+
+std::vector<double> FeatureAssembler::window_features(std::int64_t window_index) const {
+  const int dim = MetricSchema::kPerServerDim;
+  std::vector<double> out(static_cast<std::size_t>(n_servers_) * dim, 0.0);
+  for (int s = 0; s < n_servers_; ++s) {
+    double* vec = out.data() + static_cast<std::size_t>(s) * dim;
+    client_.fill_features(window_index, s, vec);
+    server_.fill_features(window_index, s, vec + MetricSchema::kClientFeatures);
+  }
+  return out;
+}
+
+Dataset FeatureAssembler::assemble(const std::vector<trace::WindowLabel>& labels) const {
+  Dataset ds;
+  ds.n_servers = n_servers_;
+  ds.dim = MetricSchema::kPerServerDim;
+  ds.samples.reserve(labels.size());
+  for (const trace::WindowLabel& lbl : labels) {
+    Sample s;
+    s.window_index = lbl.window_index;
+    s.features = window_features(lbl.window_index);
+    s.label = lbl.label;
+    s.degradation = lbl.degradation;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+}  // namespace qif::monitor

@@ -1,0 +1,59 @@
+// Per-server feature vector assembly (the "Training Server" input format).
+//
+// "There will be one vector for each storage server and each vector
+// consists of one time window worth of client-side metrics targeting the
+// given server and server-side metrics collected from the server."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qif/monitor/client_monitor.hpp"
+#include "qif/monitor/schema.hpp"
+#include "qif/monitor/server_monitor.hpp"
+#include "qif/trace/labeler.hpp"
+
+namespace qif::monitor {
+
+/// One training/evaluation sample: all per-server vectors of one window,
+/// flattened server-major, plus its degradation label.
+struct Sample {
+  std::int64_t window_index = 0;
+  std::vector<double> features;  ///< n_servers * MetricSchema::kPerServerDim
+  int label = 0;                 ///< degradation bin
+  double degradation = 1.0;      ///< raw Level_degrade
+};
+
+struct Dataset {
+  int n_servers = 0;
+  int dim = 0;  ///< per-server vector width
+  std::vector<Sample> samples;
+
+  [[nodiscard]] std::size_t size() const { return samples.size(); }
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+  /// Sample count per class (histogram sized to the max label + 1).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+  /// Appends another dataset with identical shape.
+  void append(const Dataset& other);
+};
+
+class FeatureAssembler {
+ public:
+  FeatureAssembler(const ClientMonitor& client, const ServerMonitor& server, int n_servers)
+      : client_(client), server_(server), n_servers_(n_servers) {}
+
+  /// Features of one window: n_servers per-server vectors, flattened.
+  [[nodiscard]] std::vector<double> window_features(std::int64_t window_index) const;
+
+  /// Joins monitor windows with degradation labels into a dataset.  Only
+  /// windows that carry a label (i.e. contained matched target-workload
+  /// ops) become samples, mirroring the paper's labelling process.
+  [[nodiscard]] Dataset assemble(const std::vector<trace::WindowLabel>& labels) const;
+
+ private:
+  const ClientMonitor& client_;
+  const ServerMonitor& server_;
+  int n_servers_;
+};
+
+}  // namespace qif::monitor

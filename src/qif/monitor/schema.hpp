@@ -1,0 +1,63 @@
+// Feature schema for the per-server vectors.
+//
+// Each monitored server (every OST, then the MDT) contributes one vector
+// per time window, laid out as:
+//
+//   [ client-side features targeting this server (10)
+//   | server-side window aggregates: sum, mean, std of each of the 9
+//     once-per-second raw counters (27) ]
+//
+// for a total of 37 features.  The layout is identical for every server —
+// the contract the paper's kernel-based network relies on ("applies the
+// same dense network to each of the server's vectors").
+//
+// Feature groups are tagged so the feature-ablation bench can zero out a
+// whole group (client, I/O-speed, device, queue) and measure the damage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qif::monitor {
+
+/// Table II grouping plus the client-side group from §III-A.
+enum class FeatureGroup : std::uint8_t {
+  kClient = 0,   ///< client-side monitor metrics (paper §III-A)
+  kIoSpeed,      ///< delivered read/write completions (Table II row 1)
+  kDevice,       ///< disk sector counters (Table II row 2)
+  kQueue,        ///< read/write queue metrics (Table II row 3)
+};
+
+struct FeatureInfo {
+  std::string name;
+  FeatureGroup group;
+};
+
+class MetricSchema {
+ public:
+  static constexpr int kClientFeatures = 10;
+  static constexpr int kRawServerMetrics = 9;
+  static constexpr int kAggregatesPerMetric = 3;  // sum, mean, std
+  static constexpr int kServerFeatures = kRawServerMetrics * kAggregatesPerMetric;
+  static constexpr int kPerServerDim = kClientFeatures + kServerFeatures;
+
+  MetricSchema();
+
+  [[nodiscard]] int dim() const { return kPerServerDim; }
+  [[nodiscard]] const std::vector<FeatureInfo>& features() const { return features_; }
+  [[nodiscard]] const FeatureInfo& at(int i) const { return features_[static_cast<std::size_t>(i)]; }
+
+  /// Indices of all features in a group (for ablation masking).
+  [[nodiscard]] std::vector<int> group_indices(FeatureGroup g) const;
+
+  /// Names of the 9 raw per-second server counters, in cluster order.
+  [[nodiscard]] static const std::vector<std::string>& raw_server_metric_names();
+
+ private:
+  std::vector<FeatureInfo> features_;
+};
+
+const char* group_name(FeatureGroup g);
+
+}  // namespace qif::monitor

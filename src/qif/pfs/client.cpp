@@ -1,0 +1,264 @@
+#include "qif/pfs/client.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "qif/pfs/cluster.hpp"
+
+namespace qif::pfs {
+
+PfsClient::PfsClient(Cluster& cluster, NodeId node, Rank rank, std::int32_t job)
+    : cluster_(cluster), node_(node), rank_(rank), job_(job),
+      params_(cluster.config().client) {}
+
+void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t bytes,
+                     sim::SimTime start, std::vector<std::int32_t> targets) {
+  trace::OpRecord rec;
+  rec.job = job_;
+  rec.rank = rank_;
+  rec.op_index = next_op_index_++;
+  rec.type = type;
+  rec.file = file;
+  rec.offset = offset;
+  rec.bytes = bytes;
+  rec.start = start;
+  rec.end = cluster_.sim().now();
+  rec.targets = std::move(targets);
+  cluster_.trace_log().record(std::move(rec));
+}
+
+// ---------------------------------------------------------------------------
+// Metadata operations: one RPC to the MDS each.
+// ---------------------------------------------------------------------------
+
+void PfsClient::create(const std::string& path, int stripe_count, OpenCallback cb,
+                       int stripe_hint) {
+  const sim::SimTime start = cluster_.sim().now();
+  // The MDS reply payload travels back through the RPC; a shared slot
+  // carries it from the serve closure to the completion closure.
+  auto result = std::make_shared<MetaResult>();
+  cluster_.net().rpc(
+      node_, cluster_.mds_port(), /*request=*/256, /*response=*/256,
+      [this, path, stripe_count, stripe_hint, result](std::function<void()> done) {
+        cluster_.mdt().create(path, stripe_count, stripe_hint,
+                              [result, done = std::move(done)](const MetaResult& r) {
+                                *result = r;
+                                done();
+                              });
+      },
+      [this, result, start, cb = std::move(cb)] {
+        emit(OpType::kCreate, result->file, 0, 0, start, {trace::kMdtTarget});
+        cb(FileHandle{result->file, result->layout, result->size});
+      });
+}
+
+void PfsClient::open(const std::string& path, OpenCallback cb) {
+  const sim::SimTime start = cluster_.sim().now();
+  auto result = std::make_shared<MetaResult>();
+  cluster_.net().rpc(
+      node_, cluster_.mds_port(), 256, 256,
+      [this, path, result](std::function<void()> done) {
+        cluster_.mdt().open(path, [result, done = std::move(done)](const MetaResult& r) {
+          *result = r;
+          done();
+        });
+      },
+      [this, result, start, cb = std::move(cb)] {
+        emit(OpType::kOpen, result->file, 0, 0, start, {trace::kMdtTarget});
+        cb(FileHandle{result->ok ? result->file : kInvalidFile, result->layout,
+                      result->size});
+      });
+}
+
+void PfsClient::stat(const std::string& path, StatCallback cb) {
+  const sim::SimTime start = cluster_.sim().now();
+  auto result = std::make_shared<MetaResult>();
+  cluster_.net().rpc(
+      node_, cluster_.mds_port(), 256, 256,
+      [this, path, result](std::function<void()> done) {
+        cluster_.mdt().stat(path, [result, done = std::move(done)](const MetaResult& r) {
+          *result = r;
+          done();
+        });
+      },
+      [this, result, start, cb = std::move(cb)] {
+        emit(OpType::kStat, result->file, 0, 0, start, {trace::kMdtTarget});
+        cb(result->ok, result->size);
+      });
+}
+
+void PfsClient::close(const FileHandle& fh, DataCallback cb) {
+  const sim::SimTime start = cluster_.sim().now();
+  // Flush-on-close: a small file's dirty bytes are committed to the OST
+  // synchronously before the namespace close, so the close op's latency
+  // carries the full cost of whatever the target disk is suffering.
+  if (auto it = small_dirty_.find(fh.file);
+      it != small_dirty_.end() && !it->second.oversized && it->second.bytes > 0) {
+    const SmallDirty dirty = it->second;
+    small_dirty_.erase(it);
+    cluster_.net().rpc(
+        node_, cluster_.oss_port(dirty.ost), dirty.bytes, 0,
+        [this, dirty](std::function<void()> done) {
+          cluster_.ost(dirty.ost).write_sync(dirty.disk_offset, dirty.bytes, std::move(done));
+        },
+        [this, file = fh.file, start, ost = dirty.ost, cb = std::move(cb)]() mutable {
+          finish_close(file, start, {ost, trace::kMdtTarget}, std::move(cb));
+        });
+    return;
+  }
+  small_dirty_.erase(fh.file);
+  finish_close(fh.file, start, {trace::kMdtTarget}, std::move(cb));
+}
+
+void PfsClient::finish_close(FileId file, sim::SimTime start,
+                             std::vector<std::int32_t> targets, DataCallback cb) {
+  cluster_.net().rpc(
+      node_, cluster_.mds_port(), 256, 256,
+      [this, file](std::function<void()> done) {
+        cluster_.mdt().close(file, [done = std::move(done)](const MetaResult&) { done(); });
+      },
+      [this, file, start, targets = std::move(targets), cb = std::move(cb)] {
+        emit(OpType::kClose, file, 0, 0, start, targets);
+        cb();
+      });
+}
+
+void PfsClient::note_small_write(const FileHandle& fh, std::int64_t offset, std::int64_t len) {
+  auto [it, inserted] = small_dirty_.try_emplace(fh.file);
+  SmallDirty& d = it->second;
+  if (inserted) {
+    const auto extents = fh.layout->map(offset, len);
+    d.ost = extents.front().ost;
+    d.disk_offset = extents.front().disk_offset;
+  }
+  d.bytes += len;
+  if (d.bytes > params_.small_file_flush_bytes) d.oversized = true;
+}
+
+void PfsClient::unlink(const std::string& path, DataCallback cb) {
+  const sim::SimTime start = cluster_.sim().now();
+  cluster_.net().rpc(
+      node_, cluster_.mds_port(), 256, 256,
+      [this, path](std::function<void()> done) {
+        cluster_.mdt().unlink(path, [done = std::move(done)](const MetaResult&) { done(); });
+      },
+      [this, start, cb = std::move(cb)] {
+        emit(OpType::kUnlink, kInvalidFile, 0, 0, start, {trace::kMdtTarget});
+        cb();
+      });
+}
+
+void PfsClient::mkdir(const std::string& path, DataCallback cb) {
+  const sim::SimTime start = cluster_.sim().now();
+  cluster_.net().rpc(
+      node_, cluster_.mds_port(), 256, 256,
+      [this, path](std::function<void()> done) {
+        cluster_.mdt().mkdir(path, [done = std::move(done)](const MetaResult&) { done(); });
+      },
+      [this, start, cb = std::move(cb)] {
+        emit(OpType::kMkdir, kInvalidFile, 0, 0, start, {trace::kMdtTarget});
+        cb();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Data operations: stripe mapping, RPC chunking, bounded in-flight window.
+// ---------------------------------------------------------------------------
+
+void PfsClient::read(const FileHandle& fh, std::int64_t offset, std::int64_t len,
+                     DataCallback cb) {
+  data_op(/*is_write=*/false, fh, offset, len, std::move(cb));
+}
+
+void PfsClient::write(const FileHandle& fh, std::int64_t offset, std::int64_t len,
+                      DataCallback cb) {
+  data_op(/*is_write=*/true, fh, offset, len, std::move(cb));
+}
+
+void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset,
+                        std::int64_t len, DataCallback cb) {
+  const sim::SimTime start = cluster_.sim().now();
+  if (!fh.valid() || len <= 0) {
+    // Degenerate op: still emits a record so op indices stay aligned with
+    // the workload's issue sequence.
+    cluster_.sim().schedule_after(sim::kMicrosecond, [this, is_write, fh, offset, start,
+                                                      cb = std::move(cb)] {
+      emit(is_write ? OpType::kWrite : OpType::kRead, fh.file, offset, 0, start, {});
+      cb();
+    });
+    return;
+  }
+
+  // Chunk the stripe extents to the RPC size cap.
+  struct Chunk {
+    OstId ost;
+    std::int64_t disk_offset;
+    std::int64_t len;
+  };
+  auto chunks = std::make_shared<std::vector<Chunk>>();
+  std::vector<std::int32_t> targets;
+  for (const Extent& e : fh.layout->map(offset, len)) {
+    std::int64_t pos = 0;
+    while (pos < e.len) {
+      const std::int64_t take = std::min(params_.max_rpc_bytes, e.len - pos);
+      chunks->push_back(Chunk{e.ost, e.disk_offset + pos, take});
+      pos += take;
+    }
+    if (std::find(targets.begin(), targets.end(), e.ost) == targets.end()) {
+      targets.push_back(e.ost);
+    }
+  }
+
+  struct OpState {
+    std::size_t next = 0;
+    std::size_t outstanding = 0;
+    std::size_t remaining;
+    explicit OpState(std::size_t n) : remaining(n) {}
+  };
+  if (is_write) note_small_write(fh, offset, len);
+
+  auto state = std::make_shared<OpState>(chunks->size());
+  auto finish = [this, is_write, fh, offset, len, start, targets = std::move(targets),
+                 cb = std::move(cb)]() {
+    if (is_write) cluster_.mdt().note_size(fh.file, offset + len);
+    emit(is_write ? OpType::kWrite : OpType::kRead, fh.file, offset, len, start, targets);
+    cb();
+  };
+
+  // Issue chunks with at most max_rpcs_in_flight outstanding.  `pump` is
+  // stored in a shared_ptr so completion callbacks can re-enter it.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, is_write, chunks, state, pump, finish = std::move(finish)]() {
+    while (state->next < chunks->size() &&
+           state->outstanding < static_cast<std::size_t>(params_.max_rpcs_in_flight)) {
+      const Chunk c = (*chunks)[state->next++];
+      ++state->outstanding;
+      const std::int64_t req_payload = is_write ? c.len : 0;
+      const std::int64_t resp_payload = is_write ? 0 : c.len;
+      cluster_.net().rpc(
+          node_, cluster_.oss_port(c.ost), req_payload, resp_payload,
+          [this, is_write, c](std::function<void()> done) {
+            if (is_write) {
+              cluster_.ost(c.ost).write(c.disk_offset, c.len, std::move(done));
+            } else {
+              cluster_.ost(c.ost).read(c.disk_offset, c.len, std::move(done));
+            }
+          },
+          [state, pump, finish] {
+            --state->outstanding;
+            --state->remaining;
+            if (state->remaining == 0) {
+              finish();
+              // Break the pump's self-reference cycle so the op state frees.
+              *pump = nullptr;
+            } else {
+              (*pump)();
+            }
+          });
+    }
+  };
+  (*pump)();
+}
+
+}  // namespace qif::pfs

@@ -1,0 +1,19 @@
+#include "qif/pfs/types.hpp"
+
+namespace qif::pfs {
+
+const char* op_name(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kOpen: return "open";
+    case OpType::kCreate: return "create";
+    case OpType::kStat: return "stat";
+    case OpType::kClose: return "close";
+    case OpType::kUnlink: return "unlink";
+    case OpType::kMkdir: return "mkdir";
+  }
+  return "?";
+}
+
+}  // namespace qif::pfs

@@ -1,0 +1,41 @@
+// Shared identifiers and op taxonomy for the parallel file system model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qif::pfs {
+
+/// Object storage target index, dense in [0, n_osts).
+using OstId = std::int32_t;
+/// Compute-node index, dense in [0, n_client_nodes).
+using NodeId = std::int32_t;
+/// MPI-style process rank within one workload.
+using Rank = std::int32_t;
+/// File identifier assigned by the metadata server at create time.
+using FileId = std::int64_t;
+
+inline constexpr FileId kInvalidFile = -1;
+
+/// The I/O op taxonomy used throughout tracing and monitoring.  The paper's
+/// client-side monitor distinguishes three request classes — read, write and
+/// metadata — with metadata covering the namespace operations below.
+enum class OpType : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kOpen,
+  kCreate,
+  kStat,
+  kClose,
+  kUnlink,
+  kMkdir,
+};
+
+inline constexpr int kNumOpTypes = 8;
+
+/// True for the namespace ops that the monitors bucket as "metadata".
+constexpr bool is_metadata(OpType t) { return t != OpType::kRead && t != OpType::kWrite; }
+
+const char* op_name(OpType t);
+
+}  // namespace qif::pfs

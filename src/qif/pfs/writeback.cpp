@@ -1,0 +1,180 @@
+#include "qif/pfs/writeback.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qif::pfs {
+
+WritebackCache::WritebackCache(sim::Simulation& sim, DiskModel& disk, WritebackParams params)
+    : sim_(sim), disk_(disk), params_(params) {}
+
+void WritebackCache::write(std::int64_t disk_offset, std::int64_t len,
+                           std::function<void()> on_durable_ack) {
+  PendingWrite w{disk_offset, len, std::move(on_durable_ack), 0};
+  // Fairness: once anyone is throttled, newcomers queue too.
+  if (!throttle_queue_.empty() || dirty_bytes_ + len > params_.dirty_limit_bytes) {
+    throttle_queue_.push_back(std::move(w));
+    kick_flusher();
+    // If nothing is in flight (e.g. the very first write is oversized),
+    // no flush completion will ever run the admission logic — run it now.
+    drain_throttle_queue();
+    return;
+  }
+  admit(std::move(w));
+}
+
+void WritebackCache::admit(PendingWrite w) {
+  total_absorbed_ += w.len;
+  // Coalesce into the offset-ordered extent map (back- and front-merges,
+  // absorbing every overlapped successor).  dirty_bytes_ must track the
+  // *extent* bytes, not the sum of write sizes: an overlapping rewrite
+  // adds no new dirty data, and counting it twice would never drain.
+  std::int64_t off = w.disk_offset;
+  std::int64_t len = w.len;
+  std::int64_t erased = 0;
+  if (auto it = dirty_extents_.lower_bound(off); it != dirty_extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second >= off) {
+      erased += prev->second;
+      len = std::max(prev->first + prev->second, off + len) - prev->first;
+      off = prev->first;
+      dirty_extents_.erase(prev);
+    }
+  }
+  for (auto it = dirty_extents_.lower_bound(off);
+       it != dirty_extents_.end() && it->first <= off + len;
+       it = dirty_extents_.lower_bound(off)) {
+    erased += it->second;
+    len = std::max(off + len, it->first + it->second) - off;
+    dirty_extents_.erase(it);
+  }
+  dirty_extents_[off] = len;
+  dirty_bytes_ += len - erased;
+  const auto copy_time = sim::from_seconds(static_cast<double>(w.len) / params_.memcpy_rate_bps);
+  sim_.schedule_after(params_.ack_overhead + copy_time,
+                      [fn = std::move(w.on_durable_ack)] {
+                        if (fn) fn();
+                      });
+  kick_flusher();
+}
+
+void WritebackCache::forget(std::int64_t disk_offset, std::int64_t len) {
+  // Drop any still-dirty bytes of [disk_offset, disk_offset+len): the
+  // caller is about to write them synchronously (fsync / commit-on-close),
+  // so background-flushing them too would double the disk traffic.
+  const std::int64_t lo = disk_offset;
+  const std::int64_t hi = disk_offset + len;
+  // Trim a predecessor extent overlapping the range.
+  if (auto it = dirty_extents_.lower_bound(lo); it != dirty_extents_.begin()) {
+    auto prev = std::prev(it);
+    const std::int64_t pend = prev->first + prev->second;
+    if (pend > lo) {
+      const std::int64_t cut = std::min(pend, hi) - lo;
+      prev->second = lo - prev->first;  // keep only the head before the hole
+      dirty_bytes_ -= cut;
+      if (pend > hi) dirty_extents_[hi] = pend - hi;  // split tail survives
+      if (prev->second == 0) dirty_extents_.erase(prev);
+    }
+  }
+  // Remove or trim extents starting inside the range.
+  for (auto it = dirty_extents_.lower_bound(lo);
+       it != dirty_extents_.end() && it->first < hi;
+       it = dirty_extents_.lower_bound(lo)) {
+    const std::int64_t end = it->first + it->second;
+    if (end <= hi) {
+      dirty_bytes_ -= it->second;
+      dirty_extents_.erase(it);
+    } else {
+      dirty_bytes_ -= hi - it->first;
+      const std::int64_t tail = end - hi;
+      dirty_extents_.erase(it);
+      dirty_extents_[hi] = tail;
+      break;
+    }
+  }
+}
+
+void WritebackCache::kick_flusher() {
+  // Background laziness: while dirty data is below the flusher's target,
+  // hold off briefly (the dirty-expiry timer) so consecutive small writes
+  // coalesce into large sequential flushes instead of trickling out one
+  // RPC-sized request at a time.  Under pressure (dirty >= target) the
+  // flusher runs immediately.
+  if (dirty_bytes_ < params_.dirty_target_bytes && throttle_queue_.empty() &&
+      params_.background_flush_delay > 0 && !dirty_extents_.empty()) {
+    if (!lazy_flush_armed_) {
+      lazy_flush_armed_ = true;
+      sim_.schedule_after(params_.background_flush_delay, [this] {
+        lazy_flush_armed_ = false;
+        start_flushes();
+      });
+    }
+    return;
+  }
+  start_flushes();
+}
+
+void WritebackCache::start_flushes() {
+  while (flush_inflight_ < params_.max_flush_inflight && !dirty_extents_.empty()) {
+    // C-SCAN over extents: continue from the last flushed position, wrap at
+    // the end.  Without the cursor the flusher ping-pongs between the
+    // lowest extent and whichever one just refilled, paying a seek per
+    // chunk; with it, each extent is drained once per sweep and seeks are
+    // amortized over the whole backlog.
+    auto it = dirty_extents_.lower_bound(flush_cursor_);
+    if (it == dirty_extents_.end()) it = dirty_extents_.begin();
+    const std::int64_t chunk = std::min<std::int64_t>(it->second, params_.flush_chunk_bytes);
+    const std::int64_t chunk_off = it->first;
+    if (it->second == chunk) {
+      dirty_extents_.erase(it);
+    } else {
+      const std::int64_t new_off = it->first + chunk;
+      const std::int64_t new_len = it->second - chunk;
+      dirty_extents_.erase(it);
+      dirty_extents_[new_off] = new_len;
+    }
+    flush_cursor_ = chunk_off + chunk;
+    ++flush_inflight_;
+    disk_.submit(/*is_write=*/true, chunk_off, chunk, [this, chunk] { on_flush_done(chunk); });
+  }
+}
+
+void WritebackCache::on_flush_done(std::int64_t chunk) {
+  --flush_inflight_;
+  dirty_bytes_ -= chunk;
+  total_flushed_ += chunk;
+  // Deficit round robin: every flushed byte is shared equally among the
+  // throttled writers as admission credit, so a writer's wait scales with
+  // *its own* write size — Linux's IO-less dirty throttling pauses light
+  // writers briefly and heavy writers long, instead of making a 47 kB
+  // write queue behind fifteen 1 MiB writes FIFO-style.
+  if (!throttle_queue_.empty()) {
+    const std::int64_t share =
+        chunk / static_cast<std::int64_t>(throttle_queue_.size());
+    for (auto& w : throttle_queue_) w.credit += share;
+  }
+  drain_throttle_queue();
+  kick_flusher();
+}
+
+void WritebackCache::drain_throttle_queue() {
+  // Admit every waiter whose earned credit covers its write.  The fallback
+  // clause admits the head when nothing is left to flush, so oversized or
+  // under-credited writes cannot deadlock the queue.
+  for (std::size_t i = 0; i < throttle_queue_.size();) {
+    if (throttle_queue_[i].credit >= throttle_queue_[i].len) {
+      PendingWrite w = std::move(throttle_queue_[i]);
+      throttle_queue_.erase(throttle_queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      admit(std::move(w));
+    } else {
+      ++i;
+    }
+  }
+  if (!throttle_queue_.empty() && flush_inflight_ == 0 && dirty_extents_.empty()) {
+    PendingWrite w = std::move(throttle_queue_.front());
+    throttle_queue_.pop_front();
+    admit(std::move(w));
+  }
+}
+
+}  // namespace qif::pfs

@@ -1,0 +1,68 @@
+#include "qif/sim/fair_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace qif::sim {
+
+void FairLink::transfer(std::int64_t bytes, std::function<void()> on_done) {
+  settle();
+  const std::int64_t clamped = std::max<std::int64_t>(bytes, 0);
+  flows_.push_back(Flow{static_cast<double>(clamped), clamped, std::move(on_done)});
+  reschedule();
+}
+
+void FairLink::settle() {
+  const SimTime now = sim_.now();
+  if (now == last_settle_ || flows_.empty()) {
+    last_settle_ = now;
+    return;
+  }
+  const double elapsed_s = to_seconds(now - last_settle_);
+  const double per_flow = elapsed_s * bytes_per_second_ / static_cast<double>(flows_.size());
+  for (auto& f : flows_) f.remaining = std::max(0.0, f.remaining - per_flow);
+  last_settle_ = now;
+}
+
+void FairLink::reschedule() {
+  if (pending_event_ != kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+  double min_remaining = flows_.front().remaining;
+  for (const auto& f : flows_) min_remaining = std::min(min_remaining, f.remaining);
+  const double per_flow_bps = bytes_per_second_ / static_cast<double>(flows_.size());
+  const double eta_s = min_remaining / per_flow_bps;
+  // Ceil to whole nanoseconds so the flow is guaranteed drained at the event.
+  const auto delay = static_cast<SimDuration>(std::ceil(eta_s * 1e9));
+  pending_event_ = sim_.schedule_after(delay, [this] { on_completion(); });
+}
+
+void FairLink::on_completion() {
+  pending_event_ = kInvalidEvent;
+  settle();
+  // Collect every flow that has drained (several may finish simultaneously).
+  // Epsilon covers the sub-nanosecond residue left by the ceil in reschedule.
+  constexpr double kEps = 1e-6;
+  std::vector<std::function<void()>> done;
+  for (std::size_t i = 0; i < flows_.size();) {
+    if (flows_[i].remaining <= kEps) {
+      bytes_delivered_ += flows_[i].total_bytes;
+      done.push_back(std::move(flows_[i].on_done));
+      flows_[i] = std::move(flows_.back());
+      flows_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  reschedule();
+  // Fire callbacks after internal state is consistent; callbacks routinely
+  // start new transfers on this same link.
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace qif::sim

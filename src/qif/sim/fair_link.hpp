@@ -1,0 +1,68 @@
+// Processor-sharing bandwidth model.
+//
+// A FairLink models a network port (e.g. a storage server's 1 GB/s NIC)
+// whose capacity is shared equally among all in-flight transfers, the way
+// long-lived TCP flows converge under a shared bottleneck.  This is the
+// mechanism behind network-level I/O interference: every additional
+// concurrent client stretches everyone's transfer time.
+//
+// Implementation: classic fluid-flow event-driven processor sharing.  Each
+// transfer tracks its remaining bytes; whenever the active set changes we
+// debit elapsed work from every transfer and reschedule the single "next
+// completion" event.  O(n) per membership change, exact (integer bytes,
+// nanosecond clock) and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "qif/sim/simulation.hpp"
+
+namespace qif::sim {
+
+class FairLink {
+ public:
+  /// `bytes_per_second` is the full-duplex direction capacity of this port.
+  FairLink(Simulation& sim, double bytes_per_second)
+      : sim_(sim), bytes_per_second_(bytes_per_second) {}
+
+  FairLink(const FairLink&) = delete;
+  FairLink& operator=(const FairLink&) = delete;
+
+  /// Starts a transfer of `bytes`; `on_done` fires when the last byte has
+  /// been serviced.  Zero-byte transfers complete on the next event cycle.
+  void transfer(std::int64_t bytes, std::function<void()> on_done);
+
+  /// Number of transfers currently in flight.
+  [[nodiscard]] std::size_t active() const { return flows_.size(); }
+
+  /// Total bytes fully delivered so far (monitoring counter).
+  [[nodiscard]] std::int64_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// Instantaneous per-flow rate in bytes/second (capacity / active flows).
+  [[nodiscard]] double per_flow_rate() const {
+    return flows_.empty() ? bytes_per_second_
+                          : bytes_per_second_ / static_cast<double>(flows_.size());
+  }
+
+ private:
+  struct Flow {
+    double remaining;          // bytes left; double because shares are fractional
+    std::int64_t total_bytes;  // original size, credited to bytes_delivered()
+    std::function<void()> on_done;
+  };
+
+  void settle();      // debit elapsed work from all flows
+  void reschedule();  // re-arm the next-completion event
+  void on_completion();
+
+  Simulation& sim_;
+  double bytes_per_second_;
+  std::vector<Flow> flows_;
+  SimTime last_settle_ = 0;
+  EventId pending_event_ = kInvalidEvent;
+  std::int64_t bytes_delivered_ = 0;
+};
+
+}  // namespace qif::sim

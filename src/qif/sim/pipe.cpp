@@ -1,0 +1,35 @@
+#include "qif/sim/pipe.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace qif::sim {
+
+void Pipe::send(std::int64_t bytes, std::function<void()> on_delivered) {
+  queue_.push_back(Message{bytes < 0 ? 0 : bytes, std::move(on_delivered)});
+  if (!busy_) start_next();
+}
+
+void Pipe::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  const auto serialize =
+      static_cast<SimDuration>(std::ceil(static_cast<double>(msg.bytes) / bytes_per_second_ * 1e9));
+  // The pipe frees up after serialization; propagation overlaps with the
+  // next message (cut-through at the far end).
+  sim_.schedule_after(serialize, [this, msg = std::move(msg)]() mutable {
+    bytes_sent_ += msg.bytes;
+    // Deliver after the propagation latency, independently of pipe state.
+    sim_.schedule_after(latency_, [fn = std::move(msg.on_delivered)] {
+      if (fn) fn();
+    });
+    start_next();
+  });
+}
+
+}  // namespace qif::sim

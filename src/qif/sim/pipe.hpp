@@ -1,0 +1,52 @@
+// FIFO store-and-forward resource.
+//
+// A Pipe serializes messages one at a time at a fixed byte rate with a fixed
+// per-message latency — the model we use for a client host's NIC egress and
+// for RPC framing overhead.  Unlike FairLink (which models converged fair
+// sharing at a contended port), a Pipe preserves strict arrival order, which
+// matters for per-rank op streams: a rank's requests may not overtake each
+// other.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "qif/sim/simulation.hpp"
+
+namespace qif::sim {
+
+class Pipe {
+ public:
+  /// `bytes_per_second` — serialization rate; `latency` — fixed per-message
+  /// propagation delay added after serialization.
+  Pipe(Simulation& sim, double bytes_per_second, SimDuration latency)
+      : sim_(sim), bytes_per_second_(bytes_per_second), latency_(latency) {}
+
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  /// Enqueues a message; `on_delivered` fires once the message has fully
+  /// serialized (in FIFO order) and propagated.
+  void send(std::int64_t bytes, std::function<void()> on_delivered);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Message {
+    std::int64_t bytes;
+    std::function<void()> on_delivered;
+  };
+
+  void start_next();
+
+  Simulation& sim_;
+  double bytes_per_second_;
+  SimDuration latency_;
+  std::deque<Message> queue_;
+  bool busy_ = false;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace qif::sim

@@ -1,0 +1,21 @@
+#include "qif/sim/rng.hpp"
+
+#include <cmath>
+
+namespace qif::sim {
+
+double Rng::log_approx(double v) { return std::log(v); }
+
+double Rng::normal(double mean, double stddev) {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace qif::sim

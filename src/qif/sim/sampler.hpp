@@ -1,0 +1,61 @@
+// Periodic sampling process.
+//
+// Both monitors in the paper record once per second ("All metrics in this
+// section are recorded once every second") and aggregate per time window.
+// Sampler is that once-per-period heartbeat: it re-arms itself until
+// stopped, always firing at exact multiples of the period so samples from
+// different servers line up.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "qif/sim/simulation.hpp"
+
+namespace qif::sim {
+
+class Sampler {
+ public:
+  /// `fn(tick_index)` fires at period, 2*period, ... until stop().
+  Sampler(Simulation& sim, SimDuration period, std::function<void(std::uint64_t)> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const { return tick_; }
+
+ private:
+  void arm() {
+    pending_ = sim_.schedule_after(period_, [this] {
+      if (!running_) return;
+      ++tick_;
+      fn_(tick_);
+      if (running_) arm();
+    });
+  }
+
+  Simulation& sim_;
+  SimDuration period_;
+  std::function<void(std::uint64_t)> fn_;
+  bool running_ = false;
+  std::uint64_t tick_ = 0;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace qif::sim

@@ -1,0 +1,39 @@
+#include "qif/sim/simulation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace qif::sim {
+
+bool Simulation::is_cancelled(EventId id) {
+  if (cancelled_.empty()) return false;
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  // Swap-erase: cancellation lists stay tiny (timeouts that did not fire).
+  *it = cancelled_.back();
+  cancelled_.pop_back();
+  return true;
+}
+
+std::uint64_t Simulation::run_until(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Move the event out before popping so the closure may schedule freely.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --live_events_;
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.when;
+    ev.fn();
+    ++executed_;
+    ++ran;
+  }
+  // If we stopped because of the horizon (not queue exhaustion), advance the
+  // clock to the horizon so back-to-back run_until calls tile cleanly.
+  if (!queue_.empty() && until != std::numeric_limits<SimTime>::max() && until > now_) {
+    now_ = until;
+  }
+  return ran;
+}
+
+}  // namespace qif::sim

@@ -1,0 +1,92 @@
+// The discrete-event simulation core.
+//
+// A Simulation owns the virtual clock and a priority queue of pending
+// events.  Components schedule closures at absolute or relative times;
+// run() pops events in (time, sequence) order so simultaneous events fire
+// in their scheduling order, which makes every run fully deterministic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "qif/sim/time.hpp"
+
+namespace qif::sim {
+
+/// Handle for a scheduled event; lets the scheduler cancel it later.
+/// Ids are never reused within one Simulation.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute simulated time `when` (must be
+  /// >= now()).  Returns a handle usable with cancel().
+  EventId schedule_at(SimTime when, std::function<void()> fn) {
+    assert(when >= now_ && "cannot schedule into the past");
+    const EventId id = ++next_id_;
+    queue_.push(Event{when, id, std::move(fn)});
+    ++live_events_;
+    return id;
+  }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event.  Safe to call with an id that already fired
+  /// (it becomes a no-op); this is how timeouts are torn down.
+  void cancel(EventId id) {
+    if (id != kInvalidEvent) cancelled_.push_back(id);
+  }
+
+  /// Runs events until the queue is empty or the clock passes `until`.
+  /// Events at exactly `until` still fire.  Returns the number of events
+  /// executed.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs until the event queue drains completely.
+  std::uint64_t run_all() { return run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Number of events that have ever been executed.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending (including cancelled-but-unswept).
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool is_cancelled(EventId id);
+
+  SimTime now_ = 0;
+  EventId next_id_ = kInvalidEvent;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted lazily; small in practice
+};
+
+}  // namespace qif::sim

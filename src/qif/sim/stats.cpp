@@ -1,0 +1,23 @@
+#include "qif/sim/stats.hpp"
+
+#include <algorithm>
+
+namespace qif::sim {
+
+std::vector<double> moving_average(const std::vector<double>& xs, std::size_t window) {
+  if (xs.empty() || window <= 1) return xs;
+  std::vector<double> out(xs.size());
+  const std::size_t half = window / 2;
+  double acc = 0.0;
+  std::size_t lo = 0, hi = 0;  // [lo, hi) is the current window
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t want_lo = i > half ? i - half : 0;
+    const std::size_t want_hi = std::min(xs.size(), i + half + 1);
+    while (hi < want_hi) acc += xs[hi++];
+    while (lo < want_lo) acc -= xs[lo++];
+    out[i] = acc / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace qif::sim

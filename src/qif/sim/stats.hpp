@@ -1,0 +1,50 @@
+// Small online statistics helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace qif::sim {
+
+/// Welford online mean/variance accumulator.  Used wherever the monitors
+/// need mean and standard deviation over the per-second samples of a window
+/// without storing them (the paper aggregates sum, mean, std per window).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  void reset() { *this = RunningStats{}; }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;  // population variance
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Centered moving-average smoothing, as used for the Figure 1 series
+/// ("All results are smoothed using a moving window").
+std::vector<double> moving_average(const std::vector<double>& xs, std::size_t window);
+
+}  // namespace qif::sim

@@ -1,0 +1,36 @@
+// Simulated-time primitives.
+//
+// The whole simulator runs on a single signed 64-bit nanosecond clock.
+// Nanoseconds give ~292 years of range, which is far beyond any campaign we
+// run, while keeping every duration computation exact and deterministic
+// (no floating-point clock drift between runs).
+#pragma once
+
+#include <cstdint>
+
+namespace qif::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Builds a duration from seconds expressed as a double (e.g. "0.0085 s
+/// seek").  Rounds to the nearest nanosecond.
+constexpr SimDuration from_seconds(double seconds) {
+  return static_cast<SimDuration>(seconds * 1e9 + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a simulated duration to seconds for reporting / feature math.
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Converts a simulated duration to milliseconds for reporting.
+constexpr double to_millis(SimDuration d) { return static_cast<double>(d) * 1e-6; }
+
+}  // namespace qif::sim

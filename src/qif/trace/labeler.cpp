@@ -1,0 +1,48 @@
+#include "qif/trace/labeler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qif::trace {
+
+int Labeler::bin_of(double degradation) const {
+  int bin = 0;
+  for (const double t : config_.bin_thresholds) {
+    if (degradation >= t) ++bin;
+  }
+  return bin;
+}
+
+std::vector<WindowLabel> Labeler::label(const std::vector<MatchedOp>& matched) const {
+  struct Acc {
+    double ratio_sum = 0.0;
+    std::size_t n = 0;
+  };
+  std::map<std::int64_t, Acc> windows;
+  for (const MatchedOp& m : matched) {
+    const std::int64_t w = m.interference.start / config_.window;
+    // Clamp the baseline duration to one tick so instantaneous cache hits
+    // cannot produce infinite ratios.
+    const double base = static_cast<double>(std::max<sim::SimDuration>(m.base.duration(), 1));
+    const double noisy =
+        static_cast<double>(std::max<sim::SimDuration>(m.interference.duration(), 1));
+    auto& acc = windows[w];
+    acc.ratio_sum += noisy / base;
+    acc.n += 1;
+  }
+
+  std::vector<WindowLabel> out;
+  out.reserve(windows.size());
+  for (const auto& [w, acc] : windows) {
+    if (acc.n < config_.min_ops_per_window) continue;
+    WindowLabel lbl;
+    lbl.window_index = w;
+    lbl.degradation = acc.ratio_sum / static_cast<double>(acc.n);
+    lbl.label = bin_of(lbl.degradation);
+    lbl.n_ops = acc.n;
+    out.push_back(lbl);
+  }
+  return out;
+}
+
+}  // namespace qif::trace

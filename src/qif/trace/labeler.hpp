@@ -1,0 +1,55 @@
+// Degradation labelling.
+//
+// Implements the paper's ground-truth equation
+//
+//     Level_degrade = Avg_{i in IORequests} iotime_interference^i / iotime_base^i
+//
+// over the matched ops falling inside each time window of the interference
+// run, then bins the level with configurable thresholds: {2} for the binary
+// model ("at least 2x slower or not"), {2, 5} for the 3-class model
+// (mild / moderate / severe, after Lu et al.'s Perseus taxonomy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qif/sim/time.hpp"
+#include "qif/trace/matcher.hpp"
+
+namespace qif::trace {
+
+struct LabelerConfig {
+  sim::SimDuration window = 1 * sim::kSecond;  ///< aggregation window size
+  std::vector<double> bin_thresholds = {2.0};  ///< ascending class boundaries
+  std::size_t min_ops_per_window = 1;          ///< windows with fewer ops are dropped
+};
+
+struct WindowLabel {
+  std::int64_t window_index = 0;   ///< interference-run window number
+  double degradation = 1.0;        ///< Level_degrade for this window
+  int label = 0;                   ///< bin index: 0 .. bin_thresholds.size()
+  std::size_t n_ops = 0;           ///< matched ops contributing
+};
+
+class Labeler {
+ public:
+  explicit Labeler(LabelerConfig config) : config_(std::move(config)) {}
+
+  /// Buckets matched ops by the window containing the op's start time in
+  /// the interference run and computes the per-window degradation label.
+  /// Windows containing fewer than `min_ops_per_window` ops are dropped.
+  [[nodiscard]] std::vector<WindowLabel> label(const std::vector<MatchedOp>& matched) const;
+
+  /// Bin index for one degradation level under this config's thresholds.
+  [[nodiscard]] int bin_of(double degradation) const;
+
+  [[nodiscard]] int num_classes() const {
+    return static_cast<int>(config_.bin_thresholds.size()) + 1;
+  }
+  [[nodiscard]] const LabelerConfig& config() const { return config_; }
+
+ private:
+  LabelerConfig config_;
+};
+
+}  // namespace qif::trace

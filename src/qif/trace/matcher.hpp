@@ -1,0 +1,39 @@
+// Baseline/interference trace matching.
+//
+// The paper labels training data by running the target workload once alone
+// ("base") and once with background interference, then matching the *same*
+// operations between the two large trace logs — an offline, time-consuming
+// step on real systems.  Because our workloads are deterministic per
+// (workload, seed), the same op is identified exactly by (rank, op_index),
+// and the matcher verifies the op type and size line up before pairing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qif/trace/op_record.hpp"
+
+namespace qif::trace {
+
+struct MatchedOp {
+  OpRecord base;
+  OpRecord interference;
+};
+
+struct MatchStats {
+  std::size_t matched = 0;
+  std::size_t unmatched_base = 0;     ///< ops only present in the baseline run
+  std::size_t unmatched_interf = 0;   ///< ops only present in the noisy run
+  std::size_t mismatched = 0;         ///< paired by index but type/size differ
+};
+
+class TraceMatcher {
+ public:
+  /// Pairs ops of `job` between the two logs by (rank, op_index).
+  /// Interference runs are typically truncated at a horizon, so trailing
+  /// baseline ops may go unmatched; that is expected and counted.
+  static std::vector<MatchedOp> match(const TraceLog& base_log, const TraceLog& interf_log,
+                                      std::int32_t job, MatchStats* stats = nullptr);
+};
+
+}  // namespace qif::trace

@@ -1,0 +1,19 @@
+#include "qif/trace/op_record.hpp"
+
+#include <algorithm>
+
+namespace qif::trace {
+
+std::vector<OpRecord> TraceLog::sorted_for_job(std::int32_t job) const {
+  std::vector<OpRecord> out;
+  for (const auto& r : records_) {
+    if (r.job == job) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const OpRecord& a, const OpRecord& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.op_index < b.op_index;
+  });
+  return out;
+}
+
+}  // namespace qif::trace

@@ -1,0 +1,96 @@
+#include "qif/workloads/dlio.hpp"
+
+#include <algorithm>
+
+#include "qif/sim/rng.hpp"
+
+namespace qif::workloads {
+
+RankProgram build_dlio_program(const DlioConfig& config, pfs::Rank rank, std::int32_t job,
+                               std::uint64_t seed) {
+  RankProgram prog;
+  sim::Rng rng(sim::Rng::derive_seed(seed, "dlio-r" + std::to_string(rank)));
+
+  const bool unet = config.model == DlioConfig::Model::kUnet3d;
+  const std::int64_t sample_bytes = unet ? (6ll << 20) : (256ll << 10);
+  const double think_mean_s = unet ? 0.28 : 0.045;
+  const std::string data_file = config.dir + "/job" + std::to_string(job) + "/data_rank" +
+                                std::to_string(rank) + (unet ? ".npz" : ".tfrec");
+  const std::string ckpt_file = config.dir + "/job" + std::to_string(job) + "/ckpt_rank" +
+                                std::to_string(rank);
+
+  // Prologue: the dataset file exists before training starts.
+  {
+    OpSpec create;
+    create.kind = OpSpec::Kind::kCreate;
+    create.path = data_file;
+    create.slot = 0;
+    create.stripes = 0;  // big packed file striped over all OSTs
+    prog.prologue.push_back(create);
+    OpSpec close;
+    close.kind = OpSpec::Kind::kClose;
+    close.slot = 0;
+    prog.prologue.push_back(close);
+  }
+
+  // Body: open, then step loop of (sample read, compute), with periodic
+  // checkpoints, then close — one epoch.
+  OpSpec open;
+  open.kind = OpSpec::Kind::kOpen;
+  open.path = data_file;
+  open.slot = 0;
+  prog.body.push_back(open);
+
+  const std::int64_t n_samples = config.dataset_bytes / sample_bytes;
+  std::int64_t seq_cursor = 0;
+  for (int s = 0; s < config.steps; ++s) {
+    OpSpec read;
+    read.kind = OpSpec::Kind::kRead;
+    read.slot = 0;
+    read.len = sample_bytes;
+    if (unet) {
+      // Shuffled sample access.
+      read.offset = rng.uniform_int(0, n_samples - 1) * sample_bytes;
+    } else {
+      // Packed records are consumed near-sequentially.
+      read.offset = (seq_cursor++ % n_samples) * sample_bytes;
+    }
+    prog.body.push_back(read);
+
+    OpSpec think;
+    think.kind = OpSpec::Kind::kThink;
+    think.think = sim::from_seconds(rng.exponential(think_mean_s));
+    prog.body.push_back(think);
+
+    if (config.checkpoint_every > 0 && (s + 1) % config.checkpoint_every == 0) {
+      OpSpec create;
+      create.kind = OpSpec::Kind::kCreate;
+      create.path = ckpt_file;
+      create.slot = 1;
+      create.stripes = 0;
+      prog.body.push_back(create);
+      const std::int64_t ckpt_bytes = unet ? (96ll << 20) : (48ll << 20);
+      for (std::int64_t off = 0; off < ckpt_bytes; off += 8ll << 20) {
+        OpSpec write;
+        write.kind = OpSpec::Kind::kWrite;
+        write.slot = 1;
+        write.offset = off;
+        write.len = std::min<std::int64_t>(8ll << 20, ckpt_bytes - off);
+        prog.body.push_back(write);
+      }
+      OpSpec close;
+      close.kind = OpSpec::Kind::kClose;
+      close.slot = 1;
+      prog.body.push_back(close);
+    }
+  }
+  OpSpec close;
+  close.kind = OpSpec::Kind::kClose;
+  close.slot = 0;
+  prog.body.push_back(close);
+
+  prog.max_slot = 1;
+  return prog;
+}
+
+}  // namespace qif::workloads

@@ -1,0 +1,36 @@
+// DLIO-style deep-learning I/O (paper's second benchmark dataset).
+//
+// DLIO replays the data-loader I/O of training jobs: bursts of sample reads
+// separated by compute (GPU) think time, with periodic checkpoint writes.
+// Two configurations mirror the paper's choices:
+//
+//  * Unet3d — few, large samples (volumetric .npz): multi-MiB reads at
+//    random sample offsets in a big packed dataset file, long compute gaps.
+//  * BERT  — many small samples from packed records: 256 KiB batch reads,
+//    short compute gaps.
+//
+// The think-time structure matters: it is why only ~20% of DLIO windows
+// are interference-positive in the paper (Figure 3b's class skew).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qif/pfs/types.hpp"
+#include "qif/workloads/program.hpp"
+
+namespace qif::workloads {
+
+struct DlioConfig {
+  enum class Model { kUnet3d, kBert } model = Model::kUnet3d;
+  int steps = 48;                  ///< loader steps per body iteration
+  int checkpoint_every = 24;       ///< steps between checkpoint writes (0 = off)
+  std::int64_t dataset_bytes = 2ll << 30;  ///< packed dataset size per rank file
+  std::string dir = "/dlio";
+};
+
+/// `seed` drives sample order and think times (drawn at build time).
+RankProgram build_dlio_program(const DlioConfig& config, pfs::Rank rank, std::int32_t job,
+                               std::uint64_t seed);
+
+}  // namespace qif::workloads

@@ -1,0 +1,33 @@
+// IOR-style data benchmarks, in the two IO500 flavours.
+//
+//  * easy  — file-per-process, large sequential transfers, stripe
+//            count 1: the friendliest possible pattern for a PFS.
+//  * hard  — single shared file, 47008-byte transfers strided across ranks,
+//            striped over every OST: the adversarial pattern IO500 uses to
+//            bound worst-case behaviour.
+//
+// Transfer size defaults follow the IO500 rules (1 MiB easy, 47008 B hard).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qif/pfs/types.hpp"
+#include "qif/workloads/program.hpp"
+
+namespace qif::workloads {
+
+struct IorConfig {
+  bool hard = false;
+  bool write = true;              ///< false = read phase
+  std::int64_t transfer_bytes = 0;  ///< 0 = mode default (1 MiB / 47008 B)
+  int n_transfers = 48;           ///< per rank per body iteration
+  std::string dir = "/ior";       ///< namespace root for this job's files
+};
+
+/// Builds rank `rank`'s program for a job of `n_ranks` ranks tagged `job`
+/// (the job id keys the shared-file path so concurrent jobs do not collide).
+RankProgram build_ior_program(const IorConfig& config, pfs::Rank rank, int n_ranks,
+                              std::int32_t job);
+
+}  // namespace qif::workloads

@@ -1,0 +1,100 @@
+#include "qif/workloads/mdtest.hpp"
+
+namespace qif::workloads {
+
+RankProgram build_mdtest_program(const MdtestConfig& config, pfs::Rank rank,
+                                 std::int32_t job) {
+  RankProgram prog;
+  const std::int64_t body_bytes =
+      config.file_bytes >= 0 ? config.file_bytes : (config.hard ? 3901 : 0);
+  // easy: private per-rank directory; hard: one shared directory.
+  const std::string dir =
+      config.hard ? config.dir + "-hard/job" + std::to_string(job)
+                  : config.dir + "-easy/job" + std::to_string(job) + "/rank" +
+                        std::to_string(rank);
+
+  OpSpec mkdir;
+  mkdir.kind = OpSpec::Kind::kMkdir;
+  mkdir.path = dir;
+  prog.prologue.push_back(mkdir);
+
+  auto file_path = [&](int i) {
+    // Shared-dir files carry the rank in the name (mdtest semantics).
+    return dir + "/f" + std::to_string(rank) + "_" + std::to_string(i);
+  };
+
+  if (config.phase == MdtestConfig::Phase::kWrite) {
+    for (int i = 0; i < config.n_files; ++i) {
+      OpSpec create;
+      create.kind = OpSpec::Kind::kCreate;
+      create.path = file_path(i);
+      create.slot = 0;
+      create.stripes = 1;
+      prog.body.push_back(create);
+      if (body_bytes > 0) {
+        OpSpec write;
+        write.kind = OpSpec::Kind::kWrite;
+        write.slot = 0;
+        write.offset = 0;
+        write.len = body_bytes;
+        prog.body.push_back(write);
+      }
+      OpSpec close;
+      close.kind = OpSpec::Kind::kClose;
+      close.slot = 0;
+      prog.body.push_back(close);
+    }
+  } else {
+    // Read phase needs the files to exist *with their bodies written* (the
+    // paper's mdtest-hard-read reads back data an earlier write phase
+    // created): create+write+close each once in the prologue, then
+    // stat+open+read+close in the body.
+    for (int i = 0; i < config.n_files; ++i) {
+      OpSpec create;
+      create.kind = OpSpec::Kind::kCreate;
+      create.path = file_path(i);
+      create.slot = 0;
+      create.stripes = 1;
+      prog.prologue.push_back(create);
+      if (body_bytes > 0) {
+        OpSpec write;
+        write.kind = OpSpec::Kind::kWrite;
+        write.slot = 0;
+        write.offset = 0;
+        write.len = body_bytes;
+        prog.prologue.push_back(write);
+      }
+      OpSpec close;
+      close.kind = OpSpec::Kind::kClose;
+      close.slot = 0;
+      prog.prologue.push_back(close);
+    }
+    for (int i = 0; i < config.n_files; ++i) {
+      OpSpec stat;
+      stat.kind = OpSpec::Kind::kStat;
+      stat.path = file_path(i);
+      prog.body.push_back(stat);
+      OpSpec open;
+      open.kind = OpSpec::Kind::kOpen;
+      open.path = file_path(i);
+      open.slot = 0;
+      prog.body.push_back(open);
+      if (body_bytes > 0) {
+        OpSpec read;
+        read.kind = OpSpec::Kind::kRead;
+        read.slot = 0;
+        read.offset = 0;
+        read.len = body_bytes;
+        prog.body.push_back(read);
+      }
+      OpSpec close;
+      close.kind = OpSpec::Kind::kClose;
+      close.slot = 0;
+      prog.body.push_back(close);
+    }
+  }
+  prog.max_slot = 0;
+  return prog;
+}
+
+}  // namespace qif::workloads

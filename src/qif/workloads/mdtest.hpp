@@ -1,0 +1,31 @@
+// MDTest-style metadata benchmarks, in the two IO500 flavours.
+//
+//  * easy — every rank works in its own directory on empty files: pure
+//           namespace traffic, the MDT is the only contended resource.
+//  * hard — all ranks share one directory and every file carries a
+//           3901-byte body (the IO500 constant), so each op is a metadata
+//           transaction *plus* a tiny synchronous OST data access.  That
+//           data tail is what exposes mdtest-hard to data-side interference
+//           (Table I row 7: 26x-41x under ior writes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qif/pfs/types.hpp"
+#include "qif/workloads/program.hpp"
+
+namespace qif::workloads {
+
+struct MdtestConfig {
+  bool hard = false;
+  enum class Phase { kWrite, kRead } phase = Phase::kWrite;
+  int n_files = 120;               ///< per rank per body iteration
+  std::int64_t file_bytes = -1;    ///< -1 = mode default (0 easy / 3901 hard)
+  std::string dir = "/mdt";
+};
+
+RankProgram build_mdtest_program(const MdtestConfig& config, pfs::Rank rank,
+                                 std::int32_t job);
+
+}  // namespace qif::workloads

@@ -1,0 +1,182 @@
+#include "qif/workloads/proxies.hpp"
+
+#include <algorithm>
+
+#include "qif/sim/rng.hpp"
+
+namespace qif::workloads {
+namespace {
+
+OpSpec think_op(double seconds) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kThink;
+  op.think = sim::from_seconds(seconds);
+  return op;
+}
+OpSpec create_op(std::string path, int slot, int stripes) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kCreate;
+  op.path = std::move(path);
+  op.slot = slot;
+  op.stripes = stripes;
+  return op;
+}
+OpSpec open_op(std::string path, int slot) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kOpen;
+  op.path = std::move(path);
+  op.slot = slot;
+  return op;
+}
+OpSpec write_op(int slot, std::int64_t offset, std::int64_t len) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kWrite;
+  op.slot = slot;
+  op.offset = offset;
+  op.len = len;
+  return op;
+}
+OpSpec read_op(int slot, std::int64_t offset, std::int64_t len) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kRead;
+  op.slot = slot;
+  op.offset = offset;
+  op.len = len;
+  return op;
+}
+OpSpec stat_op(std::string path) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kStat;
+  op.path = std::move(path);
+  return op;
+}
+OpSpec close_op(int slot) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kClose;
+  op.slot = slot;
+  return op;
+}
+OpSpec mkdir_op(std::string path) {
+  OpSpec op;
+  op.kind = OpSpec::Kind::kMkdir;
+  op.path = std::move(path);
+  return op;
+}
+
+}  // namespace
+
+RankProgram build_enzo_program(const EnzoConfig& config, pfs::Rank rank, std::int32_t job,
+                               std::uint64_t seed) {
+  RankProgram prog;
+  sim::Rng rng(sim::Rng::derive_seed(seed, "enzo-r" + std::to_string(rank)));
+  const std::string base = config.dir + "/job" + std::to_string(job);
+
+  prog.prologue.push_back(mkdir_op(base));
+  // Restart data read back at startup (collapse-test initial conditions).
+  prog.prologue.push_back(create_op(base + "/restart_r" + std::to_string(rank), 0, 0));
+  prog.prologue.push_back(close_op(0));
+
+  for (int t = 0; t < config.timesteps; ++t) {
+    // Compute phase between dumps.
+    prog.body.push_back(think_op(rng.uniform(0.15, 0.45)));
+
+    const std::string step = base + "/DD" + std::to_string(t) + "_r" + std::to_string(rank);
+    // Hierarchy/bookkeeping: stats on the dump dir, small header writes.
+    prog.body.push_back(stat_op(base));
+    prog.body.push_back(create_op(step + ".hierarchy", 0, 1));
+    for (int h = 0; h < 3; ++h) {
+      prog.body.push_back(
+          write_op(0, h * 4096, rng.uniform_int(1 << 10, 12 << 10)));
+    }
+    prog.body.push_back(close_op(0));
+
+    // Grid data: a handful of medium sequential writes per grid file.
+    for (int g = 0; g < config.grids_per_rank; ++g) {
+      const std::string grid = step + ".cpu" + std::to_string(g);
+      prog.body.push_back(create_op(grid, 1, 1));
+      const std::int64_t grid_bytes = rng.uniform_int(512 << 10, 3 << 20);
+      std::int64_t off = 0;
+      while (off < grid_bytes) {
+        const std::int64_t chunk = std::min<std::int64_t>(grid_bytes - off, 1 << 20);
+        prog.body.push_back(write_op(1, off, chunk));
+        off += chunk;
+      }
+      prog.body.push_back(close_op(1));
+      prog.body.push_back(stat_op(grid));
+    }
+
+    // Occasional restart-read (AMR regridding pulls earlier-level data).
+    if (rng.chance(0.5)) {
+      prog.body.push_back(open_op(base + "/restart_r" + std::to_string(rank), 2));
+      prog.body.push_back(read_op(2, 0, rng.uniform_int(256 << 10, 1 << 20)));
+      prog.body.push_back(close_op(2));
+    }
+  }
+  prog.max_slot = 2;
+  return prog;
+}
+
+RankProgram build_amrex_program(const AmrexConfig& config, pfs::Rank rank, std::int32_t job,
+                                std::uint64_t seed) {
+  RankProgram prog;
+  sim::Rng rng(sim::Rng::derive_seed(seed, "amrex-r" + std::to_string(rank)));
+  const std::string base = config.dir + "/job" + std::to_string(job);
+  prog.prologue.push_back(mkdir_op(base));
+
+  for (int p = 0; p < config.plotfiles; ++p) {
+    prog.body.push_back(think_op(rng.uniform(0.25, 0.6)));
+    const std::string plt = base + "/plt" + std::to_string(p);
+    // Rank 0 writes the plotfile header in the real code; every rank here
+    // stats the directory (the barrier + header-visibility check).
+    prog.body.push_back(mkdir_op(plt));
+    prog.body.push_back(stat_op(plt));
+    const std::string cell = plt + "/Cell_D_" + std::to_string(rank);
+    prog.body.push_back(create_op(cell, 0, 1));
+    std::int64_t off = 0;
+    while (off < config.bytes_per_rank) {
+      const std::int64_t chunk =
+          std::min<std::int64_t>(config.bytes_per_rank - off, 4 << 20);
+      prog.body.push_back(write_op(0, off, chunk));
+      off += chunk;
+    }
+    prog.body.push_back(close_op(0));
+  }
+  prog.max_slot = 0;
+  return prog;
+}
+
+RankProgram build_openpmd_program(const OpenPmdConfig& config, pfs::Rank rank,
+                                  std::int32_t job, std::uint64_t seed) {
+  RankProgram prog;
+  sim::Rng rng(sim::Rng::derive_seed(seed, "openpmd-r" + std::to_string(rank)));
+  const std::string base = config.dir + "/job" + std::to_string(job);
+  prog.prologue.push_back(mkdir_op(base));
+
+  for (int it = 0; it < config.iterations; ++it) {
+    prog.body.push_back(think_op(rng.uniform(0.05, 0.2)));
+    const std::string series =
+        base + "/series_" + std::to_string(it) + "_r" + std::to_string(rank);
+    // Series discovery: the library stats the series pattern and siblings.
+    prog.body.push_back(stat_op(base));
+    prog.body.push_back(stat_op(series));
+    prog.body.push_back(create_op(series, 0, 1));
+    for (int m = 0; m < config.meshes_per_iteration; ++m) {
+      // Attribute/record-component writes: key-value sized payloads.
+      prog.body.push_back(write_op(0, m * (16 << 10), rng.uniform_int(512, 8 << 10)));
+      prog.body.push_back(stat_op(series));
+    }
+    prog.body.push_back(close_op(0));
+    // Reader side of the workflow occasionally validates an old iteration.
+    if (it > 0 && rng.chance(0.4)) {
+      const std::string prev =
+          base + "/series_" + std::to_string(it - 1) + "_r" + std::to_string(rank);
+      prog.body.push_back(open_op(prev, 1));
+      prog.body.push_back(read_op(1, 0, rng.uniform_int(512, 4 << 10)));
+      prog.body.push_back(close_op(1));
+    }
+  }
+  prog.max_slot = 1;
+  return prog;
+}
+
+}  // namespace qif::workloads

@@ -1,0 +1,52 @@
+// I/O proxies for the paper's three real HPC applications.
+//
+// The model never sees application physics — only window aggregates of op
+// counts, sizes and durations — so each proxy reproduces the app's *I/O
+// signature* as the paper characterizes it:
+//
+//  * Enzo (cosmology AMR): "issues read, write, open, close and stats
+//    within the first 50 seconds" — per timestep, a burst that mixes
+//    small hierarchy/metadata writes, medium grid-data writes, restart
+//    reads and stats, separated by compute.  Data-intensive overall.
+//  * AMReX (block-structured AMR): periodic plotfile dumps — per step,
+//    each rank streams multi-MiB sequential chunks into its own Cell file
+//    under a step directory.  Heavily write-intensive.
+//  * OpenPMD (metadata standard tooling): series of iterations dominated
+//    by namespace traffic — creates, stats and attribute-sized writes —
+//    with very little bulk data.  Metadata-intensive, few samples (the
+//    paper notes its dataset is small, and its model is visibly weaker).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qif/pfs/types.hpp"
+#include "qif/workloads/program.hpp"
+
+namespace qif::workloads {
+
+struct EnzoConfig {
+  int timesteps = 6;              ///< per body iteration
+  int grids_per_rank = 4;         ///< grid files dumped per timestep
+  std::string dir = "/enzo";
+};
+RankProgram build_enzo_program(const EnzoConfig& config, pfs::Rank rank, std::int32_t job,
+                               std::uint64_t seed);
+
+struct AmrexConfig {
+  int plotfiles = 4;              ///< dumps per body iteration
+  std::int64_t bytes_per_rank = 48ll << 20;  ///< data per rank per dump
+  std::string dir = "/amrex";
+};
+RankProgram build_amrex_program(const AmrexConfig& config, pfs::Rank rank, std::int32_t job,
+                                std::uint64_t seed);
+
+struct OpenPmdConfig {
+  int iterations = 10;            ///< series iterations per body iteration
+  int meshes_per_iteration = 6;   ///< record components written per iteration
+  std::string dir = "/openpmd";
+};
+RankProgram build_openpmd_program(const OpenPmdConfig& config, pfs::Rank rank,
+                                  std::int32_t job, std::uint64_t seed);
+
+}  // namespace qif::workloads

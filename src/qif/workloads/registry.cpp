@@ -1,0 +1,119 @@
+#include "qif/workloads/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qif/workloads/dlio.hpp"
+#include "qif/workloads/ior.hpp"
+#include "qif/workloads/mdtest.hpp"
+#include "qif/workloads/proxies.hpp"
+
+namespace qif::workloads {
+namespace {
+
+int scaled(int base, double scale) {
+  return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+std::vector<std::pair<std::int64_t, std::int64_t>> io500_suite_phase_ranges(
+    int n_ranks, std::uint64_t seed, double scale) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  std::int64_t cursor = 0;
+  for (const auto& task : io500_tasks()) {
+    // Every non-think op emits exactly one trace record, and the IO500
+    // generators contain no think ops, so the per-rank record count is the
+    // program length.  Counts are rank-independent for these tasks.
+    const RankProgram p = build_named_program(task, 0, n_ranks, 0, seed, scale);
+    const auto len =
+        static_cast<std::int64_t>(p.prologue.size() + p.body.size());
+    ranges.emplace_back(cursor, cursor + len);
+    cursor += len;
+  }
+  return ranges;
+}
+
+const std::vector<std::string>& io500_tasks() {
+  static const std::vector<std::string> kTasks = {
+      "ior-easy-read",  "ior-hard-read",  "mdt-hard-read", "ior-easy-write",
+      "ior-hard-write", "mdt-easy-write", "mdt-hard-write",
+  };
+  return kTasks;
+}
+
+const std::vector<std::string>& known_workloads() {
+  static const std::vector<std::string> kAll = [] {
+    std::vector<std::string> v = io500_tasks();
+    v.insert(v.end(),
+             {"io500-suite", "dlio-unet3d", "dlio-bert", "enzo", "amrex", "openpmd"});
+    return v;
+  }();
+  return kAll;
+}
+
+bool is_known_workload(const std::string& name) {
+  const auto& all = known_workloads();
+  return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+RankProgram build_named_program(const std::string& name, pfs::Rank rank, int n_ranks,
+                                std::int32_t job, std::uint64_t seed, double scale) {
+  if (name == "io500-suite") {
+    // The paper's SII scenario: one application running the 7 IO500 tasks
+    // chronologically.  Each phase's setup and body are inlined in order
+    // (creates are idempotent, so the suite also loops correctly when used
+    // as an interference workload).
+    RankProgram suite;
+    for (const auto& task : io500_tasks()) {
+      RankProgram p = build_named_program(task, rank, n_ranks, job, seed, scale);
+      suite.body.insert(suite.body.end(), p.prologue.begin(), p.prologue.end());
+      suite.body.insert(suite.body.end(), p.body.begin(), p.body.end());
+      suite.max_slot = std::max(suite.max_slot, p.max_slot);
+    }
+    return suite;
+  }
+  if (name == "ior-easy-read" || name == "ior-easy-write" || name == "ior-hard-read" ||
+      name == "ior-hard-write") {
+    IorConfig cfg;
+    cfg.hard = name.find("hard") != std::string::npos;
+    cfg.write = name.find("write") != std::string::npos;
+    cfg.n_transfers = scaled(cfg.hard ? 1200 : 192, scale);
+    return build_ior_program(cfg, rank, n_ranks, job);
+  }
+  if (name == "mdt-easy-write" || name == "mdt-hard-write" || name == "mdt-hard-read") {
+    MdtestConfig cfg;
+    cfg.hard = name.find("hard") != std::string::npos;
+    cfg.phase = name.find("read") != std::string::npos ? MdtestConfig::Phase::kRead
+                                                       : MdtestConfig::Phase::kWrite;
+    cfg.n_files = scaled(200, scale);
+    return build_mdtest_program(cfg, rank, job);
+  }
+  if (name == "dlio-unet3d" || name == "dlio-bert") {
+    DlioConfig cfg;
+    cfg.model = name == "dlio-unet3d" ? DlioConfig::Model::kUnet3d
+                                      : DlioConfig::Model::kBert;
+    cfg.steps = scaled(48, scale);
+    cfg.checkpoint_every = 24;
+    return build_dlio_program(cfg, rank, job, seed);
+  }
+  if (name == "enzo") {
+    EnzoConfig cfg;
+    cfg.timesteps = scaled(6, scale);
+    return build_enzo_program(cfg, rank, job, seed);
+  }
+  if (name == "amrex") {
+    AmrexConfig cfg;
+    cfg.plotfiles = scaled(4, scale);
+    return build_amrex_program(cfg, rank, job, seed);
+  }
+  if (name == "openpmd") {
+    OpenPmdConfig cfg;
+    cfg.iterations = scaled(10, scale);
+    return build_openpmd_program(cfg, rank, job, seed);
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace qif::workloads

@@ -1,0 +1,42 @@
+// Workload registry: builds any workload's rank program by name.
+//
+// Canonical names (the IO500 seven use the paper's Table I labels):
+//   ior-easy-read, ior-hard-read, mdt-hard-read, ior-easy-write,
+//   ior-hard-write, mdt-easy-write, mdt-hard-write,
+//   io500-suite (the 7 tasks chronologically, as one phased application),
+//   dlio-unet3d, dlio-bert, enzo, amrex, openpmd
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qif/pfs/types.hpp"
+#include "qif/workloads/program.hpp"
+
+namespace qif::workloads {
+
+/// All canonical workload names, IO500 tasks first in Table I row order.
+[[nodiscard]] const std::vector<std::string>& known_workloads();
+
+/// The 7 IO500 task names of Table I, in the paper's row/column order.
+[[nodiscard]] const std::vector<std::string>& io500_tasks();
+
+/// Per-rank op-index ranges [begin, end) of each phase of the
+/// "io500-suite" workload (the 7 tasks run chronologically, the paper's
+/// §II scenario).  Phase p covers ops with op_index in ranges[p].
+[[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>> io500_suite_phase_ranges(
+    int n_ranks, std::uint64_t seed, double scale);
+
+[[nodiscard]] bool is_known_workload(const std::string& name);
+
+/// Builds rank `rank`'s program for workload `name` in a job of `n_ranks`
+/// ranks.  `scale` multiplies the per-iteration op counts (transfers,
+/// files, steps), letting campaigns trade run length for coverage.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] RankProgram build_named_program(const std::string& name, pfs::Rank rank,
+                                              int n_ranks, std::int32_t job,
+                                              std::uint64_t seed, double scale = 1.0);
+
+}  // namespace qif::workloads

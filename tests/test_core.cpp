@@ -1,0 +1,244 @@
+// Integration tests for the core framework: scenarios, campaigns, the
+// training server, and the online predictor.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qif/core/campaign.hpp"
+#include "qif/core/online.hpp"
+#include "qif/core/scenario.hpp"
+#include "qif/core/report.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/ml/preprocess.hpp"
+
+namespace qif::core {
+namespace {
+
+ScenarioConfig small_scenario(const std::string& workload, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.cluster = testbed_cluster_config(seed);
+  cfg.target.workload = workload;
+  cfg.target.nodes = {0};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = seed;
+  cfg.target.scale = 0.25;
+  return cfg;
+}
+
+TEST(Scenario, BaselineRunCompletesAndTraces) {
+  ScenarioConfig cfg = small_scenario("ior-easy-write", 1);
+  cfg.monitors = false;
+  const ScenarioResult res = run_scenario(cfg);
+  EXPECT_TRUE(res.target_finished);
+  EXPECT_GT(res.target_completion, 0);
+  EXPECT_GT(res.events_executed, 0u);
+  EXPECT_FALSE(res.trace.empty());
+  EXPECT_TRUE(res.window_features.empty());  // monitors off
+}
+
+TEST(Scenario, MonitorsProduceWindowFeatures) {
+  ScenarioConfig cfg = small_scenario("ior-easy-write", 2);
+  const ScenarioResult res = run_scenario(cfg);
+  EXPECT_EQ(res.n_servers, 7);
+  EXPECT_EQ(res.dim, monitor::MetricSchema::kPerServerDim);
+  ASSERT_FALSE(res.window_features.empty());
+  for (const auto& [w, f] : res.window_features) {
+    EXPECT_GE(w, 0);
+    EXPECT_EQ(f.size(), 7u * monitor::MetricSchema::kPerServerDim);
+  }
+}
+
+TEST(Scenario, IdenticalConfigIsDeterministic) {
+  const ScenarioResult a = run_scenario(small_scenario("enzo", 3));
+  const ScenarioResult b = run_scenario(small_scenario("enzo", 3));
+  EXPECT_EQ(a.target_completion, b.target_completion);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(Scenario, InterferenceSlowsTarget) {
+  ScenarioConfig solo = small_scenario("ior-easy-write", 4);
+  solo.target.scale = 1.0;
+  ScenarioConfig noisy = solo;
+  InterferenceSpec spec;
+  spec.workload = "ior-easy-read";
+  spec.nodes = {2, 3, 4};
+  spec.instances = 9;
+  noisy.interference = spec;
+  const auto t_solo = run_scenario(solo).target_completion;
+  const auto t_noisy = run_scenario(noisy).target_completion;
+  EXPECT_GT(static_cast<double>(t_noisy), 1.5 * static_cast<double>(t_solo));
+}
+
+TEST(Scenario, HorizonBoundsRuntime) {
+  ScenarioConfig cfg = small_scenario("ior-easy-write", 5);
+  cfg.target.scale = 50.0;  // would run for a long time
+  InterferenceSpec spec;
+  spec.workload = "ior-easy-write";
+  spec.nodes = {2};
+  spec.instances = 2;
+  cfg.interference = spec;
+  cfg.horizon = 2 * sim::kSecond;
+  const ScenarioResult res = run_scenario(cfg);
+  EXPECT_FALSE(res.target_finished);
+}
+
+TEST(Campaign, ProducesLabelledDatasetWithBothClasses) {
+  CampaignConfig cc;
+  cc.target_workload = "ior-easy-write";
+  cc.target_nodes = 1;
+  cc.target_procs_per_node = 2;
+  cc.target_scale = 0.5;
+  cc.cluster = testbed_cluster_config(6);
+  cc.cases.push_back({"", 0, 1.0, 1});
+  cc.cases.push_back({"ior-easy-read", 12, 1.0, 2});
+  Campaign campaign(cc);
+  const monitor::Dataset ds = campaign.run();
+  ASSERT_FALSE(ds.empty());
+  EXPECT_EQ(ds.n_servers, 7);
+  const auto hist = ds.class_histogram();
+  EXPECT_GT(hist[0], 0u);  // quiet case yields negatives
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_GT(hist[1], 0u);  // noisy case yields positives
+  // Bookkeeping.
+  ASSERT_EQ(campaign.outcomes().size(), 2u);
+  EXPECT_GT(campaign.outcomes()[0].matched_ops, 0u);
+  EXPECT_LT(campaign.outcomes()[0].mean_degradation, 1.5);
+  EXPECT_GT(campaign.outcomes()[1].mean_degradation, 1.5);
+}
+
+TEST(Campaign, QuietCaseDegradationNearOne) {
+  CampaignConfig cc;
+  cc.target_workload = "mdt-easy-write";
+  cc.target_nodes = 1;
+  cc.target_procs_per_node = 1;
+  cc.target_scale = 0.5;
+  cc.cluster = testbed_cluster_config(7);
+  cc.cases.push_back({"", 0, 1.0, 3});
+  Campaign campaign(cc);
+  const monitor::Dataset ds = campaign.run();
+  for (const auto& s : ds.samples) {
+    EXPECT_LT(s.degradation, 1.6) << "quiet window should not look degraded";
+    EXPECT_EQ(s.label, 0);
+  }
+}
+
+monitor::Dataset tiny_training_set(std::uint64_t seed) {
+  CampaignConfig cc;
+  cc.target_workload = "ior-easy-write";
+  cc.target_nodes = 1;
+  cc.target_procs_per_node = 2;
+  cc.target_scale = 3.0;
+  cc.cluster = testbed_cluster_config(seed);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    cc.cases.push_back({"", 0, 1.0, 10 + i});
+    cc.cases.push_back({"ior-easy-read", 12, 1.0, 20 + i});
+  }
+  Campaign campaign(cc);
+  return campaign.run();
+}
+
+TEST(TrainingServer, FitPredictEvaluate) {
+  const monitor::Dataset ds = tiny_training_set(8);
+  ASSERT_GT(ds.size(), 10u);
+  auto [train, test] = ml::split_dataset(ds, 0.25, 3);
+  TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  TrainingServer server(cfg);
+  const ml::TrainResult tr = server.fit(train);
+  EXPECT_GT(tr.best_val_macro_f1, 0.5);
+  const ml::ConfusionMatrix cm = server.evaluate(test);
+  EXPECT_GT(cm.accuracy(), 0.7);
+
+  // Single-sample prediction API agrees with batch evaluation.
+  const auto& sample = test.samples.front();
+  const int pred = server.predict(sample.features);
+  const auto proba = server.predict_proba(sample.features);
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+  EXPECT_EQ(pred, proba[1] > proba[0] ? 1 : 0);
+  EXPECT_EQ(server.server_scores(sample.features).size(), 7u);
+}
+
+TEST(TrainingServer, SaveLoadRoundTripPredictions) {
+  const monitor::Dataset ds = tiny_training_set(9);
+  TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  cfg.train.max_epochs = 10;
+  TrainingServer server(cfg);
+  server.fit(ds);
+  std::stringstream ss;
+  server.save(ss);
+  TrainingServer loaded(TrainingServerConfig{});
+  loaded.load(ss);
+  for (const auto& s : ds.samples) {
+    EXPECT_EQ(loaded.predict(s.features), server.predict(s.features));
+  }
+}
+
+TEST(TrainingServer, RejectsEmptyDataset) {
+  TrainingServer server(TrainingServerConfig{});
+  EXPECT_THROW(server.fit(monitor::Dataset{}), std::invalid_argument);
+}
+
+TEST(OnlinePredictor, EmitsPredictionEveryWindow) {
+  // Train a quick model, then deploy it against a live run.
+  const monitor::Dataset ds = tiny_training_set(10);
+  TrainingServerConfig tcfg;
+  tcfg.n_classes = 2;
+  tcfg.train.max_epochs = 15;
+  TrainingServer server(tcfg);
+  server.fit(ds);
+
+  sim::Simulation s;
+  pfs::ClusterConfig cc = testbed_cluster_config(11);
+  pfs::Cluster cluster(s, cc);
+  monitor::ClientMonitor cmon(0, sim::kSecond, cluster.n_servers(),
+                              cluster.mdt_server_index());
+  monitor::ServerMonitor smon(cluster, sim::kSecond);
+  smon.start();
+  cluster.trace_log().set_observer(
+      [&](const trace::OpRecord& r) { cmon.observe(r); });
+
+  workloads::JobSpec spec;
+  spec.workload = "ior-easy-write";
+  spec.nodes = {0};
+  spec.procs_per_node = 2;
+  spec.seed = 12;
+  spec.scale = 2.0;
+  workloads::JobInstance job(cluster, spec, /*loop=*/false);
+
+  int callbacks = 0;
+  OnlinePredictor predictor(cluster, server, cmon, smon, [&](const Prediction& p) {
+    ++callbacks;
+    EXPECT_EQ(p.probabilities.size(), 2u);
+    EXPECT_EQ(p.server_scores.size(), 7u);
+  });
+  predictor.start();
+  job.start(nullptr);
+  s.run_until(4 * sim::kSecond);
+  predictor.stop();
+  EXPECT_EQ(callbacks, 4);
+  ASSERT_EQ(predictor.history().size(), 4u);
+  EXPECT_EQ(predictor.history()[0].window_index, 0);
+  EXPECT_TRUE(predictor.history()[0].had_activity);
+}
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable t;
+  t.add_row({"a", "bbbb"});
+  t.add_row({"cccc", "d"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);  // header rule
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, FmtFormatsPrecision) {
+  EXPECT_EQ(fmt(2.71828, 2), "2.72");
+  EXPECT_EQ(fmt(40.9234, 3), "40.923");
+  EXPECT_EQ(fmt_rate(1536.0 * 1024), "1.5 MiB/s");
+}
+
+}  // namespace
+}  // namespace qif::core

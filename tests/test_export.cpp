@@ -1,0 +1,132 @@
+// Tests for the DXT-style trace dump and dataset CSV round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qif/monitor/export.hpp"
+
+namespace qif::monitor {
+namespace {
+
+trace::OpRecord op(std::int32_t job, pfs::Rank rank, std::int64_t idx, pfs::OpType type,
+                   std::int64_t offset, std::int64_t bytes,
+                   std::vector<std::int32_t> targets) {
+  trace::OpRecord r;
+  r.job = job;
+  r.rank = rank;
+  r.op_index = idx;
+  r.type = type;
+  r.offset = offset;
+  r.bytes = bytes;
+  r.start = 1000 + idx;
+  r.end = 2000 + idx;
+  r.targets = std::move(targets);
+  return r;
+}
+
+TEST(DxtExport, RoundTripPreservesEveryField) {
+  trace::TraceLog log;
+  log.record(op(0, 1, 0, pfs::OpType::kRead, 4096, 1 << 20, {0, 3}));
+  log.record(op(2, 0, 5, pfs::OpType::kCreate, 0, 0, {trace::kMdtTarget}));
+  log.record(op(0, 1, 1, pfs::OpType::kWrite, 1 << 20, 47008, {5}));
+
+  std::stringstream ss;
+  write_dxt(ss, log);
+  const trace::TraceLog loaded = read_dxt(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& a = log.records()[i];
+    const auto& b = loaded.records()[i];
+    EXPECT_EQ(a.job, b.job);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.op_index, b.op_index);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.targets, b.targets);
+  }
+}
+
+TEST(DxtExport, DumpIsCommentedAndGreppable) {
+  trace::TraceLog log;
+  log.record(op(0, 0, 0, pfs::OpType::kStat, 0, 0, {trace::kMdtTarget}));
+  std::stringstream ss;
+  write_dxt(ss, log);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("# DXT"), std::string::npos);
+  EXPECT_NE(text.find("stat"), std::string::npos);
+}
+
+TEST(DxtExport, RejectsGarbage) {
+  std::stringstream ss("0 0 0 frobnicate 0 0 0 0\n");
+  EXPECT_THROW(read_dxt(ss), std::runtime_error);
+}
+
+Dataset tiny_dataset() {
+  Dataset ds;
+  ds.n_servers = 2;
+  ds.dim = 3;
+  for (int i = 0; i < 4; ++i) {
+    Sample s;
+    s.window_index = i * 10;
+    s.label = i % 2;
+    s.degradation = 1.0 + i * 0.75;
+    s.features = {1.5 * i, -2.0, 3.25, 0.0, 1e9 + i, 1.0 / 3.0};
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+TEST(DatasetCsv, RoundTripPreservesShapeAndValues) {
+  const Dataset ds = tiny_dataset();
+  std::stringstream ss;
+  write_dataset_csv(ss, ds);
+  const Dataset loaded = read_dataset_csv(ss);
+  EXPECT_EQ(loaded.n_servers, 2);
+  EXPECT_EQ(loaded.dim, 3);
+  ASSERT_EQ(loaded.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.samples[i].window_index, ds.samples[i].window_index);
+    EXPECT_EQ(loaded.samples[i].label, ds.samples[i].label);
+    EXPECT_DOUBLE_EQ(loaded.samples[i].degradation, ds.samples[i].degradation);
+    ASSERT_EQ(loaded.samples[i].features.size(), 6u);
+    for (std::size_t f = 0; f < 6; ++f) {
+      EXPECT_DOUBLE_EQ(loaded.samples[i].features[f], ds.samples[i].features[f]);
+    }
+  }
+}
+
+TEST(DatasetCsv, HeaderNamesStandardSchemaFeatures) {
+  Dataset ds;
+  ds.n_servers = 1;
+  ds.dim = MetricSchema::kPerServerDim;
+  Sample s;
+  s.features.assign(static_cast<std::size_t>(ds.dim), 0.0);
+  ds.samples.push_back(s);
+  std::stringstream ss;
+  write_dataset_csv(ss, ds);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_NE(header.find("s0.cli_n_read"), std::string::npos);
+  EXPECT_NE(header.find("s0.srv_weighted_queue_ticks_std"), std::string::npos);
+}
+
+TEST(DatasetCsv, RejectsEmptyAndMalformed) {
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(read_dataset_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("window_index,label,degradation\n");  // no features
+    EXPECT_THROW(read_dataset_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("window_index,label,degradation,s0.f0,s0.f1\n1,0,1.0,2.0\n");
+    EXPECT_THROW(read_dataset_csv(ss), std::runtime_error);  // row too short
+  }
+}
+
+}  // namespace
+}  // namespace qif::monitor

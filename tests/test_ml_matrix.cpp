@@ -1,0 +1,89 @@
+// Tests for the matrix kernel: the three GEMM variants and reshaping.
+#include <gtest/gtest.h>
+
+#include "qif/ml/matrix.hpp"
+#include "qif/sim/rng.hpp"
+
+namespace qif::ml {
+namespace {
+
+Matrix fill(std::size_t r, std::size_t c, std::initializer_list<double> vals) {
+  Matrix m(r, c);
+  std::copy(vals.begin(), vals.end(), m.data().begin());
+  return m;
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a = fill(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = fill(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = Matrix::matmul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(Matrix, MatmulTnEqualsTransposeTimesB) {
+  sim::Rng rng(1);
+  Matrix a(5, 3), b(5, 4);
+  for (auto& v : a.data()) v = rng.normal(0, 1);
+  for (auto& v : b.data()) v = rng.normal(0, 1);
+  const Matrix c = Matrix::matmul_tn(a, b);
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 4u);
+  // Explicit transpose reference.
+  Matrix at(3, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Matrix ref = Matrix::matmul(at, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-12);
+  }
+}
+
+TEST(Matrix, MatmulNtEqualsATimesTranspose) {
+  sim::Rng rng(2);
+  Matrix a(4, 6), b(3, 6);
+  for (auto& v : a.data()) v = rng.normal(0, 1);
+  for (auto& v : b.data()) v = rng.normal(0, 1);
+  const Matrix c = Matrix::matmul_nt(a, b);
+  ASSERT_EQ(c.rows(), 4u);
+  ASSERT_EQ(c.cols(), 3u);
+  Matrix bt(6, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Matrix ref = Matrix::matmul(a, bt);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-12);
+  }
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+  Matrix id(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) id.at(i, i) = 1.0;
+  const Matrix a = fill(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Matrix c = Matrix::matmul(a, id);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(c.data()[i], a.data()[i]);
+}
+
+TEST(Matrix, ReshapedPreservesDataRowMajor) {
+  const Matrix a = fill(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = a.reshaped(3, 2);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 2);
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 3);
+  EXPECT_DOUBLE_EQ(b.at(2, 1), 6);
+}
+
+TEST(Matrix, FillSetsEveryElement) {
+  Matrix a(4, 4);
+  a.fill(2.5);
+  for (const double v : a.data()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+}  // namespace
+}  // namespace qif::ml

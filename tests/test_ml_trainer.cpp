@@ -1,0 +1,218 @@
+// Tests for preprocessing (standardizer, split, class weights), the
+// trainer, and the classification metrics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qif/ml/metrics.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/ml/trainer.hpp"
+
+namespace qif::ml {
+namespace {
+
+monitor::Dataset synthetic_dataset(std::size_t n, std::uint64_t seed) {
+  // 2 servers x 3 features; label = 1 iff server 0's feature 0 is large.
+  monitor::Dataset ds;
+  ds.n_servers = 2;
+  ds.dim = 3;
+  sim::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    monitor::Sample s;
+    s.window_index = static_cast<std::int64_t>(i);
+    const bool hot = rng.chance(0.5);
+    s.features = {hot ? rng.uniform(5.0, 8.0) : rng.uniform(0.0, 2.0),
+                  rng.normal(0, 1), rng.normal(100, 10),
+                  rng.normal(0, 1), rng.normal(0, 1), rng.normal(-5, 2)};
+    s.label = hot ? 1 : 0;
+    s.degradation = hot ? 4.0 : 1.0;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+TEST(Standardizer, ZeroMeanUnitVarianceAfterTransform) {
+  const auto ds = synthetic_dataset(500, 1);
+  Standardizer stdz;
+  stdz.fit(ds);
+  ASSERT_TRUE(stdz.fitted());
+  EXPECT_EQ(stdz.dim(), 3);
+  // Pool transformed values per column (over samples AND servers).
+  std::vector<double> sum(3, 0.0), sq(3, 0.0);
+  std::size_t n = 0;
+  for (const auto& s : ds.samples) {
+    auto f = s.features;
+    stdz.transform(f);
+    for (std::size_t off = 0; off < f.size(); off += 3) {
+      ++n;
+      for (std::size_t j = 0; j < 3; ++j) {
+        sum[j] += f[off + j];
+        sq[j] += f[off + j] * f[off + j];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(sum[j] / n, 0.0, 1e-9);
+    EXPECT_NEAR(sq[j] / n, 1.0, 1e-6);
+  }
+}
+
+TEST(Standardizer, ConstantFeaturePassesThrough) {
+  monitor::Dataset ds;
+  ds.n_servers = 1;
+  ds.dim = 2;
+  for (int i = 0; i < 10; ++i) {
+    monitor::Sample s;
+    s.features = {7.0, static_cast<double>(i)};
+    ds.samples.push_back(s);
+  }
+  Standardizer stdz;
+  stdz.fit(ds);
+  std::vector<double> f = {7.0, 4.5};
+  stdz.transform(f);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);  // (7-7) * 1
+  EXPECT_NEAR(f[1], 0.0, 1e-9);
+}
+
+TEST(Standardizer, SaveLoadRoundTrip) {
+  const auto ds = synthetic_dataset(100, 2);
+  Standardizer a;
+  a.fit(ds);
+  std::stringstream ss;
+  a.save(ss);
+  Standardizer b;
+  b.load(ss);
+  std::vector<double> fa = ds.samples[0].features;
+  std::vector<double> fb = fa;
+  a.transform(fa);
+  b.transform(fb);
+  for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_NEAR(fa[i], fb[i], 1e-12);
+}
+
+TEST(SplitDataset, FractionsAndDisjointness) {
+  const auto ds = synthetic_dataset(1000, 3);
+  auto [train, test] = split_dataset(ds, 0.2, 5);
+  EXPECT_EQ(train.size() + test.size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(test.size()), 200.0, 1.0);
+  std::set<std::int64_t> train_w, test_w;
+  for (const auto& s : train.samples) train_w.insert(s.window_index);
+  for (const auto& s : test.samples) test_w.insert(s.window_index);
+  for (const auto w : test_w) EXPECT_EQ(train_w.count(w), 0u);
+}
+
+TEST(SplitDataset, DeterministicPerSeed) {
+  const auto ds = synthetic_dataset(100, 4);
+  auto [t1, e1] = split_dataset(ds, 0.2, 9);
+  auto [t2, e2] = split_dataset(ds, 0.2, 9);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1.samples[i].window_index, e2.samples[i].window_index);
+  }
+}
+
+TEST(InverseFrequencyWeights, BalancesClasses) {
+  monitor::Dataset ds;
+  ds.n_servers = 1;
+  ds.dim = 1;
+  for (int i = 0; i < 30; ++i) {
+    monitor::Sample s;
+    s.features = {0.0};
+    s.label = i < 24 ? 1 : 0;  // 24 positive, 6 negative
+    ds.samples.push_back(s);
+  }
+  const auto w = inverse_frequency_weights(ds, 2);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0], 30.0 / (2 * 6), 1e-12);
+  EXPECT_NEAR(w[1], 30.0 / (2 * 24), 1e-12);
+  // Expected total contribution per class becomes equal.
+  EXPECT_NEAR(w[0] * 6, w[1] * 24, 1e-9);
+}
+
+TEST(Trainer, FitsSeparableDataset) {
+  const auto ds = synthetic_dataset(600, 6);
+  auto [train, test] = split_dataset(ds, 0.25, 7);
+  TrainConfig tc;
+  tc.max_epochs = 200;
+  tc.adam.lr = 3e-3;
+  Trainer trainer(tc);
+  KernelNetConfig nc;
+  nc.per_server_dim = 3;
+  nc.n_servers = 2;
+  nc.n_classes = 2;
+  nc.kernel_hidden = {8};
+  nc.head_hidden = {4};
+  KernelNet net(nc);
+  Standardizer stdz;
+  const TrainResult result = trainer.train(net, stdz, train);
+  EXPECT_GT(result.best_val_macro_f1, 0.95);
+  EXPECT_FALSE(result.history.empty());
+  const ConfusionMatrix cm = Trainer::evaluate(net, stdz, test);
+  EXPECT_GT(cm.accuracy(), 0.95);
+}
+
+TEST(Trainer, EarlyStoppingRestoresBestEpoch) {
+  const auto ds = synthetic_dataset(200, 8);
+  TrainConfig tc;
+  tc.max_epochs = 60;
+  tc.patience = 5;
+  Trainer trainer(tc);
+  KernelNetConfig nc;
+  nc.per_server_dim = 3;
+  nc.n_servers = 2;
+  nc.n_classes = 2;
+  KernelNet net(nc);
+  Standardizer stdz;
+  const TrainResult result = trainer.train(net, stdz, ds);
+  EXPECT_LE(result.best_epoch,
+            static_cast<int>(result.history.size()));
+  // Stopped within patience of the best epoch.
+  EXPECT_LE(static_cast<int>(result.history.size()) - result.best_epoch, tc.patience);
+}
+
+TEST(ConfusionMatrix, HandComputedMetrics) {
+  ConfusionMatrix cm(2);
+  // 50 TN, 10 FP, 5 FN, 35 TP.
+  for (int i = 0; i < 50; ++i) cm.add(0, 0);
+  for (int i = 0; i < 10; ++i) cm.add(0, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 0);
+  for (int i = 0; i < 35; ++i) cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 100);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.85);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 35.0 / 45.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 35.0 / 40.0);
+  const double p = 35.0 / 45.0, r = 35.0 / 40.0;
+  EXPECT_DOUBLE_EQ(cm.binary_f1(), 2 * p * r / (p + r));
+  EXPECT_GT(cm.macro_f1(), 0.8);
+}
+
+TEST(ConfusionMatrix, EmptyClassHasZeroF1) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(0), 1.0);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCountsAndNames) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  const std::string s = cm.to_string({"neg", "pos"});
+  EXPECT_NE(s.find("neg"), std::string::npos);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, AddAllMatchesIndividualAdds) {
+  ConfusionMatrix a(2), b(2);
+  const std::vector<int> truth = {0, 1, 1, 0, 1};
+  const std::vector<int> pred = {0, 1, 0, 1, 1};
+  a.add_all(truth, pred);
+  for (std::size_t i = 0; i < truth.size(); ++i) b.add(truth[i], pred[i]);
+  for (int t = 0; t < 2; ++t) {
+    for (int p = 0; p < 2; ++p) EXPECT_EQ(a.at(t, p), b.at(t, p));
+  }
+}
+
+}  // namespace
+}  // namespace qif::ml

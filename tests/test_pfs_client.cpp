@@ -1,0 +1,219 @@
+// End-to-end tests for the PFS client + cluster: POSIX-ish semantics, RPC
+// chunking, trace emission, flush-on-close, and the monitored-server
+// counter mapping.
+#include <gtest/gtest.h>
+
+#include "qif/pfs/cluster.hpp"
+#include "qif/sim/simulation.hpp"
+
+namespace qif::pfs {
+namespace {
+
+struct ClusterFixture : ::testing::Test {
+  sim::Simulation s;
+  ClusterConfig cfg;
+  std::unique_ptr<Cluster> cluster;
+  void SetUp() override {
+    cfg.seed = 9;
+    cfg.ost_disk.service_jitter = 0.0;
+    cfg.mdt_disk.service_jitter = 0.0;
+    cfg.mdt.cpu_jitter = 0.0;
+    cluster = std::make_unique<Cluster>(s, cfg);
+  }
+};
+
+TEST_F(ClusterFixture, TopologyMatchesConfig) {
+  EXPECT_EQ(cluster->n_osts(), 6);
+  EXPECT_EQ(cluster->n_servers(), 7);
+  EXPECT_EQ(cluster->mdt_server_index(), 6);
+  EXPECT_EQ(cluster->oss_port(0), 0);
+  EXPECT_EQ(cluster->oss_port(1), 0);
+  EXPECT_EQ(cluster->oss_port(2), 1);
+  EXPECT_EQ(cluster->oss_port(5), 2);
+  EXPECT_EQ(cluster->mds_port(), 3);
+  EXPECT_EQ(cluster->server_index(trace::kMdtTarget), 6);
+  EXPECT_EQ(cluster->server_index(2), 2);
+}
+
+TEST_F(ClusterFixture, CreateWriteReadCloseRoundTrip) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  bool finished = false;
+  client.create("/t/file", 1, [&](FileHandle fh) {
+    ASSERT_TRUE(fh.valid());
+    client.write(fh, 0, 2 << 20, [&, fh] {
+      client.read(fh, 0, 1 << 20, [&, fh] {
+        client.close(fh, [&] { finished = true; });
+      });
+    });
+  });
+  s.run_all();
+  EXPECT_TRUE(finished);
+  const auto& recs = cluster->trace_log().records();
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs[0].type, OpType::kCreate);
+  EXPECT_EQ(recs[1].type, OpType::kWrite);
+  EXPECT_EQ(recs[1].bytes, 2 << 20);
+  EXPECT_EQ(recs[2].type, OpType::kRead);
+  EXPECT_EQ(recs[3].type, OpType::kClose);
+}
+
+TEST_F(ClusterFixture, OpIndicesAreSequentialPerRank) {
+  PfsClient& c0 = cluster->make_client(0, 0, 0);
+  PfsClient& c1 = cluster->make_client(1, 1, 0);
+  c0.stat("/", [](bool, std::int64_t) {});
+  c1.stat("/", [](bool, std::int64_t) {});
+  c0.stat("/", [](bool, std::int64_t) {});
+  s.run_all();
+  std::int64_t max_r0 = -1, max_r1 = -1;
+  for (const auto& r : cluster->trace_log().records()) {
+    if (r.rank == 0) max_r0 = std::max(max_r0, r.op_index);
+    if (r.rank == 1) max_r1 = std::max(max_r1, r.op_index);
+  }
+  EXPECT_EQ(max_r0, 1);
+  EXPECT_EQ(max_r1, 0);
+}
+
+TEST_F(ClusterFixture, MetadataOpsTargetMdt) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  client.mkdir("/d", [] {});
+  s.run_all();
+  const auto& rec = cluster->trace_log().records().back();
+  ASSERT_EQ(rec.targets.size(), 1u);
+  EXPECT_EQ(rec.targets[0], trace::kMdtTarget);
+}
+
+TEST_F(ClusterFixture, StripedWriteTargetsAllItsOsts) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  std::vector<std::int32_t> targets;
+  client.create("/wide", 0, [&](FileHandle fh) {
+    client.write(fh, 0, 6 << 20, [] {});  // one stripe unit on each OST
+  });
+  s.run_all();
+  for (const auto& r : cluster->trace_log().records()) {
+    if (r.type == OpType::kWrite) targets = r.targets;
+  }
+  EXPECT_EQ(targets.size(), 6u);
+}
+
+TEST_F(ClusterFixture, LargeOpSplitsIntoRpcChunks) {
+  // A 4 MiB read on a 1-stripe file must produce 4 x 1 MiB disk requests.
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  OstId ost = -1;
+  client.create("/big", 1, [&](FileHandle fh) {
+    ost = fh.layout->osts()[0];
+    client.read(fh, 0, 4 << 20, [] {});
+  });
+  s.run_all();
+  ASSERT_GE(ost, 0);
+  EXPECT_EQ(cluster->ost(ost).disk().counters().sectors_read, (4 << 20) / 512);
+}
+
+TEST_F(ClusterFixture, SmallFileCloseFlushesSynchronously) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  OstId ost = -1;
+  sim::SimTime write_done = 0;
+  client.create("/small", 1, [&](FileHandle fh) {
+    ost = fh.layout->osts()[0];
+    client.write(fh, 0, 3901, [&, fh] {
+      write_done = s.now();
+      client.close(fh, [] {});
+    });
+  });
+  s.run_all();
+  ASSERT_GE(ost, 0);
+  // The 3901-byte body reaches the disk via the close's sync flush.
+  EXPECT_EQ(cluster->ost(ost).disk().counters().sectors_written, (3901 + 511) / 512);
+  const auto& close_rec = cluster->trace_log().records().back();
+  ASSERT_EQ(close_rec.type, OpType::kClose);
+  // The close targets both the OST (flush) and the MDT (namespace close).
+  ASSERT_EQ(close_rec.targets.size(), 2u);
+  EXPECT_EQ(close_rec.targets[0], ost);
+  EXPECT_EQ(close_rec.targets[1], trace::kMdtTarget);
+  // And the close is the expensive op, not the buffered write.
+  EXPECT_GT(close_rec.duration(), 0);
+}
+
+TEST_F(ClusterFixture, LargeFileCloseIsCheap) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  sim::SimDuration close_time = 0;
+  client.create("/bulk", 1, [&](FileHandle fh) {
+    client.write(fh, 0, 4 << 20, [&, fh] {
+      client.close(fh, [] {});
+    });
+  });
+  s.run_all();
+  for (const auto& r : cluster->trace_log().records()) {
+    if (r.type == OpType::kClose) close_time = r.duration();
+  }
+  EXPECT_LT(sim::to_millis(close_time), 10.0);
+}
+
+TEST_F(ClusterFixture, ZeroLengthDataOpStillEmitsRecord) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  bool cb = false;
+  client.create("/z", 1, [&](FileHandle fh) {
+    client.write(fh, 0, 0, [&] { cb = true; });
+  });
+  s.run_all();
+  EXPECT_TRUE(cb);
+  const auto& recs = cluster->trace_log().records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[1].type, OpType::kWrite);
+  EXPECT_EQ(recs[1].bytes, 0);
+}
+
+TEST_F(ClusterFixture, ServerCountersReflectLoad) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  client.create("/load", 1, [&](FileHandle fh) {
+    client.read(fh, 0, 1 << 20, [] {});
+  });
+  s.run_all();
+  bool some_reads = false;
+  for (int srv = 0; srv < cluster->n_osts(); ++srv) {
+    const auto counters = cluster->server_counters(srv);
+    if (counters[0] > 0) some_reads = true;  // completed reads
+  }
+  EXPECT_TRUE(some_reads);
+  // MDT server counters include the create as a modifying op.
+  const auto mdt = cluster->server_counters(cluster->mdt_server_index());
+  EXPECT_GE(mdt[1], 1);  // completed "writes" = modifying metadata ops
+}
+
+TEST_F(ClusterFixture, WriteUpdatesFileSizeAtMds) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  std::int64_t size_seen = -1;
+  client.create("/grow", 1, [&](FileHandle fh) {
+    client.write(fh, 0, 12345, [&] {
+      client.stat("/grow", [&](bool ok, std::int64_t size) {
+        ASSERT_TRUE(ok);
+        size_seen = size;
+      });
+    });
+  });
+  s.run_all();
+  EXPECT_EQ(size_seen, 12345);
+}
+
+TEST_F(ClusterFixture, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    ClusterConfig cc;
+    cc.seed = seed;
+    Cluster cl(sim, cc);
+    PfsClient& client = cl.make_client(0, 0, 0);
+    client.create("/det", 0, [&](FileHandle fh) {
+      client.write(fh, 0, 8 << 20, [&, fh] {
+        client.read(fh, 0, 8 << 20, [&, fh] { client.close(fh, [] {}); });
+      });
+    });
+    sim.run_all();
+    std::vector<sim::SimTime> ends;
+    for (const auto& r : cl.trace_log().records()) ends.push_back(r.end);
+    return ends;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // jitter differs across seeds
+}
+
+}  // namespace
+}  // namespace qif::pfs

@@ -1,0 +1,93 @@
+// Tests for the opt-in server read cache.
+#include <gtest/gtest.h>
+
+#include "qif/pfs/ost.hpp"
+#include "qif/pfs/read_cache.hpp"
+#include "qif/sim/simulation.hpp"
+
+namespace qif::pfs {
+namespace {
+
+TEST(ReadCache, DisabledByDefault) {
+  ReadCache cache(ReadCacheParams{});
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(0, 4096);
+  EXPECT_FALSE(cache.lookup(0, 4096));
+  EXPECT_EQ(cache.cached_bytes(), 0);
+}
+
+TEST(ReadCache, HitRequiresFullCoverage) {
+  ReadCache cache(ReadCacheParams{1 << 20});
+  cache.insert(1000, 5000);
+  EXPECT_TRUE(cache.lookup(1000, 5000));
+  EXPECT_TRUE(cache.lookup(2000, 1000));
+  EXPECT_FALSE(cache.lookup(0, 1500));     // head not cached
+  EXPECT_FALSE(cache.lookup(5000, 2000));  // tail exceeds extent
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(ReadCache, AdjacentInsertsCoalesce) {
+  ReadCache cache(ReadCacheParams{1 << 20});
+  cache.insert(0, 4096);
+  cache.insert(4096, 4096);
+  EXPECT_TRUE(cache.lookup(0, 8192));
+  EXPECT_EQ(cache.cached_bytes(), 8192);
+}
+
+TEST(ReadCache, OverlappingInsertDoesNotDoubleCount) {
+  ReadCache cache(ReadCacheParams{1 << 20});
+  cache.insert(0, 8192);
+  cache.insert(4096, 8192);  // overlaps the second half
+  EXPECT_EQ(cache.cached_bytes(), 12288);
+  EXPECT_TRUE(cache.lookup(0, 12288));
+}
+
+TEST(ReadCache, FifoEvictionRespectsBudget) {
+  ReadCache cache(ReadCacheParams{10000});
+  cache.insert(0, 6000);
+  cache.insert(100000, 6000);  // pushes over budget: first extent evicted
+  EXPECT_LE(cache.cached_bytes(), 10000);
+  EXPECT_FALSE(cache.lookup(0, 6000));
+  EXPECT_TRUE(cache.lookup(100000, 6000));
+}
+
+TEST(ReadCache, OstServesHitsAtMemorySpeed) {
+  sim::Simulation s;
+  DiskParams dp;
+  dp.service_jitter = 0.0;
+  WritebackParams wp;
+  ReadCacheParams rc;
+  rc.capacity_bytes = 64 << 20;
+  Ost ost(s, 0, dp, wp, 1, rc);
+  sim::SimTime hit_done = 0, miss_done = 0;
+  ost.write(0, 1 << 20, nullptr);
+  s.run_all();
+  const sim::SimTime t0 = s.now();
+  ost.read(0, 1 << 20, [&] { hit_done = s.now() - t0; });
+  s.run_all();
+  const sim::SimTime t1 = s.now();
+  ost.read(500ll << 20, 1 << 20, [&] { miss_done = s.now() - t1; });
+  s.run_all();
+  EXPECT_LT(sim::to_millis(hit_done), 1.0);   // memcpy path
+  EXPECT_GT(sim::to_millis(miss_done), 5.0);  // media path
+  EXPECT_EQ(ost.read_cache().hits(), 1);
+  EXPECT_EQ(ost.read_cache().misses(), 1);
+}
+
+TEST(ReadCache, OstDisabledCacheAlwaysHitsMedia) {
+  sim::Simulation s;
+  DiskParams dp;
+  dp.service_jitter = 0.0;
+  Ost ost(s, 0, dp, WritebackParams{}, 1);
+  ost.write(0, 1 << 20, nullptr);
+  s.run_all();
+  const sim::SimTime t0 = s.now();
+  sim::SimTime done = 0;
+  ost.read(0, 1 << 20, [&] { done = s.now() - t0; });
+  s.run_all();
+  EXPECT_GT(sim::to_millis(done), 5.0);
+}
+
+}  // namespace
+}  // namespace qif::pfs

@@ -1,0 +1,201 @@
+// Tests for the contended-transport primitives: the processor-sharing
+// FairLink and the FIFO Pipe.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qif/sim/fair_link.hpp"
+#include "qif/sim/pipe.hpp"
+#include "qif/sim/simulation.hpp"
+
+namespace qif::sim {
+namespace {
+
+TEST(FairLink, SingleTransferTakesBytesOverRate) {
+  Simulation s;
+  FairLink link(s, 1e9);  // 1 GB/s
+  SimTime done_at = -1;
+  link.transfer(500'000'000, [&] { done_at = s.now(); });
+  s.run_all();
+  EXPECT_NEAR(to_seconds(done_at), 0.5, 1e-6);
+  EXPECT_EQ(link.bytes_delivered(), 500'000'000);
+  EXPECT_EQ(link.active(), 0u);
+}
+
+TEST(FairLink, TwoEqualTransfersShareAndFinishTogether) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  SimTime a = -1, b = -1;
+  link.transfer(100'000'000, [&] { a = s.now(); });
+  link.transfer(100'000'000, [&] { b = s.now(); });
+  s.run_all();
+  // Each gets half the rate: 0.2 s instead of 0.1 s.
+  EXPECT_NEAR(to_seconds(a), 0.2, 1e-6);
+  EXPECT_NEAR(to_seconds(b), 0.2, 1e-6);
+}
+
+TEST(FairLink, ShortTransferDelaysLongOneByItsShare) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  SimTime small_done = -1, big_done = -1;
+  link.transfer(900'000'000, [&] { big_done = s.now(); });
+  link.transfer(100'000'000, [&] { small_done = s.now(); });
+  s.run_all();
+  // Shared until the small one drains at 0.2 s (100MB at 500MB/s); the big
+  // one then has 800MB left at full rate: 0.2 + 0.8 = 1.0 s.
+  EXPECT_NEAR(to_seconds(small_done), 0.2, 1e-5);
+  EXPECT_NEAR(to_seconds(big_done), 1.0, 1e-5);
+}
+
+TEST(FairLink, LateArrivalSharesRemainder) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  SimTime first = -1, second = -1;
+  link.transfer(1'000'000'000, [&] { first = s.now(); });
+  s.schedule_at(from_seconds(0.5), [&] {
+    link.transfer(250'000'000, [&] { second = s.now(); });
+  });
+  s.run_all();
+  // First has 500MB left at t=0.5; both share: second drains its 250MB at
+  // 0.5 + 0.5 = 1.0 s; first finishes its remaining 250MB at 1.25 s.
+  EXPECT_NEAR(to_seconds(second), 1.0, 1e-5);
+  EXPECT_NEAR(to_seconds(first), 1.25, 1e-5);
+}
+
+TEST(FairLink, ZeroByteTransferCompletes) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  bool done = false;
+  link.transfer(0, [&] { done = true; });
+  s.run_all();
+  EXPECT_TRUE(done);
+}
+
+TEST(FairLink, PerFlowRateReflectsActiveCount) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  link.transfer(1 << 30, nullptr);
+  link.transfer(1 << 30, nullptr);
+  EXPECT_EQ(link.active(), 2u);
+  EXPECT_NEAR(link.per_flow_rate(), 0.5e9, 1.0);
+}
+
+TEST(FairLink, ManyTransfersAllComplete) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    link.transfer(1'000'000 + i, [&] { ++done; });
+  }
+  s.run_all();
+  EXPECT_EQ(done, 100);
+  EXPECT_EQ(link.active(), 0u);
+}
+
+TEST(FairLink, CallbackCanStartNewTransfer) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  SimTime second_done = -1;
+  link.transfer(100'000'000, [&] {
+    link.transfer(100'000'000, [&] { second_done = s.now(); });
+  });
+  s.run_all();
+  EXPECT_NEAR(to_seconds(second_done), 0.2, 1e-5);
+}
+
+TEST(Pipe, SerializesAtRatePlusLatency) {
+  Simulation s;
+  Pipe pipe(s, 1e9, 100 * kMicrosecond);
+  SimTime done = -1;
+  pipe.send(1'000'000, [&] { done = s.now(); });
+  s.run_all();
+  // 1 ms serialization + 0.1 ms latency.
+  EXPECT_NEAR(to_millis(done), 1.1, 1e-3);
+  EXPECT_EQ(pipe.bytes_sent(), 1'000'000);
+}
+
+TEST(Pipe, FifoOrderPreserved) {
+  Simulation s;
+  Pipe pipe(s, 1e9, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pipe.send(1000, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Pipe, BackToBackMessagesQueueSerially) {
+  Simulation s;
+  Pipe pipe(s, 1e6, 0);  // 1 MB/s: 1 ms per 1000 bytes
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    pipe.send(1000, [&] { times.push_back(s.now()); });
+  }
+  s.run_all();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(to_millis(times[0]), 1.0, 0.01);
+  EXPECT_NEAR(to_millis(times[1]), 2.0, 0.01);
+  EXPECT_NEAR(to_millis(times[2]), 3.0, 0.01);
+}
+
+TEST(Pipe, PropagationOverlapsNextSerialization) {
+  Simulation s;
+  Pipe pipe(s, 1e6, 5 * kMillisecond);  // long latency
+  std::vector<SimTime> times;
+  pipe.send(1000, [&] { times.push_back(s.now()); });
+  pipe.send(1000, [&] { times.push_back(s.now()); });
+  s.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  // Cut-through: second message serializes during the first's propagation.
+  EXPECT_NEAR(to_millis(times[0]), 6.0, 0.01);
+  EXPECT_NEAR(to_millis(times[1]), 7.0, 0.01);
+}
+
+TEST(Pipe, QueueDepthTracksBacklog) {
+  Simulation s;
+  Pipe pipe(s, 1e6, 0);
+  pipe.send(1000, nullptr);
+  pipe.send(1000, nullptr);
+  pipe.send(1000, nullptr);
+  EXPECT_EQ(pipe.queue_depth(), 3u);
+  s.run_all();
+  EXPECT_EQ(pipe.queue_depth(), 0u);
+}
+
+TEST(Pipe, NegativeSizeClampedToZero) {
+  Simulation s;
+  Pipe pipe(s, 1e6, 0);
+  bool done = false;
+  pipe.send(-5, [&] { done = true; });
+  s.run_all();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(pipe.bytes_sent(), 0);
+}
+
+// Property: total FairLink throughput equals capacity regardless of the mix.
+class FairLinkConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairLinkConservation, AggregateRateEqualsCapacity) {
+  Simulation s;
+  FairLink link(s, 1e9);
+  const int n = GetParam();
+  const std::int64_t each = 100'000'000;
+  SimTime last = 0;
+  int done = 0;
+  for (int i = 0; i < n; ++i) {
+    link.transfer(each, [&] {
+      ++done;
+      last = s.now();
+    });
+  }
+  s.run_all();
+  EXPECT_EQ(done, n);
+  // Equal-size concurrent transfers all finish at n * each / capacity.
+  EXPECT_NEAR(to_seconds(last), static_cast<double>(n) * each / 1e9, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flows, FairLinkConservation, ::testing::Values(1, 2, 3, 8, 32));
+
+}  // namespace
+}  // namespace qif::sim

@@ -1,0 +1,255 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// horizons, determinism, and the periodic sampler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qif/sim/rng.hpp"
+#include "qif/sim/sampler.hpp"
+#include "qif/sim/simulation.hpp"
+#include "qif/sim/stats.hpp"
+
+namespace qif::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Simulation, ExecutesEventsInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SimultaneousEventsRunInScheduleOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation s;
+  SimTime seen = -1;
+  s.schedule_at(42, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.now(), 42);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation s;
+  SimTime seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { seen = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulation s;
+  int ran = 0;
+  s.schedule_at(10, [&] { ++ran; });
+  s.schedule_at(100, [&] { ++ran; });
+  const auto executed = s.run_until(50);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), 50);  // clock tiles to the horizon
+  s.run_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulation, EventAtExactHorizonFires) {
+  Simulation s;
+  bool fired = false;
+  s.schedule_at(50, [&] { fired = true; });
+  s.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelAfterFireIsNoOp) {
+  Simulation s;
+  int count = 0;
+  const EventId id = s.schedule_at(10, [&] { ++count; });
+  s.run_all();
+  s.cancel(id);  // must not crash or affect later events
+  s.schedule_at(20, [&] { ++count; });
+  s.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, CancelInvalidEventIsNoOp) {
+  Simulation s;
+  s.cancel(kInvalidEvent);
+  s.schedule_at(1, [] {});
+  EXPECT_EQ(s.run_all(), 1u);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.schedule_after(1, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Simulation, PendingTracksQueue) {
+  Simulation s;
+  s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.run_until(15);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Sampler, FiresAtExactPeriods) {
+  Simulation s;
+  std::vector<SimTime> times;
+  Sampler sampler(s, kSecond, [&](std::uint64_t) { times.push_back(s.now()); });
+  sampler.start();
+  s.run_until(3 * kSecond + kMillisecond);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], kSecond);
+  EXPECT_EQ(times[1], 2 * kSecond);
+  EXPECT_EQ(times[2], 3 * kSecond);
+}
+
+TEST(Sampler, TickIndexIncrements) {
+  Simulation s;
+  std::vector<std::uint64_t> ticks;
+  Sampler sampler(s, 10, [&](std::uint64_t t) { ticks.push_back(t); });
+  sampler.start();
+  s.run_until(35);
+  EXPECT_EQ(ticks, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(sampler.ticks(), 3u);
+}
+
+TEST(Sampler, StopHaltsFiring) {
+  Simulation s;
+  int count = 0;
+  Sampler sampler(s, 10, [&](std::uint64_t) {
+    if (++count == 2) sampler.stop();
+  });
+  sampler.start();
+  s.run_until(1000);
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(Sampler, StartIsIdempotent) {
+  Simulation s;
+  int count = 0;
+  Sampler sampler(s, 10, [&](std::uint64_t) { ++count; });
+  sampler.start();
+  sampler.start();
+  s.run_until(25);
+  EXPECT_EQ(count, 2);  // not doubled
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats st;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+  EXPECT_NEAR(st.stddev(), 2.0, 1e-12);  // classic example set
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats st;
+  st.add(3.5);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(st.min(), 3.5);
+  EXPECT_DOUBLE_EQ(st.max(), 3.5);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs = {1, 5, 2, 8};
+  EXPECT_EQ(moving_average(xs, 1), xs);
+}
+
+TEST(MovingAverage, SmoothsConstantToConstant) {
+  const std::vector<double> xs(20, 3.0);
+  for (const double v : moving_average(xs, 5)) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(MovingAverage, CenteredWindowValues) {
+  const std::vector<double> xs = {0, 3, 6, 9, 12};
+  const auto out = moving_average(xs, 3);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);  // mean of {0,3}
+  EXPECT_DOUBLE_EQ(out[1], 3.0);  // mean of {0,3,6}
+  EXPECT_DOUBLE_EQ(out[2], 6.0);
+  EXPECT_DOUBLE_EQ(out[4], 10.5);
+}
+
+TEST(MovingAverage, PreservesTotalLength) {
+  std::vector<double> xs(123, 0.0);
+  EXPECT_EQ(moving_average(xs, 10).size(), xs.size());
+}
+
+// Property sweep: the engine is deterministic — same schedule, same result.
+class DeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismTest, ReplayProducesIdenticalEventTrace) {
+  auto run_once = [&](std::uint64_t seed) {
+    Simulation s;
+    Rng rng(seed);
+    std::vector<SimTime> trace;
+    std::function<void()> spawn = [&] {
+      trace.push_back(s.now());
+      if (trace.size() < 200) {
+        s.schedule_after(rng.uniform_int(1, 1000), spawn);
+        if (rng.chance(0.3)) s.schedule_after(rng.uniform_int(1, 500), spawn);
+      }
+    };
+    s.schedule_at(0, spawn);
+    s.run_until(1'000'000);
+    return trace;
+  };
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  EXPECT_EQ(run_once(seed), run_once(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, ::testing::Values(1, 2, 7, 99, 12345));
+
+}  // namespace
+}  // namespace qif::sim

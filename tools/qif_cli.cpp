@@ -1,0 +1,257 @@
+// qif — command-line front end for the framework.
+//
+//   qif workloads
+//       List the canonical workload names.
+//
+//   qif run <target> [--noise W] [--instances N] [--scale S] [--seed K]
+//       Run one scenario (solo, or under N looping copies of W) and print
+//       completion time plus the per-op-type latency breakdown.
+//
+//   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
+//                [--bins 2|2,5] [--seed K] --out data.csv
+//       Build a labelled training dataset and write it as CSV.
+//
+//   qif train --data data.csv --out model.txt [--classes C] [--epochs E]
+//       Train the kernel-based model on a CSV dataset (80/20 split) and
+//       save the bundle; prints the held-out confusion matrix.
+//
+//   qif eval --data data.csv --model model.txt
+//       Evaluate a saved bundle on a CSV dataset.
+//
+//   qif dump-trace <target> [--scale S] [--seed K] --out trace.txt
+//       Run the target solo and dump its DXT-style op trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qif/core/datasets.hpp"
+#include "qif/core/report.hpp"
+#include "qif/core/scenario.hpp"
+#include "qif/core/training_server.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/monitor/export.hpp"
+#include "qif/sim/stats.hpp"
+#include "qif/trace/matcher.hpp"
+#include "qif/workloads/registry.hpp"
+
+using namespace qif;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : std::atoi(it->second.c_str());
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[a.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qif <command> [options]\n"
+               "  workloads                          list workload names\n"
+               "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]\n"
+               "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] --out F.csv\n"
+               "  train --data F.csv --out model.txt [--classes C] [--epochs E]\n"
+               "  eval --data F.csv --model model.txt\n"
+               "  dump-trace <target> [--scale S] [--seed K] --out F.txt\n");
+  return 2;
+}
+
+int cmd_workloads() {
+  for (const auto& w : workloads::known_workloads()) std::printf("%s\n", w.c_str());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string target = args.positional[0];
+  if (!workloads::is_known_workload(target)) {
+    std::fprintf(stderr, "unknown workload: %s\n", target.c_str());
+    return 1;
+  }
+  core::ScenarioConfig cfg;
+  cfg.cluster = core::testbed_cluster_config(
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  cfg.target.workload = target;
+  cfg.target.nodes = {0, 1};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.target.scale = args.get_double("scale", 1.0);
+  cfg.monitors = false;
+
+  const auto solo = core::run_scenario(cfg);
+  std::printf("solo: %.2f s timed phase (%.2f s total, %llu events)\n",
+              sim::to_seconds(solo.target_body_duration()),
+              sim::to_seconds(solo.target_completion),
+              static_cast<unsigned long long>(solo.events_executed));
+
+  const std::string noise = args.get("noise", "");
+  if (noise.empty()) return 0;
+  if (!workloads::is_known_workload(noise)) {
+    std::fprintf(stderr, "unknown workload: %s\n", noise.c_str());
+    return 1;
+  }
+  core::InterferenceSpec spec;
+  spec.workload = noise;
+  spec.nodes = {2, 3, 4, 5, 6};
+  spec.instances = args.get_int("instances", 15);
+  spec.seed = 77;
+  cfg.interference = spec;
+  const auto mixed = core::run_scenario(cfg);
+  std::printf("with %d x %s: %.2f s  -> slowdown %.2fx\n", spec.instances, noise.c_str(),
+              sim::to_seconds(mixed.target_body_duration()),
+              static_cast<double>(mixed.target_body_duration()) /
+                  static_cast<double>(solo.target_body_duration()));
+
+  const auto matched = trace::TraceMatcher::match(solo.trace, mixed.trace, 0);
+  std::map<pfs::OpType, std::pair<sim::RunningStats, sim::RunningStats>> by_type;
+  for (const auto& m : matched) {
+    auto& [b, n] = by_type[m.base.type];
+    b.add(sim::to_millis(m.base.duration()));
+    n.add(sim::to_millis(m.interference.duration()));
+  }
+  core::TextTable table;
+  table.add_row({"op", "count", "solo ms", "noisy ms", "slowdown"});
+  for (const auto& [type, st] : by_type) {
+    const auto& [b, n] = st;
+    table.add_row({pfs::op_name(type), std::to_string(b.count()), core::fmt(b.mean(), 3),
+                   core::fmt(n.mean(), 3),
+                   core::fmt(b.mean() > 0 ? n.mean() / b.mean() : 0, 2) + "x"});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  if (args.positional.empty() || args.options.count("out") == 0) return usage();
+  const std::string family = args.positional[0];
+  core::DatasetOptions opts;
+  opts.richness = args.get_double("richness", 1.0);
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  opts.verbose = true;
+  if (args.get("bins", "2") == "2,5") opts.bin_thresholds = {2.0, 5.0};
+
+  monitor::Dataset ds;
+  if (family == "io500") {
+    ds = core::build_io500_dataset(opts);
+  } else if (family == "dlio") {
+    ds = core::build_dlio_dataset(opts);
+  } else if (family == "amrex" || family == "enzo" || family == "openpmd") {
+    ds = core::build_app_dataset(family, opts);
+  } else {
+    std::fprintf(stderr, "unknown campaign family: %s\n", family.c_str());
+    return 1;
+  }
+  std::ofstream out(args.get("out", ""));
+  monitor::write_dataset_csv(out, ds);
+  const auto hist = ds.class_histogram();
+  std::printf("wrote %zu windows to %s (classes:", ds.size(), args.get("out", "").c_str());
+  for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
+  std::printf(")\n");
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.options.count("data") == 0 || args.options.count("out") == 0) return usage();
+  std::ifstream in(args.get("data", ""));
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.get("data", "").c_str());
+    return 1;
+  }
+  const monitor::Dataset ds = monitor::read_dataset_csv(in);
+  auto [train, test] = ml::split_dataset(ds, 0.2, 17);
+  core::TrainingServerConfig cfg;
+  cfg.n_classes = args.get_int("classes", 2);
+  cfg.train.max_epochs = args.get_int("epochs", cfg.train.max_epochs);
+  core::TrainingServer server(cfg);
+  const ml::TrainResult tr = server.fit(train);
+  std::printf("trained on %zu windows (best epoch %d, val macro-F1 %.3f)\n", train.size(),
+              tr.best_epoch, tr.best_val_macro_f1);
+  std::printf("%s", server.evaluate(test).to_string().c_str());
+  std::ofstream out(args.get("out", ""));
+  server.save(out);
+  std::printf("model saved to %s\n", args.get("out", "").c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  if (args.options.count("data") == 0 || args.options.count("model") == 0) return usage();
+  std::ifstream in(args.get("data", ""));
+  std::ifstream min(args.get("model", ""));
+  if (!in || !min) {
+    std::fprintf(stderr, "cannot open inputs\n");
+    return 1;
+  }
+  const monitor::Dataset ds = monitor::read_dataset_csv(in);
+  core::TrainingServer server(core::TrainingServerConfig{});
+  server.load(min);
+  std::printf("%s", server.evaluate(ds).to_string().c_str());
+  return 0;
+}
+
+int cmd_dump_trace(const Args& args) {
+  if (args.positional.empty() || args.options.count("out") == 0) return usage();
+  core::ScenarioConfig cfg;
+  cfg.cluster = core::testbed_cluster_config(
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  cfg.target.workload = args.positional[0];
+  cfg.target.nodes = {0, 1};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.target.scale = args.get_double("scale", 1.0);
+  cfg.monitors = false;
+  const auto res = core::run_scenario(cfg);
+  std::ofstream out(args.get("out", ""));
+  monitor::write_dxt(out, res.trace);
+  std::printf("wrote %zu op records to %s\n", res.trace.size(),
+              args.get("out", "").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (cmd == "workloads") return cmd_workloads();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "dump-trace") return cmd_dump_trace(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
