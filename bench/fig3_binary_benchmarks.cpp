@@ -12,6 +12,7 @@
 
 #include "qif/core/datasets.hpp"
 #include "qif/core/training_server.hpp"
+#include "qif/exec/parallel_runner.hpp"
 #include "qif/ml/preprocess.hpp"
 
 using namespace qif;
@@ -53,18 +54,22 @@ void run_dataset(const char* name, const monitor::Dataset& ds) {
 
 int main(int argc, char** argv) {
   double richness = 3.0;
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
       richness = std::atof(argv[++i]);
     }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
   }
   std::printf("=== Figure 3: binary interference prediction on benchmark datasets ===\n");
-  std::printf("(campaign richness %.1f; pass --richness N for larger datasets)\n", richness);
+  std::printf("(campaign richness %.1f, %d job(s); pass --richness N / --jobs N)\n",
+              richness, jobs);
 
   core::DatasetOptions opts;
   opts.bin_thresholds = {2.0};
   opts.richness = richness;
   opts.verbose = true;
+  opts.runner = exec::campaign_runner(jobs);
 
   std::printf("\ncollecting IO500 campaign...\n");
   const monitor::Dataset io500 = core::build_io500_dataset(opts);

@@ -12,16 +12,19 @@
 
 #include "qif/core/datasets.hpp"
 #include "qif/core/training_server.hpp"
+#include "qif/exec/parallel_runner.hpp"
 #include "qif/ml/preprocess.hpp"
 
 using namespace qif;
 
 int main(int argc, char** argv) {
   double richness = 3.0;
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
       richness = std::atof(argv[++i]);
     }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
   }
   std::printf("=== Figure 4: multi-class (mild/moderate/severe) prediction on IO500 ===\n");
 
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
   opts.bin_thresholds = {2.0, 5.0};
   opts.richness = richness;
   opts.verbose = true;
+  opts.runner = exec::campaign_runner(jobs);
   std::printf("collecting IO500 campaign (bins {2, 5})...\n");
   const monitor::Dataset ds = core::build_io500_dataset(opts);
 

@@ -16,6 +16,7 @@
 
 #include "qif/core/report.hpp"
 #include "qif/core/scenario.hpp"
+#include "qif/exec/thread_pool.hpp"
 #include "qif/sim/stats.hpp"
 #include "qif/trace/matcher.hpp"
 #include "qif/workloads/registry.hpp"
@@ -24,8 +25,10 @@ using namespace qif;
 
 int main(int argc, char** argv) {
   std::string noise = "ior-easy-write";
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--noise") == 0 && i + 1 < argc) noise = argv[++i];
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
   }
   std::printf("=== Phase sweep: one application, seven I/O phases, one noise ===\n");
   std::printf("(the io500-suite workload under %s; paper: 1.0x-40.9x spread)\n\n",
@@ -40,15 +43,23 @@ int main(int argc, char** argv) {
   cfg.target.scale = 0.5;
   cfg.monitors = false;
   cfg.horizon = 1200 * sim::kSecond;
-  const auto solo = core::run_scenario(cfg);
 
+  core::ScenarioConfig noisy_cfg = cfg;
   core::InterferenceSpec spec;
   spec.workload = noise;
   spec.nodes = {2, 3, 4, 5, 6};
   spec.instances = 15;
   spec.seed = 7;
-  cfg.interference = spec;
-  const auto mixed = core::run_scenario(cfg);
+  noisy_cfg.interference = spec;
+
+  // The solo and noisy runs are independent simulations; with --jobs > 1
+  // they execute concurrently.
+  core::ScenarioResult results[2];
+  const core::ScenarioConfig* configs[2] = {&cfg, &noisy_cfg};
+  exec::ThreadPool pool(jobs);
+  pool.for_each_index(2, [&](std::size_t i) { results[i] = core::run_scenario(*configs[i]); });
+  const auto& solo = results[0];
+  const auto& mixed = results[1];
 
   // Phase boundaries are identifiable from the op sequence itself: each
   // IO500 task works under its own directory prefix, so bucket matched

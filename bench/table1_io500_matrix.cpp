@@ -7,11 +7,16 @@
 // the target's completion-time slowdown.  (The paper averages 3 repeats;
 // pass --repeats N to do the same; default 1 keeps the bench fast.)
 //
+// Every (target, noise, repeat) cell is an independent simulation, so the
+// whole matrix fans out across a thread pool: pass --jobs N to use N
+// workers.  Values are bit-identical for any job count.
+//
 // Expected shape (not exact values — our substrate is a simulator):
 //   * read targets crushed by read noise, nearly untouched by data writes
 //   * write targets slowed several-fold by read noise (flusher starvation)
 //   * mdt-easy-write (pure namespace) insensitive to data noise
 //   * mdt-hard-write (small data tails) crushed by ior write noise
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -20,6 +25,7 @@
 
 #include "qif/core/report.hpp"
 #include "qif/core/scenario.hpp"
+#include "qif/exec/thread_pool.hpp"
 #include "qif/workloads/registry.hpp"
 
 using namespace qif;
@@ -54,27 +60,60 @@ core::ScenarioConfig make_config(const std::string& target, std::uint64_t seed) 
 
 int main(int argc, char** argv) {
   int repeats = 1;
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) repeats = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
   }
+  if (repeats < 1) repeats = 1;
+  if (jobs < 1) jobs = 1;
 
   const auto& tasks = workloads::io500_tasks();
+  const std::size_t n_tasks = tasks.size();
+  const auto n_repeats = static_cast<std::size_t>(repeats);
   std::printf("=== Table I: IO500 task slowdown under cross-application interference ===\n");
   std::printf("rows: standalone task; columns: background task (3 concurrent instances"
-              " on separate nodes); %d repeat(s)\n\n", repeats);
+              " on separate nodes); %d repeat(s), %d job(s)\n\n", repeats, jobs);
 
-  // Baselines.
+  exec::ThreadPool pool(jobs);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Baselines: one independent simulation per (task, repeat).
+  std::vector<double> base_time(n_tasks * n_repeats);
+  pool.for_each_index(base_time.size(), [&](std::size_t i) {
+    const std::size_t t = i / n_repeats;
+    const auto r = static_cast<std::uint64_t>(i % n_repeats);
+    const auto res = core::run_scenario(make_config(tasks[t], 1 + r));
+    base_time[i] = sim::to_seconds(res.target_body_duration());
+  });
   std::map<std::string, double> baseline;
-  for (const auto& t : tasks) {
+  for (std::size_t t = 0; t < n_tasks; ++t) {
     double total = 0.0;
-    for (int r = 0; r < repeats; ++r) {
-      const auto res = core::run_scenario(make_config(t, 1 + static_cast<std::uint64_t>(r)));
-      total += sim::to_seconds(res.target_body_duration());
-    }
-    baseline[t] = total / repeats;
-    std::printf("baseline %-16s %7.2f s\n", t.c_str(), baseline[t]);
+    for (std::size_t r = 0; r < n_repeats; ++r) total += base_time[t * n_repeats + r];
+    baseline[tasks[t]] = total / repeats;
+    std::printf("baseline %-16s %7.2f s\n", tasks[t].c_str(), baseline[tasks[t]]);
   }
   std::printf("\n");
+
+  // Cells: one independent simulation per (target, noise, repeat).
+  std::vector<double> cell_time(n_tasks * n_tasks * n_repeats);
+  pool.for_each_index(cell_time.size(), [&](std::size_t i) {
+    const std::size_t t = i / (n_tasks * n_repeats);
+    const std::size_t n = (i / n_repeats) % n_tasks;
+    const auto r = static_cast<std::uint64_t>(i % n_repeats);
+    core::ScenarioConfig cfg = make_config(tasks[t], 1 + r);
+    core::InterferenceSpec spec;
+    spec.workload = tasks[n];
+    spec.nodes = {2, 3, 4, 5, 6};
+    spec.instances = 15;  // the paper's 3 concurrent runs on each noise node
+    spec.scale = 1.0;
+    spec.seed = 77 + r;
+    cfg.interference = spec;
+    const auto res = core::run_scenario(cfg);
+    cell_time[i] = sim::to_seconds(res.target_body_duration());
+  });
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   core::TextTable table;
   {
@@ -82,29 +121,21 @@ int main(int argc, char** argv) {
     for (const auto& t : tasks) header.push_back(t);
     table.add_row(std::move(header));
   }
-  for (const auto& target : tasks) {
-    std::vector<std::string> row = {target};
-    for (const auto& noise : tasks) {
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    std::vector<std::string> row = {tasks[t]};
+    for (std::size_t n = 0; n < n_tasks; ++n) {
       double total = 0.0;
-      for (int r = 0; r < repeats; ++r) {
-        core::ScenarioConfig cfg = make_config(target, 1 + static_cast<std::uint64_t>(r));
-        core::InterferenceSpec spec;
-        spec.workload = noise;
-        spec.nodes = {2, 3, 4, 5, 6};
-        spec.instances = 15;  // the paper's 3 concurrent runs on each noise node
-        spec.scale = 1.0;
-        spec.seed = 77 + static_cast<std::uint64_t>(r);
-        cfg.interference = spec;
-        const auto res = core::run_scenario(cfg);
-        total += sim::to_seconds(res.target_body_duration());
+      for (std::size_t r = 0; r < n_repeats; ++r) {
+        total += cell_time[(t * n_tasks + n) * n_repeats + r];
       }
-      row.push_back(core::fmt(total / repeats / baseline[target], 3));
-      std::fflush(stdout);
+      row.push_back(core::fmt(total / repeats / baseline[tasks[t]], 3));
     }
     table.add_row(std::move(row));
-    std::printf("row done: %s\n", target.c_str());
   }
-  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("simulated %zu scenarios in %.2f s wall clock (%d worker%s)\n\n",
+              base_time.size() + cell_time.size(), wall_seconds, jobs,
+              jobs == 1 ? "" : "s");
 
   std::printf("paper's Table I for comparison:\n"
               "                 ior-e-rd ior-h-rd mdt-h-rd ior-e-wr ior-h-wr mdt-e-wr mdt-h-wr\n"

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/qif/core/CMakeFiles/qif_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qif/exec/CMakeFiles/qif_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/qif/workloads/CMakeFiles/qif_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/qif/ml/CMakeFiles/qif_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/qif/monitor/CMakeFiles/qif_monitor.dir/DependInfo.cmake"

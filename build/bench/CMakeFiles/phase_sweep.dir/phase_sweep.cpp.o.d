@@ -259,4 +259,17 @@ bench/CMakeFiles/phase_sweep.dir/phase_sweep.cpp.o: \
  /root/repo/src/qif/trace/matcher.hpp \
  /root/repo/src/qif/workloads/driver.hpp \
  /root/repo/src/qif/workloads/program.hpp \
- /root/repo/src/qif/workloads/registry.hpp
+ /root/repo/src/qif/workloads/registry.hpp \
+ /root/repo/src/qif/exec/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

@@ -11,3 +11,4 @@ subdirs("qif/monitor")
 subdirs("qif/workloads")
 subdirs("qif/ml")
 subdirs("qif/core")
+subdirs("qif/exec")

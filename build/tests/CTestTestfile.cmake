@@ -26,7 +26,8 @@ include("/root/repo/build/tests/test_pfs_network[1]_include.cmake")
 include("/root/repo/build/tests/test_core_datasets[1]_include.cmake")
 include("/root/repo/build/tests/test_pfs_read_cache[1]_include.cmake")
 include("/root/repo/build/tests/test_workload_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
 add_test([=[cli_workloads]=] "/root/repo/build/tools/qif" "workloads")
-set_tests_properties([=[cli_workloads]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties([=[cli_workloads]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test([=[cli_roundtrip]=] "/usr/bin/cmake" "-DQIF_CLI=/root/repo/build/tools/qif" "-DWORK_DIR=/root/repo/build/tests/cli_roundtrip" "-P" "/root/repo/tests/cli_roundtrip.cmake")
-set_tests_properties([=[cli_roundtrip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties([=[cli_roundtrip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -168,22 +168,22 @@ tools/CMakeFiles/qif_cli.dir/qif_cli.cpp.o: /root/repo/tools/qif_cli.cpp \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/qif/core/datasets.hpp \
- /root/repo/src/qif/core/campaign.hpp \
- /root/repo/src/qif/core/scenario.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/qif/monitor/features.hpp \
- /root/repo/src/qif/monitor/client_monitor.hpp \
- /root/repo/src/qif/monitor/schema.hpp /root/repo/src/qif/pfs/types.hpp \
- /root/repo/src/qif/sim/time.hpp /root/repo/src/qif/trace/op_record.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/qif/core/campaign.hpp \
+ /root/repo/src/qif/core/scenario.hpp /usr/include/c++/12/optional \
+ /root/repo/src/qif/monitor/features.hpp \
+ /root/repo/src/qif/monitor/client_monitor.hpp \
+ /root/repo/src/qif/monitor/schema.hpp /root/repo/src/qif/pfs/types.hpp \
+ /root/repo/src/qif/sim/time.hpp /root/repo/src/qif/trace/op_record.hpp \
  /root/repo/src/qif/monitor/server_monitor.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -266,4 +266,5 @@ tools/CMakeFiles/qif_cli.dir/qif_cli.cpp.o: /root/repo/tools/qif_cli.cpp \
  /root/repo/src/qif/ml/kernel_net.hpp /root/repo/src/qif/ml/nn.hpp \
  /root/repo/src/qif/ml/matrix.hpp /root/repo/src/qif/ml/metrics.hpp \
  /root/repo/src/qif/ml/preprocess.hpp /root/repo/src/qif/ml/trainer.hpp \
+ /root/repo/src/qif/exec/parallel_runner.hpp \
  /root/repo/src/qif/monitor/export.hpp

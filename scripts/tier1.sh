@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then the exec/campaign tests again
+# under ThreadSanitizer to catch data races in the qif::exec thread pool
+# and parallel campaign runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: standard build + ctest ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "=== tier-1: exec/campaign tests under TSan ==="
+cmake -B build-tsan -S . -DQIF_SANITIZE=thread
+cmake --build build-tsan -j --target test_exec test_core
+./build-tsan/tests/test_exec
+./build-tsan/tests/test_core --gtest_filter='Campaign.*'
+
+echo "tier-1 OK"

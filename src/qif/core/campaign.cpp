@@ -1,114 +1,176 @@
 #include "qif/core/campaign.hpp"
 
+#include <exception>
 #include <map>
+#include <utility>
 
 #include "qif/trace/matcher.hpp"
 
 namespace qif::core {
+namespace {
 
-Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
-
-workloads::JobSpec Campaign::target_spec(std::uint64_t seed) const {
+workloads::JobSpec target_spec(const CampaignConfig& config, std::uint64_t seed) {
   workloads::JobSpec spec;
-  spec.workload = config_.target_workload;
-  for (int n = 0; n < config_.target_nodes; ++n) spec.nodes.push_back(n);
-  spec.procs_per_node = config_.target_procs_per_node;
+  spec.workload = config.target_workload;
+  for (int n = 0; n < config.target_nodes; ++n) spec.nodes.push_back(n);
+  spec.procs_per_node = config.target_procs_per_node;
   spec.job = 0;
   spec.seed = seed;
-  spec.scale = config_.target_scale;
+  spec.scale = config.target_scale;
   return spec;
 }
 
-std::vector<pfs::NodeId> Campaign::interference_nodes() const {
+std::vector<pfs::NodeId> interference_nodes(const CampaignConfig& config) {
   std::vector<pfs::NodeId> nodes;
-  for (int n = config_.target_nodes; n < config_.cluster.n_client_nodes; ++n) {
+  for (int n = config.target_nodes; n < config.cluster.n_client_nodes; ++n) {
     nodes.push_back(n);
   }
   return nodes;
 }
 
-monitor::Dataset Campaign::run() {
-  monitor::Dataset dataset;
-  outcomes_.clear();
+}  // namespace
 
-  // Baselines depend only on the target seed; cache them across cases.
-  std::map<std::uint64_t, trace::TraceLog> baselines;
-  auto baseline_for = [&](std::uint64_t seed) -> const trace::TraceLog& {
-    auto it = baselines.find(seed);
-    if (it == baselines.end()) {
-      ScenarioConfig base;
-      base.cluster = config_.cluster;
-      base.cluster.seed = sim::Rng::derive_seed(config_.cluster.seed,
-                                                "base" + std::to_string(seed));
-      base.target = target_spec(seed);
-      base.window = config_.window;
-      base.horizon = config_.horizon;
-      base.monitors = false;  // baseline only needs the trace
-      it = baselines.emplace(seed, run_scenario(base).trace).first;
-    }
-    return it->second;
-  };
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
 
+ScenarioConfig campaign_baseline_config(const CampaignConfig& config,
+                                        std::uint64_t seed) {
+  ScenarioConfig base;
+  base.cluster = config.cluster;
+  base.cluster.seed =
+      sim::Rng::derive_seed(config.cluster.seed, "base" + std::to_string(seed));
+  base.target = target_spec(config, seed);
+  base.window = config.window;
+  base.horizon = config.horizon;
+  base.monitors = false;  // baseline only needs the trace
+  return base;
+}
+
+ScenarioConfig campaign_case_config(const CampaignConfig& config, const CaseSpec& cs) {
+  ScenarioConfig sc;
+  sc.cluster = config.cluster;
+  sc.cluster.seed = sim::Rng::derive_seed(
+      config.cluster.seed, "case" + std::to_string(cs.seed) + cs.interference_workload);
+  sc.target = target_spec(config, cs.seed);
+  sc.window = config.window;
+  sc.horizon = config.horizon;
+  sc.monitors = true;
+  if (!cs.interference_workload.empty()) {
+    InterferenceSpec spec;
+    spec.workload = cs.interference_workload;
+    spec.nodes = interference_nodes(config);
+    spec.instances = cs.instances;
+    spec.scale = cs.intensity_scale;
+    spec.seed = sim::Rng::derive_seed(cs.seed, "noise" + cs.interference_workload);
+    sc.interference = spec;
+  }
+  return sc;
+}
+
+std::vector<std::uint64_t> campaign_baseline_seeds(const CampaignConfig& config) {
+  std::vector<std::uint64_t> seeds;
+  for (const CaseSpec& cs : config.cases) {
+    bool seen = false;
+    for (const std::uint64_t s : seeds) seen = seen || s == cs.seed;
+    if (!seen) seeds.push_back(cs.seed);
+  }
+  return seeds;
+}
+
+CampaignBaseline run_campaign_baseline(const CampaignConfig& config,
+                                       std::uint64_t seed) {
+  CampaignBaseline baseline;
+  try {
+    baseline.trace = run_scenario(campaign_baseline_config(config, seed)).trace;
+  } catch (const std::exception& e) {
+    baseline.error = e.what();
+  } catch (...) {
+    baseline.error = "unknown error";
+  }
+  return baseline;
+}
+
+CaseResult join_case_result(const CampaignConfig& config, const CaseSpec& cs,
+                            const trace::TraceLog& base_trace,
+                            const ScenarioResult& run) {
   trace::LabelerConfig lbl_cfg;
-  lbl_cfg.window = config_.window;
-  lbl_cfg.bin_thresholds = config_.bin_thresholds;
-  lbl_cfg.min_ops_per_window = config_.min_ops_per_window;
+  lbl_cfg.window = config.window;
+  lbl_cfg.bin_thresholds = config.bin_thresholds;
+  lbl_cfg.min_ops_per_window = config.min_ops_per_window;
   const trace::Labeler labeler(lbl_cfg);
 
-  for (const CaseSpec& cs : config_.cases) {
-    const trace::TraceLog& base_trace = baseline_for(cs.seed);
+  trace::MatchStats mstats;
+  const auto matched = trace::TraceMatcher::match(base_trace, run.trace, /*job=*/0, &mstats);
+  const auto labels = labeler.label(matched);
 
-    ScenarioConfig sc;
-    sc.cluster = config_.cluster;
-    sc.cluster.seed = sim::Rng::derive_seed(config_.cluster.seed,
-                                            "case" + std::to_string(cs.seed) +
-                                                cs.interference_workload);
-    sc.target = target_spec(cs.seed);
-    sc.window = config_.window;
-    sc.horizon = config_.horizon;
-    sc.monitors = true;
-    if (!cs.interference_workload.empty()) {
-      InterferenceSpec spec;
-      spec.workload = cs.interference_workload;
-      spec.nodes = interference_nodes();
-      spec.instances = cs.instances;
-      spec.scale = cs.intensity_scale;
-      spec.seed = sim::Rng::derive_seed(cs.seed, "noise" + cs.interference_workload);
-      sc.interference = spec;
-    }
-    const ScenarioResult run = run_scenario(sc);
+  CaseResult result;
+  result.outcome.spec = cs;
+  result.outcome.matched_ops = mstats.matched;
+  result.outcome.windows = labels.size();
+  result.outcome.target_finished = run.target_finished;
 
-    trace::MatchStats mstats;
-    const auto matched = trace::TraceMatcher::match(base_trace, run.trace, /*job=*/0, &mstats);
-    const auto labels = labeler.label(matched);
-
-    CaseOutcome outcome;
-    outcome.spec = cs;
-    outcome.matched_ops = mstats.matched;
-    outcome.windows = labels.size();
-    outcome.target_finished = run.target_finished;
-    double deg_sum = 0.0;
-
-    monitor::Dataset case_ds;
-    case_ds.n_servers = run.n_servers;
-    case_ds.dim = run.dim;
-    for (const trace::WindowLabel& lbl : labels) {
-      const auto it = run.window_features.find(lbl.window_index);
-      if (it == run.window_features.end()) continue;  // no features captured
-      monitor::Sample s;
-      s.window_index = lbl.window_index;
-      s.features = it->second;
-      s.label = lbl.label;
-      s.degradation = lbl.degradation;
-      case_ds.samples.push_back(std::move(s));
-      deg_sum += lbl.degradation;
-    }
-    outcome.mean_degradation =
-        labels.empty() ? 1.0 : deg_sum / static_cast<double>(labels.size());
-    outcomes_.push_back(outcome);
-    dataset.append(case_ds);
+  result.shard.n_servers = run.n_servers;
+  result.shard.dim = run.dim;
+  double deg_sum = 0.0;
+  for (const trace::WindowLabel& lbl : labels) {
+    const auto it = run.window_features.find(lbl.window_index);
+    if (it == run.window_features.end()) continue;  // no features captured
+    monitor::Sample s;
+    s.window_index = lbl.window_index;
+    s.features = it->second;
+    s.label = lbl.label;
+    s.degradation = lbl.degradation;
+    result.shard.samples.push_back(std::move(s));
+    deg_sum += lbl.degradation;
   }
-  return dataset;
+  // Average only over the windows actually summed: dividing by
+  // labels.size() while skipping feature-less windows biased the headline
+  // degradation number low.  labels.size() is still reported as `windows`.
+  result.outcome.sampled_windows = result.shard.samples.size();
+  result.outcome.mean_degradation =
+      result.shard.samples.empty()
+          ? 1.0
+          : deg_sum / static_cast<double>(result.shard.samples.size());
+  return result;
+}
+
+CaseResult run_campaign_case(const CampaignConfig& config, const CaseSpec& cs,
+                             const CampaignBaseline& baseline) {
+  CaseResult result;
+  result.outcome.spec = cs;
+  if (!baseline.error.empty()) {
+    result.outcome.error = "baseline failed: " + baseline.error;
+    return result;
+  }
+  try {
+    const ScenarioResult run = run_scenario(campaign_case_config(config, cs));
+    return join_case_result(config, cs, baseline.trace, run);
+  } catch (const std::exception& e) {
+    result.outcome.error = e.what();
+  } catch (...) {
+    result.outcome.error = "unknown error";
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  std::map<std::uint64_t, CampaignBaseline> baselines;
+  for (const std::uint64_t seed : campaign_baseline_seeds(config)) {
+    baselines.emplace(seed, run_campaign_baseline(config, seed));
+  }
+  result.outcomes.reserve(config.cases.size());
+  for (const CaseSpec& cs : config.cases) {
+    CaseResult cr = run_campaign_case(config, cs, baselines.at(cs.seed));
+    if (cr.outcome.ok()) result.dataset.append(cr.shard);
+    result.outcomes.push_back(std::move(cr.outcome));
+  }
+  return result;
+}
+
+monitor::Dataset Campaign::run() {
+  CampaignResult result = run_campaign(config_);
+  outcomes_ = std::move(result.outcomes);
+  return std::move(result.dataset);
 }
 
 }  // namespace qif::core

@@ -6,6 +6,13 @@
 // baseline, then once per interference case; matches the two traces op by
 // op; computes per-window degradation labels; and joins them with the
 // interference run's monitor features into a labelled dataset.
+//
+// The work decomposes into pure per-task functions (baseline runs and case
+// runs) with no shared mutable state: every scenario owns its own
+// sim::Simulation and derived RNG seed.  The free functions below are that
+// task surface; Campaign::run() is the sequential driver over them, and
+// qif::exec::ParallelCampaignRunner fans the same tasks across a thread
+// pool with bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -44,25 +51,84 @@ struct CampaignConfig {
 struct CaseOutcome {
   CaseSpec spec;
   std::size_t matched_ops = 0;
-  std::size_t windows = 0;
+  std::size_t windows = 0;          ///< labelled windows
+  std::size_t sampled_windows = 0;  ///< labelled windows that also had features
+  /// Mean Level_degrade over the sampled windows (the windows that became
+  /// dataset samples), 1.0 when no window was sampled.
   double mean_degradation = 0.0;
   bool target_finished = false;
+  std::string error;                ///< non-empty when this case failed
+  [[nodiscard]] bool ok() const { return error.empty(); }
 };
+
+/// One case's contribution: its bookkeeping plus its dataset shard.
+struct CaseResult {
+  CaseOutcome outcome;
+  monitor::Dataset shard;
+};
+
+/// A whole campaign's output with the outcomes in case-declaration order.
+struct CampaignResult {
+  monitor::Dataset dataset;
+  std::vector<CaseOutcome> outcomes;
+};
+
+/// A baseline run's detached trace, or the error that prevented it.
+struct CampaignBaseline {
+  trace::TraceLog trace;
+  std::string error;  ///< non-empty when the baseline scenario failed
+};
+
+/// Scenario config for the quiet baseline run of one target seed.
+[[nodiscard]] ScenarioConfig campaign_baseline_config(const CampaignConfig& config,
+                                                      std::uint64_t seed);
+
+/// Scenario config for one interference case.
+[[nodiscard]] ScenarioConfig campaign_case_config(const CampaignConfig& config,
+                                                  const CaseSpec& cs);
+
+/// Distinct baseline seeds referenced by the campaign's cases, in
+/// first-appearance order.
+[[nodiscard]] std::vector<std::uint64_t> campaign_baseline_seeds(
+    const CampaignConfig& config);
+
+/// Runs one baseline scenario; a throwing scenario is reported in `error`
+/// instead of propagating.  Thread-safe: touches no shared state.
+[[nodiscard]] CampaignBaseline run_campaign_baseline(const CampaignConfig& config,
+                                                     std::uint64_t seed);
+
+/// Matches an already-run case scenario against its baseline trace, labels
+/// the windows and joins them with the captured features.  Pure; exposed
+/// separately so the degradation accounting is unit-testable.
+[[nodiscard]] CaseResult join_case_result(const CampaignConfig& config,
+                                          const CaseSpec& cs,
+                                          const trace::TraceLog& base_trace,
+                                          const ScenarioResult& run);
+
+/// Runs one case end to end against a precomputed baseline.  A throwing
+/// scenario (or a failed baseline) is reported per-case via
+/// CaseOutcome::error instead of aborting the campaign.  Thread-safe.
+[[nodiscard]] CaseResult run_campaign_case(const CampaignConfig& config,
+                                           const CaseSpec& cs,
+                                           const CampaignBaseline& baseline);
+
+/// Sequential driver: baselines first (each seed once), then every case in
+/// declaration order.
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
 
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config);
 
-  /// Runs every case and returns the accumulated labelled dataset.
+  /// Runs every case sequentially and returns the accumulated labelled
+  /// dataset.  (For the parallel path see exec::ParallelCampaignRunner,
+  /// whose output is bit-identical.)
   [[nodiscard]] monitor::Dataset run();
 
   [[nodiscard]] const std::vector<CaseOutcome>& outcomes() const { return outcomes_; }
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
 
  private:
-  [[nodiscard]] workloads::JobSpec target_spec(std::uint64_t seed) const;
-  [[nodiscard]] std::vector<pfs::NodeId> interference_nodes() const;
-
   CampaignConfig config_;
   std::vector<CaseOutcome> outcomes_;
 };

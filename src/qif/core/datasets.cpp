@@ -43,16 +43,21 @@ monitor::Dataset run_campaign_for_target(const std::string& target,
   cc.cluster = testbed_cluster_config(options.seed);
   cc.bin_thresholds = options.bin_thresholds;
   cc.min_ops_per_window = options.min_ops_per_window;
-  Campaign campaign(cc);
-  monitor::Dataset ds = campaign.run();
+  CampaignResult result = options.runner ? options.runner(cc) : run_campaign(cc);
   if (options.verbose) {
     std::size_t windows = 0;
-    for (const auto& o : campaign.outcomes()) windows += o.windows;
-    std::printf("  campaign %-14s: %2zu cases, %4zu windows\n", target.c_str(),
-                campaign.outcomes().size(), windows);
+    std::size_t failed = 0;
+    for (const auto& o : result.outcomes) {
+      windows += o.windows;
+      if (!o.ok()) ++failed;
+    }
+    std::printf("  campaign %-14s: %2zu cases, %4zu windows", target.c_str(),
+                result.outcomes.size(), windows);
+    if (failed > 0) std::printf(", %zu FAILED", failed);
+    std::printf("\n");
     std::fflush(stdout);
   }
-  return ds;
+  return std::move(result.dataset);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,12 @@
 #include "qif/monitor/features.hpp"
 
 namespace qif::core {
+
+/// How a dataset builder executes one campaign.  The default (a null
+/// function) is the sequential core::run_campaign; exec::campaign_runner(N)
+/// supplies a thread-pool-backed runner with bit-identical output.  The
+/// hook keeps qif_core free of any dependency on qif_exec.
+using CampaignRunFn = std::function<CampaignResult(const CampaignConfig&)>;
 
 struct DatasetOptions {
   std::vector<double> bin_thresholds = {2.0};  ///< {2} binary; {2,5} 3-class
@@ -27,6 +34,7 @@ struct DatasetOptions {
   /// Windows with fewer matched ops are dropped (Level_degrade over one or
   /// two ops is mostly noise; bursty loaders like DLIO need this).
   std::size_t min_ops_per_window = 1;
+  CampaignRunFn runner;     ///< null = run campaigns sequentially
 };
 
 /// Windows from all 7 IO500 tasks under quiet/read/write/metadata noise at

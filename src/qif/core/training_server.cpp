@@ -56,9 +56,12 @@ void TrainingServer::save(std::ostream& os) const {
 void TrainingServer::load(std::istream& is) {
   std::string magic;
   int version = 0;
-  is >> magic >> version;
-  if (magic != "qif-model") throw std::runtime_error("not a qif model bundle");
-  is >> config_.n_classes;
+  if (!(is >> magic >> version) || magic != "qif-model") {
+    throw std::runtime_error("not a qif model bundle");
+  }
+  if (!(is >> config_.n_classes) || config_.n_classes < 2) {
+    throw std::runtime_error("model bundle: bad class count");
+  }
   net_.load(is);
   stdz_.load(is);
 }

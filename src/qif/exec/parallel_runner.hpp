@@ -1,0 +1,45 @@
+// Parallel campaign execution.
+//
+// Fans a campaign's independent scenario simulations across a fixed-size
+// ThreadPool: phase 1 runs every unique baseline concurrently, phase 2
+// fans the cases out, and collection happens in case-declaration order so
+// the dataset and outcome vector are bit-identical to the sequential
+// core::run_campaign() path regardless of the job count.  Safe because
+// every scenario owns its own sim::Simulation, cluster and derived RNG
+// seed — no shared state crosses task boundaries.
+#pragma once
+
+#include "qif/core/campaign.hpp"
+#include "qif/core/datasets.hpp"
+
+namespace qif::exec {
+
+class ParallelCampaignRunner {
+ public:
+  /// `jobs` is the worker count; values < 1 are clamped to 1 (which is
+  /// still the parallel code path, just on a single worker).
+  ParallelCampaignRunner(core::CampaignConfig config, int jobs);
+
+  /// Runs the whole campaign.  Failed cases are reported per-case via
+  /// CaseOutcome::error; their shards are skipped, exactly as in the
+  /// sequential driver.
+  [[nodiscard]] core::CampaignResult run() const;
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] const core::CampaignConfig& config() const { return config_; }
+
+ private:
+  core::CampaignConfig config_;
+  int jobs_;
+};
+
+/// Runs `config` with `jobs` workers and returns the stitched result.
+[[nodiscard]] core::CampaignResult run_campaign_parallel(
+    const core::CampaignConfig& config, int jobs);
+
+/// A DatasetOptions::runner hook: campaigns launched through it execute on
+/// `jobs` workers.  With jobs <= 1 the sequential driver is returned, so
+/// callers can pass a --jobs value through unconditionally.
+[[nodiscard]] core::CampaignRunFn campaign_runner(int jobs);
+
+}  // namespace qif::exec

@@ -1,0 +1,92 @@
+#include "qif/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace qif::exec {
+
+ThreadPool::ThreadPool(int n_threads) {
+  const int n = std::max(1, n_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  struct BatchState {
+    std::vector<std::exception_ptr> errors;
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+  const auto state = std::make_shared<BatchState>();
+  state->errors.resize(n);
+  state->remaining.store(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([state, i, &fn] {
+      try {
+        fn(i);
+      } catch (...) {
+        state->errors[i] = std::current_exception();
+      }
+      if (state->remaining.fetch_sub(1) == 1) {
+        const std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->remaining.load() == 0; });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state->errors[i]) std::rethrow_exception(state->errors[i]);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace qif::exec

@@ -1,0 +1,60 @@
+// Fixed-size thread pool for campaign-scale fan-out.
+//
+// Campaigns are embarrassingly parallel: every scenario owns its own
+// sim::Simulation, cluster and derived RNG streams, so tasks never share
+// mutable state and results are bit-identical regardless of which worker
+// runs them or in what order they finish.  The pool is deliberately
+// work-stealing-free: a single FIFO queue guarded by one mutex is ample
+// when each task is a multi-millisecond discrete-event simulation, and it
+// keeps the execution model simple enough to reason about under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qif::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int n_threads);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.  Tasks must not throw — wrap fallible work in
+  /// for_each_index (which captures exceptions) or catch inside the task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is mid-task.
+  void wait_idle();
+
+  /// Runs fn(0) .. fn(n - 1) across the pool and blocks until all complete.
+  /// Each index runs exactly once.  If any invocation throws, the exception
+  /// thrown for the *lowest* index is rethrown after every task has
+  /// finished, so error reporting is deterministic regardless of worker
+  /// interleaving.
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signalled on submit / stop
+  std::condition_variable idle_cv_;   ///< signalled when the pool drains
+  std::size_t active_ = 0;            ///< workers currently inside a task
+  bool stop_ = false;
+};
+
+}  // namespace qif::exec

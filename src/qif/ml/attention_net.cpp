@@ -3,6 +3,7 @@
 #include <cassert>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace qif::ml {
 
@@ -173,14 +174,22 @@ void AttentionNet::save(std::ostream& os) const {
 void AttentionNet::load(std::istream& is) {
   std::string magic;
   int version = 0;
-  is >> magic >> version;
+  if (!(is >> magic >> version) || magic != "attentionnet") {
+    throw std::runtime_error("attentionnet load: bad header");
+  }
   AttentionNetConfig cfg;
-  is >> cfg.per_server_dim >> cfg.n_servers >> cfg.n_classes >> cfg.embed_dim >>
-      cfg.attention_dim;
+  if (!(is >> cfg.per_server_dim >> cfg.n_servers >> cfg.n_classes >> cfg.embed_dim >>
+        cfg.attention_dim)) {
+    throw std::runtime_error("attentionnet load: truncated dimensions");
+  }
   std::size_t nh = 0;
-  is >> nh;
+  if (!(is >> nh) || nh > 1024) {
+    throw std::runtime_error("attentionnet load: truncated head sizes");
+  }
   cfg.head_hidden.resize(nh);
-  for (auto& h : cfg.head_hidden) is >> h;
+  for (auto& h : cfg.head_hidden) {
+    if (!(is >> h)) throw std::runtime_error("attentionnet load: truncated head sizes");
+  }
   *this = AttentionNet(cfg);
   embed_.load(is);
   attn_hidden_.load(is);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace qif::ml {
 
@@ -138,16 +139,28 @@ void KernelNet::save(std::ostream& os) const {
 void KernelNet::load(std::istream& is) {
   std::string magic;
   int version = 0;
-  is >> magic >> version;
+  if (!(is >> magic >> version) || magic != "kernelnet") {
+    throw std::runtime_error("kernelnet load: bad header");
+  }
   KernelNetConfig cfg;
-  is >> cfg.per_server_dim >> cfg.n_servers >> cfg.n_classes;
+  if (!(is >> cfg.per_server_dim >> cfg.n_servers >> cfg.n_classes)) {
+    throw std::runtime_error("kernelnet load: truncated dimensions");
+  }
   std::size_t nk = 0, nh = 0;
-  is >> nk;
+  if (!(is >> nk) || nk > 1024) {
+    throw std::runtime_error("kernelnet load: truncated kernel sizes");
+  }
   cfg.kernel_hidden.resize(nk);
-  for (auto& h : cfg.kernel_hidden) is >> h;
-  is >> nh;
+  for (auto& h : cfg.kernel_hidden) {
+    if (!(is >> h)) throw std::runtime_error("kernelnet load: truncated kernel sizes");
+  }
+  if (!(is >> nh) || nh > 1024) {
+    throw std::runtime_error("kernelnet load: truncated head sizes");
+  }
   cfg.head_hidden.resize(nh);
-  for (auto& h : cfg.head_hidden) is >> h;
+  for (auto& h : cfg.head_hidden) {
+    if (!(is >> h)) throw std::runtime_error("kernelnet load: truncated head sizes");
+  }
   *this = KernelNet(cfg);
   for (auto& l : kernel_layers_) l.load(is);
   for (auto& l : head_layers_) l.load(is);

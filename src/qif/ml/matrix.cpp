@@ -1,11 +1,25 @@
 #include "qif/ml/matrix.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace qif::ml {
+namespace {
+
+// Shape guards must survive NDEBUG builds: an assert that compiles away
+// turns a dimension bug into a silent out-of-bounds read.
+void check_shapes(std::size_t lhs, std::size_t rhs, const char* what) {
+  if (lhs != rhs) {
+    throw std::invalid_argument(std::string("matmul shape mismatch (") + what + "): " +
+                                std::to_string(lhs) + " vs " + std::to_string(rhs));
+  }
+}
+
+}  // namespace
 
 Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
+  check_shapes(a.cols(), b.rows(), "A.cols vs B.rows");
   Matrix c(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.row(i);
@@ -21,7 +35,7 @@ Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
+  check_shapes(a.rows(), b.rows(), "A.rows vs B.rows");
   Matrix c(a.cols(), b.cols());
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const double* arow = a.row(k);
@@ -37,7 +51,7 @@ Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Matrix::matmul_nt(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
+  check_shapes(a.cols(), b.cols(), "A.cols vs B.cols");
   Matrix c(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* arow = a.row(i);

@@ -44,7 +44,8 @@ class Matrix {
     return out;
   }
 
-  /// C = A * B
+  /// C = A * B.  Throws std::invalid_argument on inner-dimension mismatch
+  /// (all three variants do — the guard must survive NDEBUG builds).
   static Matrix matmul(const Matrix& a, const Matrix& b);
   /// C = A^T * B  (used for weight gradients)
   static Matrix matmul_tn(const Matrix& a, const Matrix& b);

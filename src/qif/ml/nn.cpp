@@ -4,6 +4,7 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace qif::ml {
 
@@ -88,7 +89,7 @@ void Dense::save(std::ostream& os) const {
 
 void Dense::load(std::istream& is) {
   std::size_t in = 0, out = 0;
-  is >> in >> out;
+  if (!(is >> in >> out)) throw std::runtime_error("dense load: bad layer shape");
   *this = Dense();
   w_ = Matrix(in, out);
   b_.assign(out, 0.0);
@@ -98,8 +99,12 @@ void Dense::load(std::istream& is) {
   vw_ = Matrix(in, out);
   mb_.assign(out, 0.0);
   vb_.assign(out, 0.0);
-  for (double& v : w_.data()) is >> v;
-  for (double& v : b_) is >> v;
+  for (double& v : w_.data()) {
+    if (!(is >> v)) throw std::runtime_error("dense load: truncated weights");
+  }
+  for (double& v : b_) {
+    if (!(is >> v)) throw std::runtime_error("dense load: truncated biases");
+  }
 }
 
 Matrix ReLU::forward(const Matrix& x) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 #include "qif/sim/rng.hpp"
 
@@ -54,12 +55,18 @@ void Standardizer::save(std::ostream& os) const {
 }
 
 void Standardizer::load(std::istream& is) {
+  // Every extraction is checked: a truncated or corrupted model file must
+  // fail loudly, not silently yield a garbage standardizer.
   std::size_t d = 0;
-  is >> d;
+  if (!(is >> d)) throw std::runtime_error("standardizer load: bad dimension");
   mean_.resize(d);
   inv_std_.resize(d);
-  for (double& v : mean_) is >> v;
-  for (double& v : inv_std_) is >> v;
+  for (double& v : mean_) {
+    if (!(is >> v)) throw std::runtime_error("standardizer load: truncated means");
+  }
+  for (double& v : inv_std_) {
+    if (!(is >> v)) throw std::runtime_error("standardizer load: truncated scales");
+  }
 }
 
 std::pair<monitor::Dataset, monitor::Dataset> split_dataset(const monitor::Dataset& ds,
@@ -73,8 +80,14 @@ std::pair<monitor::Dataset, monitor::Dataset> split_dataset(const monitor::Datas
     const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
     std::swap(idx[i - 1], idx[j]);
   }
-  const auto n_test = static_cast<std::size_t>(
+  auto n_test = static_cast<std::size_t>(
       std::llround(test_fraction * static_cast<double>(ds.size())));
+  // Rounding can claim every sample for the test split (e.g. n = 2,
+  // fraction 0.8); keep at least one training sample unless the caller
+  // explicitly asked for a pure test set.
+  if (ds.size() > 0 && test_fraction < 1.0 && n_test >= ds.size()) {
+    n_test = ds.size() - 1;
+  }
   monitor::Dataset train, test;
   train.n_servers = test.n_servers = ds.n_servers;
   train.dim = test.dim = ds.dim;

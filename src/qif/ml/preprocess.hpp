@@ -27,6 +27,7 @@ class Standardizer {
   [[nodiscard]] int dim() const { return static_cast<int>(mean_.size()); }
 
   void save(std::ostream& os) const;
+  /// Throws std::runtime_error if the stream is truncated or corrupted.
   void load(std::istream& is);
 
  private:

@@ -107,6 +107,73 @@ TEST(Campaign, ProducesLabelledDatasetWithBothClasses) {
   EXPECT_GT(campaign.outcomes()[1].mean_degradation, 1.5);
 }
 
+TEST(Campaign, MeanDegradationAveragesOnlySampledWindows) {
+  // Regression: deg_sum skips windows with no captured features, so the
+  // mean must divide by the number of windows actually summed — dividing
+  // by labels.size() biased the headline degradation number low.
+  CampaignConfig cc;  // window = 1 s, thresholds {2}
+  CaseSpec cs;
+  cs.interference_workload = "ior-easy-read";
+  cs.seed = 5;
+
+  trace::TraceLog base_log, noisy_log;
+  const auto add = [](trace::TraceLog& log, std::int64_t idx, sim::SimTime start,
+                      sim::SimDuration dur) {
+    trace::OpRecord r;
+    r.job = 0;
+    r.rank = 0;
+    r.op_index = idx;
+    r.type = pfs::OpType::kWrite;
+    r.bytes = 4096;
+    r.start = start;
+    r.end = start + dur;
+    log.record(std::move(r));
+  };
+  // Three windows with degradations 2x, 3x and 10x (windowing follows the
+  // interference op's start time).
+  add(base_log, 0, 0, sim::kMillisecond);
+  add(noisy_log, 0, 100 * sim::kMillisecond, 2 * sim::kMillisecond);
+  add(base_log, 1, sim::kSecond, sim::kMillisecond);
+  add(noisy_log, 1, sim::kSecond + 100 * sim::kMillisecond, 3 * sim::kMillisecond);
+  add(base_log, 2, 2 * sim::kSecond, sim::kMillisecond);
+  add(noisy_log, 2, 2 * sim::kSecond + 100 * sim::kMillisecond, 10 * sim::kMillisecond);
+
+  ScenarioResult run;
+  run.trace = noisy_log;
+  run.target_finished = true;
+  run.n_servers = 2;
+  run.dim = 3;
+  run.window_features.emplace(0, std::vector<double>(6, 1.0));
+  run.window_features.emplace(1, std::vector<double>(6, 2.0));
+  // Window 2 (the 10x one) deliberately has no captured features.
+
+  const CaseResult cr = join_case_result(cc, cs, base_log, run);
+  EXPECT_EQ(cr.outcome.windows, 3u);
+  EXPECT_EQ(cr.outcome.sampled_windows, 2u);
+  EXPECT_EQ(cr.shard.size(), 2u);
+  // (2 + 3) / 2 over the sampled windows; the pre-fix code computed
+  // (2 + 3) / 3 ≈ 1.67.
+  EXPECT_DOUBLE_EQ(cr.outcome.mean_degradation, 2.5);
+}
+
+TEST(Campaign, ThrowingCaseIsCapturedPerCase) {
+  CampaignConfig cc;
+  cc.target_workload = "ior-easy-write";
+  cc.target_nodes = 1;
+  cc.target_procs_per_node = 2;
+  cc.target_scale = 0.5;
+  cc.cluster = testbed_cluster_config(31);
+  cc.cases.push_back({"", 0, 1.0, 1});
+  cc.cases.push_back({"no-such-workload", 6, 1.0, 1});
+  Campaign campaign(cc);
+  const monitor::Dataset ds = campaign.run();  // must not throw
+  ASSERT_EQ(campaign.outcomes().size(), 2u);
+  EXPECT_TRUE(campaign.outcomes()[0].ok());
+  EXPECT_FALSE(campaign.outcomes()[1].ok());
+  EXPECT_NE(campaign.outcomes()[1].error.find("no-such-workload"), std::string::npos);
+  EXPECT_FALSE(ds.empty());  // the healthy case still contributed samples
+}
+
 TEST(Campaign, QuietCaseDegradationNearOne) {
   CampaignConfig cc;
   cc.target_workload = "mdt-easy-write";
@@ -179,6 +246,26 @@ TEST(TrainingServer, SaveLoadRoundTripPredictions) {
 TEST(TrainingServer, RejectsEmptyDataset) {
   TrainingServer server(TrainingServerConfig{});
   EXPECT_THROW(server.fit(monitor::Dataset{}), std::invalid_argument);
+}
+
+TEST(TrainingServer, LoadThrowsOnTruncatedBundle) {
+  // Regression: model loading used to ignore stream state, so a truncated
+  // file silently produced a garbage model/standardizer.
+  const monitor::Dataset ds = tiny_training_set(12);
+  TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  cfg.train.max_epochs = 5;
+  TrainingServer server(cfg);
+  server.fit(ds);
+  std::stringstream ss;
+  server.save(ss);
+  const std::string full = ss.str();
+  // Cutting the bundle anywhere after the header must fail loudly.
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  TrainingServer loaded(TrainingServerConfig{});
+  EXPECT_THROW(loaded.load(truncated), std::runtime_error);
+  std::stringstream garbage("not-a-model 1\n2\n");
+  EXPECT_THROW(loaded.load(garbage), std::runtime_error);
 }
 
 TEST(OnlinePredictor, EmitsPredictionEveryWindow) {

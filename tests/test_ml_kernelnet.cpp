@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "qif/ml/kernel_net.hpp"
 
@@ -121,6 +122,23 @@ TEST(KernelNet, SaveLoadPreservesPredictions) {
   for (std::size_t i = 0; i < before.size(); ++i) {
     EXPECT_NEAR(after.data()[i], before.data()[i], 1e-9);
   }
+}
+
+TEST(KernelNet, LoadThrowsOnCorruptOrTruncatedStream) {
+  // Regression: load() used to trust the stream, so a bad header or a
+  // truncated file produced a silently garbage network.
+  KernelNet net(tiny_config());
+  std::stringstream ss;
+  net.save(ss);
+  const std::string full = ss.str();
+
+  KernelNet loaded;
+  std::stringstream bad_magic("notakernelnet 4 3 2\n");
+  EXPECT_THROW(loaded.load(bad_magic), std::runtime_error);
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(loaded.load(truncated), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(loaded.load(empty), std::runtime_error);
 }
 
 TEST(KernelNet, PredictIsArgmaxOfLogits) {

@@ -1,6 +1,8 @@
 // Tests for the matrix kernel: the three GEMM variants and reshaping.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "qif/ml/matrix.hpp"
 #include "qif/sim/rng.hpp"
 
@@ -83,6 +85,22 @@ TEST(Matrix, FillSetsEveryElement) {
   Matrix a(4, 4);
   a.fill(2.5);
   for (const double v : a.data()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(Matrix, MatmulThrowsOnShapeMismatch) {
+  // Regression: the guards were asserts, which vanish under NDEBUG and
+  // turn dimension bugs into silent out-of-bounds reads.
+  const Matrix a(2, 3);
+  const Matrix b(4, 2);  // inner dims 3 vs 4
+  EXPECT_THROW(Matrix::matmul(a, b), std::invalid_argument);
+  const Matrix c(3, 2);  // a.rows 2 vs c.rows 3
+  EXPECT_THROW(Matrix::matmul_tn(a, c), std::invalid_argument);
+  const Matrix d(5, 4);  // a.cols 3 vs d.cols 4
+  EXPECT_THROW(Matrix::matmul_nt(a, d), std::invalid_argument);
+  // Matching shapes still work.
+  EXPECT_NO_THROW(Matrix::matmul(a, Matrix(3, 5)));
+  EXPECT_NO_THROW(Matrix::matmul_tn(a, Matrix(2, 5)));
+  EXPECT_NO_THROW(Matrix::matmul_nt(a, Matrix(5, 3)));
 }
 
 }  // namespace

@@ -89,6 +89,49 @@ TEST(Standardizer, SaveLoadRoundTrip) {
   for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_NEAR(fa[i], fb[i], 1e-12);
 }
 
+TEST(Standardizer, LoadThrowsOnTruncatedOrCorruptStream) {
+  // Regression: load() used to ignore stream state, so a truncated model
+  // file silently yielded a garbage standardizer.
+  const auto ds = synthetic_dataset(100, 7);
+  Standardizer a;
+  a.fit(ds);
+  std::stringstream ss;
+  a.save(ss);
+  const std::string full = ss.str();
+
+  Standardizer b;
+  std::stringstream truncated(full.substr(0, full.size() / 3));
+  EXPECT_THROW(b.load(truncated), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(b.load(empty), std::runtime_error);
+  std::stringstream garbage("banana");
+  EXPECT_THROW(b.load(garbage), std::runtime_error);
+}
+
+TEST(SplitDataset, SmallDatasetKeepsAtLeastOneTrainingSample) {
+  // Regression: llround(test_fraction * n) could equal n, handing every
+  // sample to the test split and returning an empty training set.
+  const auto two = synthetic_dataset(2, 11);
+  auto [train2, test2] = split_dataset(two, 0.9, 1);  // llround(1.8) == 2
+  EXPECT_EQ(train2.size(), 1u);
+  EXPECT_EQ(test2.size(), 1u);
+
+  const auto one = synthetic_dataset(1, 12);
+  auto [train1, test1] = split_dataset(one, 0.5, 1);  // llround(0.5) == 1
+  EXPECT_EQ(train1.size(), 1u);
+  EXPECT_EQ(test1.size(), 0u);
+
+  // An explicit pure test set (fraction == 1.0) is still allowed.
+  auto [train_none, test_all] = split_dataset(two, 1.0, 1);
+  EXPECT_EQ(train_none.size(), 0u);
+  EXPECT_EQ(test_all.size(), 2u);
+
+  const monitor::Dataset empty_ds;
+  auto [train0, test0] = split_dataset(empty_ds, 0.2, 1);
+  EXPECT_EQ(train0.size(), 0u);
+  EXPECT_EQ(test0.size(), 0u);
+}
+
 TEST(SplitDataset, FractionsAndDisjointness) {
   const auto ds = synthetic_dataset(1000, 3);
   auto [train, test] = split_dataset(ds, 0.2, 5);

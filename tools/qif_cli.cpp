@@ -8,8 +8,10 @@
 //       completion time plus the per-op-type latency breakdown.
 //
 //   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
-//                [--bins 2|2,5] [--seed K] --out data.csv
-//       Build a labelled training dataset and write it as CSV.
+//                [--bins 2|2,5] [--seed K] [--jobs N] --out data.csv
+//       Build a labelled training dataset and write it as CSV.  --jobs N
+//       fans the campaign's scenario simulations across N worker threads
+//       (output is bit-identical to --jobs 1).
 //
 //   qif train --data data.csv --out model.txt [--classes C] [--epochs E]
 //       Train the kernel-based model on a CSV dataset (80/20 split) and
@@ -32,6 +34,7 @@
 #include "qif/core/report.hpp"
 #include "qif/core/scenario.hpp"
 #include "qif/core/training_server.hpp"
+#include "qif/exec/parallel_runner.hpp"
 #include "qif/ml/preprocess.hpp"
 #include "qif/monitor/export.hpp"
 #include "qif/sim/stats.hpp"
@@ -78,7 +81,8 @@ int usage() {
                "usage: qif <command> [options]\n"
                "  workloads                          list workload names\n"
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]\n"
-               "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] --out F.csv\n"
+               "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
+               " --out F.csv\n"
                "  train --data F.csv --out model.txt [--classes C] [--epochs E]\n"
                "  eval --data F.csv --model model.txt\n"
                "  dump-trace <target> [--scale S] [--seed K] --out F.txt\n");
@@ -158,6 +162,7 @@ int cmd_campaign(const Args& args) {
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   opts.verbose = true;
   if (args.get("bins", "2") == "2,5") opts.bin_thresholds = {2.0, 5.0};
+  opts.runner = exec::campaign_runner(args.get_int("jobs", 1));
 
   monitor::Dataset ds;
   if (family == "io500") {
