@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attention.dir/ablation_attention.cpp.o"
+  "CMakeFiles/ablation_attention.dir/ablation_attention.cpp.o.d"
+  "ablation_attention"
+  "ablation_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_vs_flat.dir/ablation_kernel_vs_flat.cpp.o"
+  "CMakeFiles/ablation_kernel_vs_flat.dir/ablation_kernel_vs_flat.cpp.o.d"
+  "ablation_kernel_vs_flat"
+  "ablation_kernel_vs_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_vs_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_server_cache.dir/ablation_server_cache.cpp.o"
+  "CMakeFiles/ablation_server_cache.dir/ablation_server_cache.cpp.o.d"
+  "ablation_server_cache"
+  "ablation_server_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_server_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

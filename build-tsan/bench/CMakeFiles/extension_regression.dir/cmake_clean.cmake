@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_regression.dir/extension_regression.cpp.o"
+  "CMakeFiles/extension_regression.dir/extension_regression.cpp.o.d"
+  "extension_regression"
+  "extension_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_binary_benchmarks.dir/fig3_binary_benchmarks.cpp.o"
+  "CMakeFiles/fig3_binary_benchmarks.dir/fig3_binary_benchmarks.cpp.o.d"
+  "fig3_binary_benchmarks"
+  "fig3_binary_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_binary_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

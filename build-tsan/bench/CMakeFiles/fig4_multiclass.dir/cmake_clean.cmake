@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multiclass.dir/fig4_multiclass.cpp.o"
+  "CMakeFiles/fig4_multiclass.dir/fig4_multiclass.cpp.o.d"
+  "fig4_multiclass"
+  "fig4_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

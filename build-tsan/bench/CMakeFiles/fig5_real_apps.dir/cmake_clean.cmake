@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_real_apps.dir/fig5_real_apps.cpp.o"
+  "CMakeFiles/fig5_real_apps.dir/fig5_real_apps.cpp.o.d"
+  "fig5_real_apps"
+  "fig5_real_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_real_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

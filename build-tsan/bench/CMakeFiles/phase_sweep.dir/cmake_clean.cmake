@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_sweep.dir/phase_sweep.cpp.o"
+  "CMakeFiles/phase_sweep.dir/phase_sweep.cpp.o.d"
+  "phase_sweep"
+  "phase_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_io500_matrix.dir/table1_io500_matrix.cpp.o"
+  "CMakeFiles/table1_io500_matrix.dir/table1_io500_matrix.cpp.o.d"
+  "table1_io500_matrix"
+  "table1_io500_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_io500_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

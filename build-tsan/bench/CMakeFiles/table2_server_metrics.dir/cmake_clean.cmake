@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_server_metrics.dir/table2_server_metrics.cpp.o"
+  "CMakeFiles/table2_server_metrics.dir/table2_server_metrics.cpp.o.d"
+  "table2_server_metrics"
+  "table2_server_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_server_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

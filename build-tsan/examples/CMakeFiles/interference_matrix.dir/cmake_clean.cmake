@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_matrix.dir/interference_matrix.cpp.o"
+  "CMakeFiles/interference_matrix.dir/interference_matrix.cpp.o.d"
+  "interference_matrix"
+  "interference_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_study.dir/mitigation_study.cpp.o"
+  "CMakeFiles/mitigation_study.dir/mitigation_study.cpp.o.d"
+  "mitigation_study"
+  "mitigation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

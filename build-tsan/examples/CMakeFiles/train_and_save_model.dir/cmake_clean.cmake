@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_save_model.dir/train_and_save_model.cpp.o"
+  "CMakeFiles/train_and_save_model.dir/train_and_save_model.cpp.o.d"
+  "train_and_save_model"
+  "train_and_save_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_save_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

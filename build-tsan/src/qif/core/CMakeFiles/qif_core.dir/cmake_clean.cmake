@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_core.dir/campaign.cpp.o"
+  "CMakeFiles/qif_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/qif_core.dir/datasets.cpp.o"
+  "CMakeFiles/qif_core.dir/datasets.cpp.o.d"
+  "CMakeFiles/qif_core.dir/online.cpp.o"
+  "CMakeFiles/qif_core.dir/online.cpp.o.d"
+  "CMakeFiles/qif_core.dir/report.cpp.o"
+  "CMakeFiles/qif_core.dir/report.cpp.o.d"
+  "CMakeFiles/qif_core.dir/scenario.cpp.o"
+  "CMakeFiles/qif_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/qif_core.dir/training_server.cpp.o"
+  "CMakeFiles/qif_core.dir/training_server.cpp.o.d"
+  "libqif_core.a"
+  "libqif_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_exec.dir/parallel_runner.cpp.o"
+  "CMakeFiles/qif_exec.dir/parallel_runner.cpp.o.d"
+  "CMakeFiles/qif_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/qif_exec.dir/thread_pool.cpp.o.d"
+  "libqif_exec.a"
+  "libqif_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

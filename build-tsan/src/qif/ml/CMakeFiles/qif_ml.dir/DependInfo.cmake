@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qif/ml/attention_net.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/attention_net.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/attention_net.cpp.o.d"
+  "/root/repo/src/qif/ml/kernel_net.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/kernel_net.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/kernel_net.cpp.o.d"
+  "/root/repo/src/qif/ml/matrix.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/matrix.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/qif/ml/metrics.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/metrics.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/qif/ml/nn.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/nn.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/nn.cpp.o.d"
+  "/root/repo/src/qif/ml/preprocess.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/preprocess.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/preprocess.cpp.o.d"
+  "/root/repo/src/qif/ml/trainer.cpp" "src/qif/ml/CMakeFiles/qif_ml.dir/trainer.cpp.o" "gcc" "src/qif/ml/CMakeFiles/qif_ml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qif/sim/CMakeFiles/qif_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/monitor/CMakeFiles/qif_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/pfs/CMakeFiles/qif_pfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/trace/CMakeFiles/qif_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

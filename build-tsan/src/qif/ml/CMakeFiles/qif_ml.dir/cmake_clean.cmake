@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_ml.dir/attention_net.cpp.o"
+  "CMakeFiles/qif_ml.dir/attention_net.cpp.o.d"
+  "CMakeFiles/qif_ml.dir/kernel_net.cpp.o"
+  "CMakeFiles/qif_ml.dir/kernel_net.cpp.o.d"
+  "CMakeFiles/qif_ml.dir/matrix.cpp.o"
+  "CMakeFiles/qif_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/qif_ml.dir/metrics.cpp.o"
+  "CMakeFiles/qif_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/qif_ml.dir/nn.cpp.o"
+  "CMakeFiles/qif_ml.dir/nn.cpp.o.d"
+  "CMakeFiles/qif_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/qif_ml.dir/preprocess.cpp.o.d"
+  "CMakeFiles/qif_ml.dir/trainer.cpp.o"
+  "CMakeFiles/qif_ml.dir/trainer.cpp.o.d"
+  "libqif_ml.a"
+  "libqif_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

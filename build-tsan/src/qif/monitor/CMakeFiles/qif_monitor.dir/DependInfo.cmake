@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qif/monitor/client_monitor.cpp" "src/qif/monitor/CMakeFiles/qif_monitor.dir/client_monitor.cpp.o" "gcc" "src/qif/monitor/CMakeFiles/qif_monitor.dir/client_monitor.cpp.o.d"
+  "/root/repo/src/qif/monitor/export.cpp" "src/qif/monitor/CMakeFiles/qif_monitor.dir/export.cpp.o" "gcc" "src/qif/monitor/CMakeFiles/qif_monitor.dir/export.cpp.o.d"
+  "/root/repo/src/qif/monitor/features.cpp" "src/qif/monitor/CMakeFiles/qif_monitor.dir/features.cpp.o" "gcc" "src/qif/monitor/CMakeFiles/qif_monitor.dir/features.cpp.o.d"
+  "/root/repo/src/qif/monitor/schema.cpp" "src/qif/monitor/CMakeFiles/qif_monitor.dir/schema.cpp.o" "gcc" "src/qif/monitor/CMakeFiles/qif_monitor.dir/schema.cpp.o.d"
+  "/root/repo/src/qif/monitor/server_monitor.cpp" "src/qif/monitor/CMakeFiles/qif_monitor.dir/server_monitor.cpp.o" "gcc" "src/qif/monitor/CMakeFiles/qif_monitor.dir/server_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qif/pfs/CMakeFiles/qif_pfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/trace/CMakeFiles/qif_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/sim/CMakeFiles/qif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

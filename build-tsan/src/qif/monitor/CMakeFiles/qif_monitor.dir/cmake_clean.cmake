@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_monitor.dir/client_monitor.cpp.o"
+  "CMakeFiles/qif_monitor.dir/client_monitor.cpp.o.d"
+  "CMakeFiles/qif_monitor.dir/export.cpp.o"
+  "CMakeFiles/qif_monitor.dir/export.cpp.o.d"
+  "CMakeFiles/qif_monitor.dir/features.cpp.o"
+  "CMakeFiles/qif_monitor.dir/features.cpp.o.d"
+  "CMakeFiles/qif_monitor.dir/schema.cpp.o"
+  "CMakeFiles/qif_monitor.dir/schema.cpp.o.d"
+  "CMakeFiles/qif_monitor.dir/server_monitor.cpp.o"
+  "CMakeFiles/qif_monitor.dir/server_monitor.cpp.o.d"
+  "libqif_monitor.a"
+  "libqif_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

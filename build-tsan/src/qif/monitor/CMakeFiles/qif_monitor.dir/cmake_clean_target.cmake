@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqif_monitor.a"
+)

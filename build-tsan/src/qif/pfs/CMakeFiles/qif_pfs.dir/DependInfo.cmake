@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qif/pfs/client.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/client.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/client.cpp.o.d"
+  "/root/repo/src/qif/pfs/cluster.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/cluster.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/cluster.cpp.o.d"
+  "/root/repo/src/qif/pfs/disk.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/disk.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/disk.cpp.o.d"
+  "/root/repo/src/qif/pfs/layout.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/layout.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/layout.cpp.o.d"
+  "/root/repo/src/qif/pfs/mdt.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/mdt.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/mdt.cpp.o.d"
+  "/root/repo/src/qif/pfs/network.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/network.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/network.cpp.o.d"
+  "/root/repo/src/qif/pfs/read_cache.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/read_cache.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/read_cache.cpp.o.d"
+  "/root/repo/src/qif/pfs/types.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/types.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/types.cpp.o.d"
+  "/root/repo/src/qif/pfs/writeback.cpp" "src/qif/pfs/CMakeFiles/qif_pfs.dir/writeback.cpp.o" "gcc" "src/qif/pfs/CMakeFiles/qif_pfs.dir/writeback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qif/sim/CMakeFiles/qif_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/trace/CMakeFiles/qif_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_pfs.dir/client.cpp.o"
+  "CMakeFiles/qif_pfs.dir/client.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/cluster.cpp.o"
+  "CMakeFiles/qif_pfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/disk.cpp.o"
+  "CMakeFiles/qif_pfs.dir/disk.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/layout.cpp.o"
+  "CMakeFiles/qif_pfs.dir/layout.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/mdt.cpp.o"
+  "CMakeFiles/qif_pfs.dir/mdt.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/network.cpp.o"
+  "CMakeFiles/qif_pfs.dir/network.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/read_cache.cpp.o"
+  "CMakeFiles/qif_pfs.dir/read_cache.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/types.cpp.o"
+  "CMakeFiles/qif_pfs.dir/types.cpp.o.d"
+  "CMakeFiles/qif_pfs.dir/writeback.cpp.o"
+  "CMakeFiles/qif_pfs.dir/writeback.cpp.o.d"
+  "libqif_pfs.a"
+  "libqif_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qif/sim/fair_link.cpp" "src/qif/sim/CMakeFiles/qif_sim.dir/fair_link.cpp.o" "gcc" "src/qif/sim/CMakeFiles/qif_sim.dir/fair_link.cpp.o.d"
+  "/root/repo/src/qif/sim/pipe.cpp" "src/qif/sim/CMakeFiles/qif_sim.dir/pipe.cpp.o" "gcc" "src/qif/sim/CMakeFiles/qif_sim.dir/pipe.cpp.o.d"
+  "/root/repo/src/qif/sim/rng.cpp" "src/qif/sim/CMakeFiles/qif_sim.dir/rng.cpp.o" "gcc" "src/qif/sim/CMakeFiles/qif_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/qif/sim/simulation.cpp" "src/qif/sim/CMakeFiles/qif_sim.dir/simulation.cpp.o" "gcc" "src/qif/sim/CMakeFiles/qif_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/qif/sim/stats.cpp" "src/qif/sim/CMakeFiles/qif_sim.dir/stats.cpp.o" "gcc" "src/qif/sim/CMakeFiles/qif_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

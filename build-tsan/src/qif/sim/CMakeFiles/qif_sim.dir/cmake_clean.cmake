@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_sim.dir/fair_link.cpp.o"
+  "CMakeFiles/qif_sim.dir/fair_link.cpp.o.d"
+  "CMakeFiles/qif_sim.dir/pipe.cpp.o"
+  "CMakeFiles/qif_sim.dir/pipe.cpp.o.d"
+  "CMakeFiles/qif_sim.dir/rng.cpp.o"
+  "CMakeFiles/qif_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/qif_sim.dir/simulation.cpp.o"
+  "CMakeFiles/qif_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/qif_sim.dir/stats.cpp.o"
+  "CMakeFiles/qif_sim.dir/stats.cpp.o.d"
+  "libqif_sim.a"
+  "libqif_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qif/trace/labeler.cpp" "src/qif/trace/CMakeFiles/qif_trace.dir/labeler.cpp.o" "gcc" "src/qif/trace/CMakeFiles/qif_trace.dir/labeler.cpp.o.d"
+  "/root/repo/src/qif/trace/matcher.cpp" "src/qif/trace/CMakeFiles/qif_trace.dir/matcher.cpp.o" "gcc" "src/qif/trace/CMakeFiles/qif_trace.dir/matcher.cpp.o.d"
+  "/root/repo/src/qif/trace/op_record.cpp" "src/qif/trace/CMakeFiles/qif_trace.dir/op_record.cpp.o" "gcc" "src/qif/trace/CMakeFiles/qif_trace.dir/op_record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qif/sim/CMakeFiles/qif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_trace.dir/labeler.cpp.o"
+  "CMakeFiles/qif_trace.dir/labeler.cpp.o.d"
+  "CMakeFiles/qif_trace.dir/matcher.cpp.o"
+  "CMakeFiles/qif_trace.dir/matcher.cpp.o.d"
+  "CMakeFiles/qif_trace.dir/op_record.cpp.o"
+  "CMakeFiles/qif_trace.dir/op_record.cpp.o.d"
+  "libqif_trace.a"
+  "libqif_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

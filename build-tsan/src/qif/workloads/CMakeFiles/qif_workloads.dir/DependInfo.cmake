@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qif/workloads/dlio.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/dlio.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/dlio.cpp.o.d"
+  "/root/repo/src/qif/workloads/driver.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/driver.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/driver.cpp.o.d"
+  "/root/repo/src/qif/workloads/ior.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/ior.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/ior.cpp.o.d"
+  "/root/repo/src/qif/workloads/mdtest.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/mdtest.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/mdtest.cpp.o.d"
+  "/root/repo/src/qif/workloads/program.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/program.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/program.cpp.o.d"
+  "/root/repo/src/qif/workloads/proxies.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/proxies.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/proxies.cpp.o.d"
+  "/root/repo/src/qif/workloads/registry.cpp" "src/qif/workloads/CMakeFiles/qif_workloads.dir/registry.cpp.o" "gcc" "src/qif/workloads/CMakeFiles/qif_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qif/pfs/CMakeFiles/qif_pfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/trace/CMakeFiles/qif_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/sim/CMakeFiles/qif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_workloads.dir/dlio.cpp.o"
+  "CMakeFiles/qif_workloads.dir/dlio.cpp.o.d"
+  "CMakeFiles/qif_workloads.dir/driver.cpp.o"
+  "CMakeFiles/qif_workloads.dir/driver.cpp.o.d"
+  "CMakeFiles/qif_workloads.dir/ior.cpp.o"
+  "CMakeFiles/qif_workloads.dir/ior.cpp.o.d"
+  "CMakeFiles/qif_workloads.dir/mdtest.cpp.o"
+  "CMakeFiles/qif_workloads.dir/mdtest.cpp.o.d"
+  "CMakeFiles/qif_workloads.dir/program.cpp.o"
+  "CMakeFiles/qif_workloads.dir/program.cpp.o.d"
+  "CMakeFiles/qif_workloads.dir/proxies.cpp.o"
+  "CMakeFiles/qif_workloads.dir/proxies.cpp.o.d"
+  "CMakeFiles/qif_workloads.dir/registry.cpp.o"
+  "CMakeFiles/qif_workloads.dir/registry.cpp.o.d"
+  "libqif_workloads.a"
+  "libqif_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_datasets.dir/test_core_datasets.cpp.o"
+  "CMakeFiles/test_core_datasets.dir/test_core_datasets.cpp.o.d"
+  "test_core_datasets"
+  "test_core_datasets.pdb"
+  "test_core_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

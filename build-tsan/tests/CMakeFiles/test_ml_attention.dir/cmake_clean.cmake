@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_attention.dir/test_ml_attention.cpp.o"
+  "CMakeFiles/test_ml_attention.dir/test_ml_attention.cpp.o.d"
+  "test_ml_attention"
+  "test_ml_attention.pdb"
+  "test_ml_attention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ml_kernelnet.cpp" "tests/CMakeFiles/test_ml_kernelnet.dir/test_ml_kernelnet.cpp.o" "gcc" "tests/CMakeFiles/test_ml_kernelnet.dir/test_ml_kernelnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/qif/core/CMakeFiles/qif_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/exec/CMakeFiles/qif_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/workloads/CMakeFiles/qif_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/ml/CMakeFiles/qif_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/monitor/CMakeFiles/qif_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/pfs/CMakeFiles/qif_pfs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/trace/CMakeFiles/qif_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/qif/sim/CMakeFiles/qif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

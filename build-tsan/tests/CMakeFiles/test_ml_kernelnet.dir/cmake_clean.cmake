@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_kernelnet.dir/test_ml_kernelnet.cpp.o"
+  "CMakeFiles/test_ml_kernelnet.dir/test_ml_kernelnet.cpp.o.d"
+  "test_ml_kernelnet"
+  "test_ml_kernelnet.pdb"
+  "test_ml_kernelnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_kernelnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

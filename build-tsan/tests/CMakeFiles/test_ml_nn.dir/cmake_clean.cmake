@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_nn.dir/test_ml_nn.cpp.o"
+  "CMakeFiles/test_ml_nn.dir/test_ml_nn.cpp.o.d"
+  "test_ml_nn"
+  "test_ml_nn.pdb"
+  "test_ml_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_trainer.dir/test_ml_trainer.cpp.o"
+  "CMakeFiles/test_ml_trainer.dir/test_ml_trainer.cpp.o.d"
+  "test_ml_trainer"
+  "test_ml_trainer.pdb"
+  "test_ml_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

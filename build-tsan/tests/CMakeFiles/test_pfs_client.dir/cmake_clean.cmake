@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_client.dir/test_pfs_client.cpp.o"
+  "CMakeFiles/test_pfs_client.dir/test_pfs_client.cpp.o.d"
+  "test_pfs_client"
+  "test_pfs_client.pdb"
+  "test_pfs_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

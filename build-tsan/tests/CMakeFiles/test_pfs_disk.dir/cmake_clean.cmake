@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_disk.dir/test_pfs_disk.cpp.o"
+  "CMakeFiles/test_pfs_disk.dir/test_pfs_disk.cpp.o.d"
+  "test_pfs_disk"
+  "test_pfs_disk.pdb"
+  "test_pfs_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_layout.dir/test_pfs_layout.cpp.o"
+  "CMakeFiles/test_pfs_layout.dir/test_pfs_layout.cpp.o.d"
+  "test_pfs_layout"
+  "test_pfs_layout.pdb"
+  "test_pfs_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_mdt.dir/test_pfs_mdt.cpp.o"
+  "CMakeFiles/test_pfs_mdt.dir/test_pfs_mdt.cpp.o.d"
+  "test_pfs_mdt"
+  "test_pfs_mdt.pdb"
+  "test_pfs_mdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_mdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_network.dir/test_pfs_network.cpp.o"
+  "CMakeFiles/test_pfs_network.dir/test_pfs_network.cpp.o.d"
+  "test_pfs_network"
+  "test_pfs_network.pdb"
+  "test_pfs_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

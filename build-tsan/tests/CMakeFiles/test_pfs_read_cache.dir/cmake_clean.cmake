@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_read_cache.dir/test_pfs_read_cache.cpp.o"
+  "CMakeFiles/test_pfs_read_cache.dir/test_pfs_read_cache.cpp.o.d"
+  "test_pfs_read_cache"
+  "test_pfs_read_cache.pdb"
+  "test_pfs_read_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_read_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs_writeback.dir/test_pfs_writeback.cpp.o"
+  "CMakeFiles/test_pfs_writeback.dir/test_pfs_writeback.cpp.o.d"
+  "test_pfs_writeback"
+  "test_pfs_writeback.pdb"
+  "test_pfs_writeback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_links.dir/test_sim_links.cpp.o"
+  "CMakeFiles/test_sim_links.dir/test_sim_links.cpp.o.d"
+  "test_sim_links"
+  "test_sim_links.pdb"
+  "test_sim_links[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

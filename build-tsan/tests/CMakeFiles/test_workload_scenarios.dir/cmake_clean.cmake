@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_scenarios.dir/test_workload_scenarios.cpp.o"
+  "CMakeFiles/test_workload_scenarios.dir/test_workload_scenarios.cpp.o.d"
+  "test_workload_scenarios"
+  "test_workload_scenarios.pdb"
+  "test_workload_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

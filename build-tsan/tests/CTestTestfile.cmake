@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_sim_simulation[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim_rng[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim_links[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_disk[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_writeback[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_layout[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_mdt[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_client[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ml_matrix[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ml_nn[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ml_kernelnet[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ml_trainer[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ml_attention[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_export[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_network[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core_datasets[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pfs_read_cache[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workload_scenarios[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_exec[1]_include.cmake")
+add_test([=[cli_workloads]=] "/root/repo/build-tsan/tools/qif" "workloads")
+set_tests_properties([=[cli_workloads]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_roundtrip]=] "/usr/bin/cmake" "-DQIF_CLI=/root/repo/build-tsan/tools/qif" "-DWORK_DIR=/root/repo/build-tsan/tests/cli_roundtrip" "-P" "/root/repo/tests/cli_roundtrip.cmake")
+set_tests_properties([=[cli_roundtrip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qif_cli.dir/qif_cli.cpp.o"
+  "CMakeFiles/qif_cli.dir/qif_cli.cpp.o.d"
+  "qif"
+  "qif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qif_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
