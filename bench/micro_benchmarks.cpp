@@ -6,8 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "qif/core/scenario.hpp"
+#include "qif/exec/thread_pool.hpp"
+#include "qif/ml/gemm.hpp"
 #include "qif/ml/kernel_net.hpp"
 #include "qif/ml/nn.hpp"
+#include "qif/ml/trainer.hpp"
 #include "qif/monitor/server_monitor.hpp"
 #include "qif/pfs/cluster.hpp"
 #include "qif/pfs/disk.hpp"
@@ -129,6 +132,123 @@ void BM_KernelNetInference(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_KernelNetInference);
+
+// --- GEMM microbenchmarks -------------------------------------------------
+//
+// BM_GemmNaive replays the pre-blocking triple loop (including its
+// `aik == 0.0` skip) so the blocked/parallel numbers below are measured
+// against the implementation they replaced.  Shapes are the trainer's hot
+// GEMMs: (B*S, D) x (D, H) for the shared kernel MLP at batch 64 with
+// 7 servers, plus one larger square-ish shape where blocking pays most.
+
+ml::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  ml::Matrix m(r, c);
+  sim::Rng rng(seed);
+  for (auto& v : m.data()) v = rng.normal(0, 1);
+  return m;
+}
+
+void naive_matmul(const ml::Matrix& a, const ml::Matrix& b, ml::Matrix& c) {
+  c = ml::Matrix(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void set_gflops(benchmark::State& state) {
+  const double flops = 2.0 * static_cast<double>(state.range(0)) *
+                       static_cast<double>(state.range(1)) *
+                       static_cast<double>(state.range(2));
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto a = random_matrix(state.range(0), state.range(1), 21);
+  const auto b = random_matrix(state.range(1), state.range(2), 22);
+  ml::Matrix c;
+  for (auto _ : state) {
+    naive_matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  set_gflops(state);
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto a = random_matrix(state.range(0), state.range(1), 21);
+  const auto b = random_matrix(state.range(1), state.range(2), 22);
+  ml::Matrix c;
+  for (auto _ : state) {
+    ml::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  set_gflops(state);
+}
+
+void BM_GemmParallel(benchmark::State& state) {
+  exec::ThreadPool pool(4);
+  const auto a = random_matrix(state.range(0), state.range(1), 21);
+  const auto b = random_matrix(state.range(1), state.range(2), 22);
+  ml::Matrix c;
+  for (auto _ : state) {
+    ml::gemm_nn(a, b, c, /*accumulate=*/false, &pool);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  set_gflops(state);
+}
+
+// (B*S, D, H): trainer kernel-layer shapes at batch 64, 7 servers, then a
+// larger shape representative of wider hidden layers.
+// UseRealTime throughout: the parallel variant does its work on pool
+// threads, which the default CPU-time clock (main thread only) misses.
+#define QIF_GEMM_SHAPES \
+  ->Args({448, 37, 64})->Args({448, 64, 32})->Args({1024, 128, 128})->UseRealTime()
+BENCHMARK(BM_GemmNaive) QIF_GEMM_SHAPES;
+BENCHMARK(BM_GemmBlocked) QIF_GEMM_SHAPES;
+BENCHMARK(BM_GemmParallel) QIF_GEMM_SHAPES;
+#undef QIF_GEMM_SHAPES
+
+// One full training epoch (minibatch Adam + validation eval) on a
+// campaign-sized dataset: 7 servers x 37 features, 512 windows.
+void BM_TrainerEpoch(benchmark::State& state) {
+  monitor::Dataset ds;
+  ds.n_servers = 7;
+  ds.dim = 37;
+  sim::Rng rng(31);
+  for (std::size_t i = 0; i < 512; ++i) {
+    monitor::Sample s;
+    s.window_index = static_cast<std::int64_t>(i);
+    s.features.resize(7 * 37);
+    for (auto& v : s.features) v = rng.normal(0, 1);
+    s.label = static_cast<int>(i % 2);
+    s.degradation = s.label ? 4.0 : 1.0;
+    ds.samples.push_back(std::move(s));
+  }
+  ml::TrainConfig tc;
+  tc.max_epochs = 1;
+  tc.jobs = static_cast<int>(state.range(0));
+  const ml::Trainer trainer(tc);
+  for (auto _ : state) {
+    ml::KernelNetConfig nc;
+    nc.per_server_dim = 37;
+    nc.n_servers = 7;
+    nc.n_classes = 2;
+    ml::KernelNet net(nc);
+    ml::Standardizer stdz;
+    const auto result = trainer.train(net, stdz, ds);
+    benchmark::DoNotOptimize(result.history.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_TrainerEpoch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndScenario(benchmark::State& state) {
   for (auto _ : state) {

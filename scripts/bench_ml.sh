@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# ML hot-path benchmark: GEMM kernels + one full trainer epoch.
+#
+# Builds the default (portable) configuration, runs the GEMM and trainer
+# micro-benchmarks, and writes BENCH_ml.json:
+#   gemm_gflops: best blocked-GEMM rate per shape (and the naive baseline)
+#   epoch_ms:    one training epoch (512 windows, 7 servers x 37 features)
+# The blocked kernels dispatch on the CPU at runtime, so the portable build
+# is the one worth measuring; pass a different build dir as $1 to compare
+# (e.g. a -DQIF_NATIVE=ON tree).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="BENCH_ml.json"
+RAW_JSON="${BUILD_DIR}/bench_ml_raw.json"
+
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+cmake --build "${BUILD_DIR}" -j --target micro_benchmarks > /dev/null
+
+"./${BUILD_DIR}/bench/micro_benchmarks" \
+  --benchmark_filter='BM_Gemm|BM_TrainerEpoch' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${RAW_JSON}" \
+  --benchmark_out_format=json
+
+python3 - "${RAW_JSON}" "${OUT_JSON}" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+gemm, epoch = {}, {}
+for b in raw["benchmarks"]:
+    name = b["name"]
+    if name.startswith("BM_Gemm"):
+        # BM_GemmBlocked/448/37/64/real_time -> kernel + shape key
+        parts = name.split("/")
+        kernel = parts[0].removeprefix("BM_Gemm").lower()
+        shape = "x".join(parts[1:4])
+        gemm.setdefault(shape, {})[kernel] = round(b["GFLOPS"] / 1e9, 3)
+    elif name.startswith("BM_TrainerEpoch"):
+        jobs = name.split("/")[1]
+        epoch[f"jobs_{jobs}"] = round(b["real_time"], 3)
+
+speedup = {s: round(v["blocked"] / v["naive"], 2)
+           for s, v in gemm.items() if "naive" in v and "blocked" in v}
+out = {"gemm_gflops": gemm, "gemm_speedup_blocked_vs_naive": speedup,
+       "epoch_ms": epoch}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(json.dumps(out, indent=2))
+EOF
+
+echo "wrote ${OUT_JSON}"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then the exec/campaign tests again
-# under ThreadSanitizer to catch data races in the qif::exec thread pool
-# and parallel campaign runner.
+# under ThreadSanitizer to catch data races in the qif::exec thread pool,
+# the parallel campaign runner, and the thread-parallel GEMM path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,8 +12,10 @@ ctest --test-dir build --output-on-failure -j
 
 echo "=== tier-1: exec/campaign tests under TSan ==="
 cmake -B build-tsan -S . -DQIF_SANITIZE=thread
-cmake --build build-tsan -j --target test_exec test_core
+cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
+./build-tsan/tests/test_ml_gemm --gtest_filter='Gemm.Parallel*'
+./build-tsan/tests/test_ml_trainer --gtest_filter='Trainer.ResultIsBitIdenticalAcrossJobCounts'
 
 echo "tier-1 OK"

@@ -20,6 +20,8 @@ struct TrainingServerConfig {
   int n_classes = 2;               ///< 2 = binary (>=2x), 3 = mild/moderate/severe
   std::vector<int> kernel_hidden = {64, 32};
   std::vector<int> head_hidden = {32};
+  /// Trainer knobs; `train.jobs > 1` fans the training GEMMs across a
+  /// thread pool with bit-identical results (a pure throughput knob).
   ml::TrainConfig train{};
   std::uint64_t seed = 7;
 };

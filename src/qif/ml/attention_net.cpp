@@ -25,12 +25,14 @@ AttentionNet::AttentionNet(const AttentionNetConfig& config) : config_(config) {
 
 namespace {
 
-/// pooled[b] = sum_s alpha[b,s] * embed[b*S+s].
-Matrix pool(const Matrix& embed, const Matrix& alpha) {
-  const std::size_t b = alpha.rows();
-  const std::size_t s = alpha.cols();
-  const std::size_t e = embed.cols();
-  Matrix pooled(b, e);
+/// pooled[b] = sum_s alpha[b,s] * embed[b*S+s], written into `pooled`
+/// (resized in place, so steady-state batches allocate nothing).
+void pool_into(MatView embed, MatView alpha, Matrix& pooled) {
+  const std::size_t b = alpha.rows;
+  const std::size_t s = alpha.cols;
+  const std::size_t e = embed.cols;
+  pooled.resize(b, e);
+  pooled.fill(0.0);
   for (std::size_t i = 0; i < b; ++i) {
     double* out = pooled.row(i);
     for (std::size_t j = 0; j < s; ++j) {
@@ -39,70 +41,69 @@ Matrix pool(const Matrix& embed, const Matrix& alpha) {
       for (std::size_t k = 0; k < e; ++k) out[k] += a * row[k];
     }
   }
-  return pooled;
 }
 
 }  // namespace
 
-Matrix AttentionNet::forward(const Matrix& x) {
-  const auto b = x.rows();
+const Matrix& AttentionNet::forward(MatView x) {
+  const auto b = x.rows;
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
-  assert(x.cols() == s * d);
+  assert(x.cols == s * d);
 
-  cache_.embed = embed_relu_.forward(embed_.forward(x.reshaped(b * s, d)));
-  const Matrix u = attn_tanh_.forward(attn_hidden_.forward(cache_.embed));
-  const Matrix scores = attn_score_.forward(u).reshaped(b, s);
-  cache_.alpha = SoftmaxXent::softmax(scores);
-  cache_.pooled = pool(cache_.embed, cache_.alpha);
+  cache_.embed = &embed_relu_.forward(embed_.forward(x.reshaped(b * s, d), pool_));
+  const Matrix& u = attn_tanh_.forward(attn_hidden_.forward(*cache_.embed, pool_));
+  const Matrix& scores = attn_score_.forward(u, pool_);
+  cache_.alpha = SoftmaxXent::softmax(scores.reshaped(b, s));
+  pool_into(*cache_.embed, cache_.alpha, cache_.pooled);
 
-  Matrix h = cache_.pooled;
+  MatView h = cache_.pooled;
   for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
-    h = head_relus_[l].forward(head_layers_[l].forward(h));
+    h = head_relus_[l].forward(head_layers_[l].forward(h, pool_));
   }
-  return head_layers_.back().forward(h);
+  return head_layers_.back().forward(h, pool_);
 }
 
-void AttentionNet::backward(const Matrix& dlogits) {
-  Matrix d = head_layers_.back().backward(dlogits);
+void AttentionNet::backward(MatView dlogits) {
+  MatView d{head_layers_.back().backward(dlogits, pool_)};
   for (std::size_t l = head_layers_.size() - 1; l-- > 0;) {
-    d = head_layers_[l].backward(head_relus_[l].backward(d));
+    d = head_layers_[l].backward(head_relus_[l].backward(d), pool_);
   }
   // d == dpooled (B, E).
   const std::size_t b = cache_.alpha.rows();
   const std::size_t s = cache_.alpha.cols();
-  const std::size_t e = cache_.embed.cols();
+  const std::size_t e = cache_.embed->cols();
 
-  Matrix dalpha(b, s);
-  Matrix dembed(b * s, e);
+  dalpha_.resize(b, s);
+  dembed_.resize(b * s, e);
   for (std::size_t i = 0; i < b; ++i) {
     const double* dp = d.row(i);
     for (std::size_t j = 0; j < s; ++j) {
-      const double* erow = cache_.embed.row(i * s + j);
+      const double* erow = cache_.embed->row(i * s + j);
       double dot = 0.0;
       for (std::size_t k = 0; k < e; ++k) dot += dp[k] * erow[k];
-      dalpha.at(i, j) = dot;
+      dalpha_.at(i, j) = dot;
       const double a = cache_.alpha.at(i, j);
-      double* de = dembed.row(i * s + j);
+      double* de = dembed_.row(i * s + j);
       for (std::size_t k = 0; k < e; ++k) de[k] = a * dp[k];
     }
   }
   // Softmax jacobian per row.
-  Matrix dscores(b, s);
+  dscores_.resize(b, s);
   for (std::size_t i = 0; i < b; ++i) {
     double inner = 0.0;
-    for (std::size_t j = 0; j < s; ++j) inner += cache_.alpha.at(i, j) * dalpha.at(i, j);
+    for (std::size_t j = 0; j < s; ++j) inner += cache_.alpha.at(i, j) * dalpha_.at(i, j);
     for (std::size_t j = 0; j < s; ++j) {
-      dscores.at(i, j) = cache_.alpha.at(i, j) * (dalpha.at(i, j) - inner);
+      dscores_.at(i, j) = cache_.alpha.at(i, j) * (dalpha_.at(i, j) - inner);
     }
   }
   // Attention branch back to the embeddings.
-  Matrix du = attn_score_.backward(dscores.reshaped(b * s, 1));
-  Matrix dembed_attn = attn_hidden_.backward(attn_tanh_.backward(du));
-  for (std::size_t i = 0; i < dembed.size(); ++i) {
-    dembed.data()[i] += dembed_attn.data()[i];
+  const Matrix& du = attn_score_.backward(MatView(dscores_).reshaped(b * s, 1), pool_);
+  const Matrix& dembed_attn = attn_hidden_.backward(attn_tanh_.backward(du), pool_);
+  for (std::size_t i = 0; i < dembed_.size(); ++i) {
+    dembed_.data()[i] += dembed_attn.data()[i];
   }
-  embed_.backward(embed_relu_.backward(dembed));
+  embed_.backward(embed_relu_.backward(dembed_), pool_);
 }
 
 void AttentionNet::step(const AdamParams& params, std::int64_t t) {
@@ -117,13 +118,13 @@ Matrix AttentionNet::forward_inference(const Matrix& x) const {
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
   assert(x.cols() == s * d);
-  const Matrix embed =
-      ReLU::forward_inference(embed_.forward_inference(x.reshaped(b * s, d)));
-  const Matrix u =
-      Tanh::forward_inference(attn_hidden_.forward_inference(embed));
+  const Matrix embed = ReLU::forward_inference(
+      embed_.forward_inference(MatView(x).reshaped(b * s, d)));
+  const Matrix u = Tanh::forward_inference(attn_hidden_.forward_inference(embed));
   const Matrix alpha =
       SoftmaxXent::softmax(attn_score_.forward_inference(u).reshaped(b, s));
-  Matrix h = pool(embed, alpha);
+  Matrix h;
+  pool_into(embed, alpha, h);
   for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
     h = ReLU::forward_inference(head_layers_[l].forward_inference(h));
   }
@@ -149,13 +150,59 @@ std::vector<double> AttentionNet::attention_weights(
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
   assert(features.size() == s * d);
-  Matrix x(s, d);
-  x.data() = features;
-  const Matrix embed = ReLU::forward_inference(embed_.forward_inference(x));
+  const Matrix embed =
+      ReLU::forward_inference(embed_.forward_inference(MatView(features.data(), s, d)));
   const Matrix u = Tanh::forward_inference(attn_hidden_.forward_inference(embed));
   const Matrix alpha =
       SoftmaxXent::softmax(attn_score_.forward_inference(u).reshaped(1, s));
   return {alpha.row(0), alpha.row(0) + s};
+}
+
+std::size_t AttentionNet::param_count() const {
+  std::size_t n = embed_.param_count() + attn_hidden_.param_count() +
+                  attn_score_.param_count();
+  for (const auto& l : head_layers_) n += l.param_count();
+  return n;
+}
+
+void AttentionNet::snapshot_into(std::vector<double>& out) const {
+  out.resize(param_count());
+  double* dst = out.data();
+  embed_.snapshot_to(dst);
+  dst += embed_.param_count();
+  attn_hidden_.snapshot_to(dst);
+  dst += attn_hidden_.param_count();
+  attn_score_.snapshot_to(dst);
+  dst += attn_score_.param_count();
+  for (const auto& l : head_layers_) {
+    l.snapshot_to(dst);
+    dst += l.param_count();
+  }
+}
+
+std::vector<double> AttentionNet::snapshot() const {
+  std::vector<double> out;
+  snapshot_into(out);
+  return out;
+}
+
+void AttentionNet::restore(const std::vector<double>& snap) {
+  if (snap.size() != param_count()) {
+    throw std::invalid_argument("attentionnet restore: snapshot has " +
+                                std::to_string(snap.size()) + " params, net has " +
+                                std::to_string(param_count()));
+  }
+  const double* src = snap.data();
+  embed_.restore_from(src);
+  src += embed_.param_count();
+  attn_hidden_.restore_from(src);
+  src += attn_hidden_.param_count();
+  attn_score_.restore_from(src);
+  src += attn_score_.param_count();
+  for (auto& l : head_layers_) {
+    l.restore_from(src);
+    src += l.param_count();
+  }
 }
 
 void AttentionNet::save(std::ostream& os) const {
@@ -190,7 +237,9 @@ void AttentionNet::load(std::istream& is) {
   for (auto& h : cfg.head_hidden) {
     if (!(is >> h)) throw std::runtime_error("attentionnet load: truncated head sizes");
   }
+  exec::ThreadPool* pool = pool_;  // survive the reconstruction below
   *this = AttentionNet(cfg);
+  pool_ = pool;
   embed_.load(is);
   attn_hidden_.load(is);
   attn_score_.load(is);

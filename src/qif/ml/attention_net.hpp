@@ -40,9 +40,14 @@ class AttentionNet {
   AttentionNet() = default;
   explicit AttentionNet(const AttentionNetConfig& config);
 
-  /// Training forward: X is (B, S*D); returns logits (B, C).
-  Matrix forward(const Matrix& x);
-  void backward(const Matrix& dlogits);
+  /// Optional GEMM thread pool (not owned; bit-identical results either
+  /// way).  Clear with set_pool(nullptr) before the pool dies.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+
+  /// Training forward: X is (B, S*D); returns logits (B, C) by reference
+  /// into a layer-owned buffer (valid until the next call).
+  const Matrix& forward(MatView x);
+  void backward(MatView dlogits);
   void step(const AdamParams& params, std::int64_t t);
 
   [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
@@ -54,14 +59,22 @@ class AttentionNet {
 
   [[nodiscard]] const AttentionNetConfig& config() const { return config_; }
 
+  /// Total learnable parameter count across every layer.
+  [[nodiscard]] std::size_t param_count() const;
+  /// Binary in-memory weight snapshot (embed, attention, head layers; per
+  /// layer W row-major then b); restore() is the bit-exact inverse.
+  void snapshot_into(std::vector<double>& out) const;
+  [[nodiscard]] std::vector<double> snapshot() const;
+  void restore(const std::vector<double>& snap);
+
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
  private:
   struct ForwardState {
-    Matrix embed;   // (B*S, E) post-ReLU embeddings
-    Matrix alpha;   // (B, S) attention weights
-    Matrix pooled;  // (B, E)
+    const Matrix* embed = nullptr;  // (B*S, E) post-ReLU embeddings (relu buffer)
+    Matrix alpha;                   // (B, S) attention weights
+    Matrix pooled;                  // (B, E)
   };
 
   AttentionNetConfig config_;
@@ -73,6 +86,8 @@ class AttentionNet {
   std::vector<Dense> head_layers_;
   std::vector<ReLU> head_relus_;
   ForwardState cache_;  // from the last training forward
+  Matrix dalpha_, dembed_, dscores_;  // persistent backward scratch
+  exec::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace qif::ml

@@ -1,0 +1,342 @@
+#include "qif/ml/gemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "qif/exec/thread_pool.hpp"
+
+namespace qif::ml {
+namespace {
+
+// Register tile: kMr C rows by kNr C columns of accumulators, with a
+// narrower kNrSub tile and a scalar loop sweeping the column remainder.
+// 32 columns is four cache lines of C per tile row — wide enough that the
+// vectorizer emits full-width FMA chains on AVX-capable cores while the
+// baseline SSE2 build keeps the accumulators hot in L1.  The j-lane
+// vectorization this enables never reorders any single element's
+// reduction — each acc[r][q] is still one scalar sum over ascending k —
+// so the determinism contract is unaffected.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 32;
+constexpr std::size_t kNrSub = 8;
+
+// Below this many multiply-adds the pool's dispatch latency eats the win.
+constexpr std::size_t kParallelMinMadds = std::size_t{1} << 17;
+
+// The kernels are compiled once per x86-64 microarchitecture level and
+// dispatched by runtime CPU probe, so a portable build still runs
+// AVX2/AVX-512 FMA code on cores that have it.  Dispatch is an ordinary
+// branch on a cached probe (no ifunc), which keeps sanitizer builds and
+// non-GCC toolchains simple; the probe is per-process constant, so every
+// GEMM in a run — serial or pooled — executes the same variant and
+// results stay bit-identical across worker counts.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && __GNUC__ >= 11
+#define QIF_GEMM_MULTIARCH 1
+#define QIF_GEMM_V3 __attribute__((target("arch=x86-64-v3")))
+#define QIF_GEMM_V4 __attribute__((target("arch=x86-64-v4")))
+#else
+#define QIF_GEMM_MULTIARCH 0
+#define QIF_GEMM_V3
+#define QIF_GEMM_V4
+#endif
+
+enum class Isa { kBase, kV3, kV4 };
+
+Isa isa_level() {
+#if QIF_GEMM_MULTIARCH
+  static const Isa level = [] {
+    if (__builtin_cpu_supports("x86-64-v4")) return Isa::kV4;
+    if (__builtin_cpu_supports("x86-64-v3")) return Isa::kV3;
+    return Isa::kBase;
+  }();
+  return level;
+#else
+  return Isa::kBase;
+#endif
+}
+
+// Shape guards must survive NDEBUG builds: an assert that compiles away
+// turns a dimension bug into a silent out-of-bounds read.
+void check_shapes(std::size_t lhs, std::size_t rhs, const char* what) {
+  if (lhs != rhs) {
+    throw std::invalid_argument(std::string("matmul shape mismatch (") + what + "): " +
+                                std::to_string(lhs) + " vs " + std::to_string(rhs));
+  }
+}
+
+void prepare_output(Matrix& c, std::size_t m, std::size_t n, bool accumulate, MatView a,
+                    MatView b) {
+  // Alias check must precede the resize: growing c can reallocate, which
+  // would leave an aliasing input view dangling AND make the overlap
+  // undetectable afterwards.
+  if (!c.data().empty()) {
+    const double* cp = c.data().data();
+    if ((a.size() != 0 && cp == a.ptr) || (b.size() != 0 && cp == b.ptr)) {
+      throw std::invalid_argument("gemm: output matrix aliases an input");
+    }
+  }
+  if (accumulate) {
+    if (c.rows() != m || c.cols() != n) {
+      throw std::invalid_argument("gemm: accumulate output must already be shaped " +
+                                  std::to_string(m) + "x" + std::to_string(n));
+    }
+  } else {
+    c.resize(m, n);
+  }
+}
+
+/// Runs fn(lo, hi) over row ranges covering [0, m).  Row blocks are
+/// aligned to kMr so every worker runs the same micro-kernel sequence it
+/// would serially; because each C row belongs to exactly one block and
+/// each element is reduced by one accumulator over ascending k, the
+/// result is bit-identical for any worker count or block size.
+template <typename RowsFn>
+void run_rows(std::size_t m, std::size_t madds, exec::ThreadPool* pool, const RowsFn& fn) {
+  if (pool == nullptr || pool->size() <= 1 || madds < kParallelMinMadds || m < 2 * kMr) {
+    fn(std::size_t{0}, m);
+    return;
+  }
+  const auto workers = static_cast<std::size_t>(pool->size());
+  std::size_t block = (m + workers - 1) / workers;
+  block = ((block + kMr - 1) / kMr) * kMr;
+  const std::size_t n_blocks = (m + block - 1) / block;
+  pool->for_each_index(n_blocks, [&](std::size_t t) {
+    const std::size_t lo = t * block;
+    fn(lo, std::min(m, lo + block));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// NN: c(i,j) = sum_k a(i,k) * b(k,j)
+// TN: c(i,j) = sum_k a(k,i) * b(k,j)
+//
+// One body serves both: the two differ only in how the kMr operand values
+// for step k are addressed (per-row streams for NN, one contiguous slice
+// of a's row k for TN).  always_inline is load-bearing — the body must
+// inline into each target-attributed wrapper to be compiled at that
+// wrapper's ISA level.
+// ---------------------------------------------------------------------------
+template <bool kTransA>
+__attribute__((always_inline)) inline void nn_tn_body(
+    std::size_t i0, std::size_t i1, std::size_t n, std::size_t k, const double* __restrict a,
+    std::size_t lda, const double* __restrict b, std::size_t ldb, double* __restrict c,
+    std::size_t ldc, bool accumulate) {
+  const auto a_at = [&](std::size_t row, std::size_t kk) {
+    return kTransA ? a[kk * lda + row] : a[row * lda + kk];
+  };
+  std::size_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    double* crow[kMr];
+    for (std::size_t r = 0; r < kMr; ++r) crow[r] = c + (i + r) * ldc;
+    std::size_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      double acc[kMr][kNr];
+      for (std::size_t r = 0; r < kMr; ++r) {
+        for (std::size_t q = 0; q < kNr; ++q) acc[r][q] = accumulate ? crow[r][j + q] : 0.0;
+      }
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double* br = b + kk * ldb + j;
+        for (std::size_t r = 0; r < kMr; ++r) {
+          const double av = a_at(i + r, kk);
+          for (std::size_t q = 0; q < kNr; ++q) acc[r][q] += av * br[q];
+        }
+      }
+      for (std::size_t r = 0; r < kMr; ++r) {
+        for (std::size_t q = 0; q < kNr; ++q) crow[r][j + q] = acc[r][q];
+      }
+    }
+    for (; j + kNrSub <= n; j += kNrSub) {
+      double acc[kMr][kNrSub];
+      for (std::size_t r = 0; r < kMr; ++r) {
+        for (std::size_t q = 0; q < kNrSub; ++q) {
+          acc[r][q] = accumulate ? crow[r][j + q] : 0.0;
+        }
+      }
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double* br = b + kk * ldb + j;
+        for (std::size_t r = 0; r < kMr; ++r) {
+          const double av = a_at(i + r, kk);
+          for (std::size_t q = 0; q < kNrSub; ++q) acc[r][q] += av * br[q];
+        }
+      }
+      for (std::size_t r = 0; r < kMr; ++r) {
+        for (std::size_t q = 0; q < kNrSub; ++q) crow[r][j + q] = acc[r][q];
+      }
+    }
+    for (; j < n; ++j) {
+      double s[kMr];
+      for (std::size_t r = 0; r < kMr; ++r) s[r] = accumulate ? crow[r][j] : 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double bv = b[kk * ldb + j];
+        for (std::size_t r = 0; r < kMr; ++r) s[r] += a_at(i + r, kk) * bv;
+      }
+      for (std::size_t r = 0; r < kMr; ++r) crow[r][j] = s[r];
+    }
+  }
+  for (; i < i1; ++i) {
+    double* cr = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + kNrSub <= n; j += kNrSub) {
+      double acc[kNrSub];
+      for (std::size_t q = 0; q < kNrSub; ++q) acc[q] = accumulate ? cr[j + q] : 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double* br = b + kk * ldb + j;
+        const double av = a_at(i, kk);
+        for (std::size_t q = 0; q < kNrSub; ++q) acc[q] += av * br[q];
+      }
+      for (std::size_t q = 0; q < kNrSub; ++q) cr[j + q] = acc[q];
+    }
+    for (; j < n; ++j) {
+      double s = accumulate ? cr[j] : 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += a_at(i, kk) * b[kk * ldb + j];
+      cr[j] = s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NT: c(i,j) = sum_k a(i,k) * b(j,k) — a 4x4 block of inner products over
+// eight contiguous operand streams.  The single-accumulator-per-element
+// contract forbids vectorizing the k reduction, so this tile stays 4 wide
+// (16 scalar accumulators); the ISA variants still gain scalar FMA.
+// ---------------------------------------------------------------------------
+constexpr std::size_t kNrDot = 4;
+
+__attribute__((always_inline)) inline void nt_body(std::size_t i0, std::size_t i1,
+                                                   std::size_t n, std::size_t k,
+                                                   const double* __restrict a, std::size_t lda,
+                                                   const double* __restrict b, std::size_t ldb,
+                                                   double* __restrict c, std::size_t ldc,
+                                                   bool accumulate) {
+  std::size_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    const double* a0 = a + (i + 0) * lda;
+    const double* a1 = a + (i + 1) * lda;
+    const double* a2 = a + (i + 2) * lda;
+    const double* a3 = a + (i + 3) * lda;
+    double* c0 = c + (i + 0) * ldc;
+    double* c1 = c + (i + 1) * ldc;
+    double* c2 = c + (i + 2) * ldc;
+    double* c3 = c + (i + 3) * ldc;
+    std::size_t j = 0;
+    for (; j + kNrDot <= n; j += kNrDot) {
+      const double* b0 = b + (j + 0) * ldb;
+      const double* b1 = b + (j + 1) * ldb;
+      const double* b2 = b + (j + 2) * ldb;
+      const double* b3 = b + (j + 3) * ldb;
+      double s00 = accumulate ? c0[j + 0] : 0.0, s01 = accumulate ? c0[j + 1] : 0.0;
+      double s02 = accumulate ? c0[j + 2] : 0.0, s03 = accumulate ? c0[j + 3] : 0.0;
+      double s10 = accumulate ? c1[j + 0] : 0.0, s11 = accumulate ? c1[j + 1] : 0.0;
+      double s12 = accumulate ? c1[j + 2] : 0.0, s13 = accumulate ? c1[j + 3] : 0.0;
+      double s20 = accumulate ? c2[j + 0] : 0.0, s21 = accumulate ? c2[j + 1] : 0.0;
+      double s22 = accumulate ? c2[j + 2] : 0.0, s23 = accumulate ? c2[j + 3] : 0.0;
+      double s30 = accumulate ? c3[j + 0] : 0.0, s31 = accumulate ? c3[j + 1] : 0.0;
+      double s32 = accumulate ? c3[j + 2] : 0.0, s33 = accumulate ? c3[j + 3] : 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+        const double w0 = b0[kk], w1 = b1[kk], w2 = b2[kk], w3 = b3[kk];
+        s00 += v0 * w0; s01 += v0 * w1; s02 += v0 * w2; s03 += v0 * w3;
+        s10 += v1 * w0; s11 += v1 * w1; s12 += v1 * w2; s13 += v1 * w3;
+        s20 += v2 * w0; s21 += v2 * w1; s22 += v2 * w2; s23 += v2 * w3;
+        s30 += v3 * w0; s31 += v3 * w1; s32 += v3 * w2; s33 += v3 * w3;
+      }
+      c0[j + 0] = s00; c0[j + 1] = s01; c0[j + 2] = s02; c0[j + 3] = s03;
+      c1[j + 0] = s10; c1[j + 1] = s11; c1[j + 2] = s12; c1[j + 3] = s13;
+      c2[j + 0] = s20; c2[j + 1] = s21; c2[j + 2] = s22; c2[j + 3] = s23;
+      c3[j + 0] = s30; c3[j + 1] = s31; c3[j + 2] = s32; c3[j + 3] = s33;
+    }
+    for (; j < n; ++j) {
+      const double* br = b + j * ldb;
+      double s0 = accumulate ? c0[j] : 0.0, s1 = accumulate ? c1[j] : 0.0;
+      double s2 = accumulate ? c2[j] : 0.0, s3 = accumulate ? c3[j] : 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double bv = br[kk];
+        s0 += a0[kk] * bv;
+        s1 += a1[kk] * bv;
+        s2 += a2[kk] * bv;
+        s3 += a3[kk] * bv;
+      }
+      c0[j] = s0; c1[j] = s1; c2[j] = s2; c3[j] = s3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* ar = a + i * lda;
+    double* cr = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* br = b + j * ldb;
+      double s = accumulate ? cr[j] : 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += ar[kk] * br[kk];
+      cr[j] = s;
+    }
+  }
+}
+
+// Per-ISA instantiations + dispatcher.  Args are bundled so the wrapper
+// signatures stay readable.
+struct RowsArgs {
+  std::size_t i0, i1, n, k;
+  const double* a;
+  std::size_t lda;
+  const double* b;
+  std::size_t ldb;
+  double* c;
+  std::size_t ldc;
+  bool accumulate;
+};
+
+#define QIF_GEMM_DEFINE_VARIANTS(name, body_expr)                              \
+  void name##_base(const RowsArgs& r) { body_expr; }                           \
+  QIF_GEMM_V3 void name##_v3(const RowsArgs& r) { body_expr; }                 \
+  QIF_GEMM_V4 void name##_v4(const RowsArgs& r) { body_expr; }                 \
+  void name(const RowsArgs& r) {                                               \
+    switch (isa_level()) {                                                     \
+      case Isa::kV4: name##_v4(r); return;                                     \
+      case Isa::kV3: name##_v3(r); return;                                     \
+      case Isa::kBase: break;                                                  \
+    }                                                                          \
+    name##_base(r);                                                            \
+  }
+
+QIF_GEMM_DEFINE_VARIANTS(nn_rows, (nn_tn_body<false>(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b,
+                                                     r.ldb, r.c, r.ldc, r.accumulate)))
+QIF_GEMM_DEFINE_VARIANTS(tn_rows, (nn_tn_body<true>(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b,
+                                                    r.ldb, r.c, r.ldc, r.accumulate)))
+QIF_GEMM_DEFINE_VARIANTS(nt_rows, (nt_body(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b, r.ldb, r.c,
+                                           r.ldc, r.accumulate)))
+
+#undef QIF_GEMM_DEFINE_VARIANTS
+
+}  // namespace
+
+void gemm_nn(MatView a, MatView b, Matrix& c, bool accumulate, exec::ThreadPool* pool) {
+  check_shapes(a.cols, b.rows, "A.cols vs B.rows");
+  prepare_output(c, a.rows, b.cols, accumulate, a, b);
+  if (a.rows == 0 || b.cols == 0) return;
+  run_rows(a.rows, a.rows * a.cols * b.cols, pool, [&](std::size_t lo, std::size_t hi) {
+    nn_rows({lo, hi, b.cols, a.cols, a.ptr, a.cols, b.ptr, b.cols, c.data().data(), c.cols(),
+             accumulate});
+  });
+}
+
+void gemm_tn(MatView a, MatView b, Matrix& c, bool accumulate, exec::ThreadPool* pool) {
+  check_shapes(a.rows, b.rows, "A.rows vs B.rows");
+  prepare_output(c, a.cols, b.cols, accumulate, a, b);
+  if (a.cols == 0 || b.cols == 0) return;
+  run_rows(a.cols, a.rows * a.cols * b.cols, pool, [&](std::size_t lo, std::size_t hi) {
+    tn_rows({lo, hi, b.cols, a.rows, a.ptr, a.cols, b.ptr, b.cols, c.data().data(), c.cols(),
+             accumulate});
+  });
+}
+
+void gemm_nt(MatView a, MatView b, Matrix& c, bool accumulate, exec::ThreadPool* pool) {
+  check_shapes(a.cols, b.cols, "A.cols vs B.cols");
+  prepare_output(c, a.rows, b.rows, accumulate, a, b);
+  if (a.rows == 0 || b.rows == 0) return;
+  run_rows(a.rows, a.rows * a.cols * b.rows, pool, [&](std::size_t lo, std::size_t hi) {
+    nt_rows({lo, hi, b.rows, a.cols, a.ptr, a.cols, b.ptr, b.cols, c.data().data(), c.cols(),
+             accumulate});
+  });
+}
+
+}  // namespace qif::ml

@@ -1,0 +1,45 @@
+// Register-blocked GEMM micro-kernel family for the training core.
+//
+// Three variants cover every product the layer stack needs:
+//   gemm_nn:  C = A · B      (forward:   Y  = X · W)
+//   gemm_tn:  C = A^T · B    (weights:   dW = X^T · dY)
+//   gemm_nt:  C = A · B^T    (inputs:    dX = dY · W^T)
+//
+// Determinism contract: every C element is reduced by a single accumulator
+// over ascending k — in the 4x4 micro-kernel, in the edge kernels, and in
+// the parallel path (which partitions C's *rows* across workers, so each
+// element is still produced by exactly one thread in the same order).
+// Consequently results are bit-identical for any --jobs value and any
+// row-block size, and identical to a textbook single-accumulator naive
+// loop compiled with the same FP contraction rules.
+//
+// The old naive kernels carried an `if (a == 0.0) continue;` sparsity
+// branch; it pessimized dense inputs (one branch per inner product) and
+// made the FP summation order input-dependent, so the blocked kernels are
+// deliberately dense-only.
+#pragma once
+
+#include "qif/ml/matrix.hpp"
+
+namespace qif::exec {
+class ThreadPool;
+}
+
+namespace qif::ml {
+
+/// C = A·B (+= when `accumulate`).  `c` is resized to (a.rows, b.cols)
+/// unless accumulating, in which case it must already have that shape.
+/// Throws std::invalid_argument on shape mismatch.  `pool` enables the
+/// thread-parallel path; nullptr (or a tiny problem) runs serially.
+void gemm_nn(MatView a, MatView b, Matrix& c, bool accumulate = false,
+             exec::ThreadPool* pool = nullptr);
+
+/// C = A^T·B; C is (a.cols, b.cols), inner dimension a.rows == b.rows.
+void gemm_tn(MatView a, MatView b, Matrix& c, bool accumulate = false,
+             exec::ThreadPool* pool = nullptr);
+
+/// C = A·B^T; C is (a.rows, b.rows), inner dimension a.cols == b.cols.
+void gemm_nt(MatView a, MatView b, Matrix& c, bool accumulate = false,
+             exec::ThreadPool* pool = nullptr);
+
+}  // namespace qif::ml

@@ -28,54 +28,55 @@ KernelNet::KernelNet(const KernelNetConfig& config) : config_(config) {
   head_layers_.emplace_back(in, static_cast<std::size_t>(config_.n_classes), rng);
 }
 
-Matrix KernelNet::kernel_forward(const Matrix& xk, bool train) {
-  Matrix h = xk;
+const Matrix& KernelNet::kernel_forward(MatView xk) {
+  MatView h = xk;
   for (std::size_t l = 0; l + 1 < kernel_layers_.size(); ++l) {
-    h = train ? kernel_layers_[l].forward(h) : kernel_layers_[l].forward_inference(h);
-    h = train ? kernel_relus_[l].forward(h) : ReLU::forward_inference(h);
+    h = kernel_layers_[l].forward(h, pool_);
+    h = kernel_relus_[l].forward(h);
   }
-  return train ? kernel_layers_.back().forward(h)
-               : kernel_layers_.back().forward_inference(h);
+  return kernel_layers_.back().forward(h, pool_);
 }
 
-Matrix KernelNet::kernel_forward_inference(const Matrix& xk) const {
-  Matrix h = xk;
+Matrix KernelNet::kernel_forward_inference(MatView xk) const {
+  Matrix h;
+  MatView v = xk;
   for (std::size_t l = 0; l + 1 < kernel_layers_.size(); ++l) {
-    h = kernel_layers_[l].forward_inference(h);
-    h = ReLU::forward_inference(h);
+    h = ReLU::forward_inference(kernel_layers_[l].forward_inference(v));
+    v = h;
   }
-  return kernel_layers_.back().forward_inference(h);
+  return kernel_layers_.back().forward_inference(v);
 }
 
-Matrix KernelNet::forward(const Matrix& x) {
-  const auto b = x.rows();
+const Matrix& KernelNet::forward(MatView x) {
+  const auto b = x.rows;
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
-  assert(x.cols() == s * d);
+  assert(x.cols == s * d);
 
-  Matrix scores = kernel_forward(x.reshaped(b * s, d), /*train=*/true).reshaped(b, s);
-  Matrix h = scores;
+  // (B, S*D) viewed as (B*S, D); kernel output (B*S, 1) viewed as (B, S).
+  MatView h = MatView(kernel_forward(x.reshaped(b * s, d))).reshaped(b, s);
   for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
-    h = head_layers_[l].forward(h);
+    h = head_layers_[l].forward(h, pool_);
     h = head_relus_[l].forward(h);
   }
-  return head_layers_.back().forward(h);
+  return head_layers_.back().forward(h, pool_);
 }
 
-void KernelNet::backward(const Matrix& dlogits) {
-  Matrix d = head_layers_.back().backward(dlogits);
+void KernelNet::backward(MatView dlogits) {
+  MatView d{head_layers_.back().backward(dlogits, pool_)};
   for (std::size_t l = head_layers_.size() - 1; l-- > 0;) {
     d = head_relus_[l].backward(d);
-    d = head_layers_[l].backward(d);
+    d = head_layers_[l].backward(d, pool_);
   }
-  // d is now (B, S): gradient w.r.t. the per-server kernel scores.
-  const auto b = d.rows();
+  // d is now (B, S): gradient w.r.t. the per-server kernel scores —
+  // the same memory as the (B*S, 1) kernel-output gradient.
+  const auto b = d.rows;
   const auto s = static_cast<std::size_t>(config_.n_servers);
-  Matrix dk = d.reshaped(b * s, 1);
-  dk = kernel_layers_.back().backward(dk);
+  MatView dk = d.reshaped(b * s, 1);
+  dk = kernel_layers_.back().backward(dk, pool_);
   for (std::size_t l = kernel_layers_.size() - 1; l-- > 0;) {
     dk = kernel_relus_[l].backward(dk);
-    dk = kernel_layers_[l].backward(dk);
+    dk = kernel_layers_[l].backward(dk, pool_);
   }
 }
 
@@ -89,12 +90,14 @@ Matrix KernelNet::forward_inference(const Matrix& x) const {
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
   assert(x.cols() == s * d);
-  Matrix h = kernel_forward_inference(x.reshaped(b * s, d)).reshaped(b, s);
+  const Matrix scores = kernel_forward_inference(MatView(x).reshaped(b * s, d));
+  Matrix h;
+  MatView v = MatView(scores).reshaped(b, s);
   for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
-    h = head_layers_[l].forward_inference(h);
-    h = ReLU::forward_inference(h);
+    h = ReLU::forward_inference(head_layers_[l].forward_inference(v));
+    v = h;
   }
-  return head_layers_.back().forward_inference(h);
+  return head_layers_.back().forward_inference(v);
 }
 
 std::vector<int> KernelNet::predict(const Matrix& x) const {
@@ -115,12 +118,53 @@ std::vector<double> KernelNet::server_scores(const std::vector<double>& features
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
   assert(features.size() == s * d);
-  Matrix x(s, d);
-  x.data() = features;
-  const Matrix scores = kernel_forward_inference(x);
+  const Matrix scores = kernel_forward_inference(MatView(features.data(), s, d));
   std::vector<double> out(s);
   for (std::size_t i = 0; i < s; ++i) out[i] = scores.at(i, 0);
   return out;
+}
+
+std::size_t KernelNet::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : kernel_layers_) n += l.param_count();
+  for (const auto& l : head_layers_) n += l.param_count();
+  return n;
+}
+
+void KernelNet::snapshot_into(std::vector<double>& out) const {
+  out.resize(param_count());
+  double* dst = out.data();
+  for (const auto& l : kernel_layers_) {
+    l.snapshot_to(dst);
+    dst += l.param_count();
+  }
+  for (const auto& l : head_layers_) {
+    l.snapshot_to(dst);
+    dst += l.param_count();
+  }
+}
+
+std::vector<double> KernelNet::snapshot() const {
+  std::vector<double> out;
+  snapshot_into(out);
+  return out;
+}
+
+void KernelNet::restore(const std::vector<double>& snap) {
+  if (snap.size() != param_count()) {
+    throw std::invalid_argument("kernelnet restore: snapshot has " +
+                                std::to_string(snap.size()) + " params, net has " +
+                                std::to_string(param_count()));
+  }
+  const double* src = snap.data();
+  for (auto& l : kernel_layers_) {
+    l.restore_from(src);
+    src += l.param_count();
+  }
+  for (auto& l : head_layers_) {
+    l.restore_from(src);
+    src += l.param_count();
+  }
 }
 
 void KernelNet::save(std::ostream& os) const {
@@ -161,7 +205,9 @@ void KernelNet::load(std::istream& is) {
   for (auto& h : cfg.head_hidden) {
     if (!(is >> h)) throw std::runtime_error("kernelnet load: truncated head sizes");
   }
+  exec::ThreadPool* pool = pool_;  // survive the reconstruction below
   *this = KernelNet(cfg);
+  pool_ = pool;
   for (auto& l : kernel_layers_) l.load(is);
   for (auto& l : head_layers_) l.load(is);
 }

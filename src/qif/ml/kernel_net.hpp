@@ -8,10 +8,11 @@
 // classification network for multi-bin classification."
 //
 // Implementation: a sample is S per-server vectors of width D.  The batch
-// (B, S*D) is reshaped to (B*S, D), pushed through the shared kernel MLP
-// down to one scalar per server, reshaped back to (B, S) and classified by
-// the MLP head into `n_classes` bins.  Because the kernel is shared, its
-// gradient accumulates over all S applications — exactly weight sharing.
+// (B, S*D) is viewed as (B*S, D) — same row-major memory, no copy —
+// pushed through the shared kernel MLP down to one scalar per server,
+// viewed back as (B, S) and classified by the MLP head into `n_classes`
+// bins.  Because the kernel is shared, its gradient accumulates over all
+// S applications — exactly weight sharing.
 //
 // The architecture is what makes the model robust to "applications [that]
 // may only utilize a subset of OSTs or target different ones in multiple
@@ -41,10 +42,16 @@ class KernelNet {
   KernelNet() = default;
   explicit KernelNet(const KernelNetConfig& config);
 
-  /// Training forward: X is (B, S*D); returns logits (B, C).
-  Matrix forward(const Matrix& x);
+  /// Optional GEMM thread pool used by forward/backward; results are
+  /// bit-identical with or without it.  Not owned; callers must clear it
+  /// (set_pool(nullptr)) before the pool is destroyed.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+
+  /// Training forward: X is (B, S*D); returns logits (B, C).  The
+  /// reference points into a layer-owned buffer valid until the next call.
+  const Matrix& forward(MatView x);
   /// Backward from dlogits; accumulates all layer gradients.
-  void backward(const Matrix& dlogits);
+  void backward(MatView dlogits);
   /// Adam update on every layer (t is the 1-based step count).
   void step(const AdamParams& params, std::int64_t t);
 
@@ -58,18 +65,31 @@ class KernelNet {
 
   [[nodiscard]] const KernelNetConfig& config() const { return config_; }
 
+  /// Total learnable parameter count across every layer.
+  [[nodiscard]] std::size_t param_count() const;
+  /// Binary in-memory weight snapshot: raw doubles, kernel layers then
+  /// head layers, each layer W row-major then b.  ~100x cheaper than the
+  /// text save/load round trip and bit-exact by construction; used by
+  /// early stopping.  The text save()/load() remains the on-disk format.
+  void snapshot_into(std::vector<double>& out) const;
+  [[nodiscard]] std::vector<double> snapshot() const;
+  /// Restores weights from a snapshot of a same-architecture net.
+  /// Throws std::invalid_argument on size mismatch.
+  void restore(const std::vector<double>& snap);
+
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
  private:
-  [[nodiscard]] Matrix kernel_forward(const Matrix& xk, bool train);
-  [[nodiscard]] Matrix kernel_forward_inference(const Matrix& xk) const;
+  [[nodiscard]] const Matrix& kernel_forward(MatView xk);
+  [[nodiscard]] Matrix kernel_forward_inference(MatView xk) const;
 
   KernelNetConfig config_;
   std::vector<Dense> kernel_layers_;
   std::vector<ReLU> kernel_relus_;  // one per hidden kernel layer
   std::vector<Dense> head_layers_;
   std::vector<ReLU> head_relus_;    // one per hidden head layer
+  exec::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace qif::ml

@@ -1,68 +1,24 @@
 #include "qif/ml/matrix.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <string>
+#include "qif/ml/gemm.hpp"
 
 namespace qif::ml {
-namespace {
-
-// Shape guards must survive NDEBUG builds: an assert that compiles away
-// turns a dimension bug into a silent out-of-bounds read.
-void check_shapes(std::size_t lhs, std::size_t rhs, const char* what) {
-  if (lhs != rhs) {
-    throw std::invalid_argument(std::string("matmul shape mismatch (") + what + "): " +
-                                std::to_string(lhs) + " vs " + std::to_string(rhs));
-  }
-}
-
-}  // namespace
 
 Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
-  check_shapes(a.cols(), b.rows(), "A.cols vs B.rows");
-  Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Matrix c;
+  gemm_nn(a, b, c);
   return c;
 }
 
 Matrix Matrix::matmul_tn(const Matrix& a, const Matrix& b) {
-  check_shapes(a.rows(), b.rows(), "A.rows vs B.rows");
-  Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row(k);
-    const double* brow = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  Matrix c;
+  gemm_tn(a, b, c);
   return c;
 }
 
 Matrix Matrix::matmul_nt(const Matrix& a, const Matrix& b) {
-  check_shapes(a.cols(), b.cols(), "A.cols vs B.cols");
-  Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  Matrix c;
+  gemm_nt(a, b, c);
   return c;
 }
 

@@ -1,14 +1,49 @@
 // Dense row-major matrix with just the operations the network needs.
 //
-// Sizes here are small (batch x 37-dim vectors through 64-wide layers), so
-// a cache-friendly ikj GEMM is ample; no BLAS dependency.
+// The three GEMM variants (NN, A^T·B, A·B^T) are implemented by the
+// register-blocked kernels in gemm.hpp; no BLAS dependency.  Every kernel
+// reduces each output element with a single accumulator over ascending k,
+// so results are bit-identical regardless of blocking or thread count.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
 
+namespace qif::exec {
+class ThreadPool;
+}
+
 namespace qif::ml {
+
+class Matrix;
+
+/// Non-owning, read-only view of a row-major block of doubles.  Converts
+/// implicitly from Matrix and supports free reshaping (a (B, S*D) batch is
+/// the same memory as (B*S, D)), which is what lets the layer stack chain
+/// buffers without the copy-per-reshape the old Matrix::reshaped forced.
+struct MatView {
+  const double* ptr = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  MatView() = default;
+  MatView(const double* p, std::size_t r, std::size_t c) : ptr(p), rows(r), cols(c) {}
+  MatView(const Matrix& m);  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t size() const { return rows * cols; }
+  [[nodiscard]] const double* row(std::size_t r) const { return ptr + r * cols; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    assert(r < rows && c < cols);
+    return ptr[r * cols + c];
+  }
+  /// Same memory, new shape (element count must match).
+  [[nodiscard]] MatView reshaped(std::size_t r, std::size_t c) const {
+    assert(r * c == rows * cols);
+    return {ptr, r, c};
+  }
+};
 
 class Matrix {
  public:
@@ -34,6 +69,22 @@ class Matrix {
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Reshapes in place; element contents are unspecified after a size
+  /// change but the allocation is reused when capacity suffices, which is
+  /// what makes per-batch layer buffers allocation-free in steady state.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Copies a view's contents (resizing first); no allocation once the
+  /// backing vector's capacity covers the shape.
+  void assign(MatView v) {
+    resize(v.rows, v.cols);
+    std::copy(v.ptr, v.ptr + v.size(), data_.begin());
+  }
+
   /// Reinterprets the buffer with a new shape of identical element count.
   [[nodiscard]] Matrix reshaped(std::size_t rows, std::size_t cols) const {
     assert(rows * cols == data_.size());
@@ -57,5 +108,8 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+inline MatView::MatView(const Matrix& m)
+    : ptr(m.data().data()), rows(m.rows()), cols(m.cols()) {}
 
 }  // namespace qif::ml

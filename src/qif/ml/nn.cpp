@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "qif/ml/gemm.hpp"
+
 namespace qif::ml {
 
 Dense::Dense(std::size_t in, std::size_t out, sim::Rng& rng)
@@ -21,13 +23,19 @@ Dense::Dense(std::size_t in, std::size_t out, sim::Rng& rng)
   for (double& v : w_.data()) v = rng.normal(0.0, stddev);
 }
 
-Matrix Dense::forward(const Matrix& x) {
-  x_cache_ = x;
-  return forward_inference(x);
+const Matrix& Dense::forward(MatView x, exec::ThreadPool* pool) {
+  x_cache_.assign(x);
+  gemm_nn(x, w_, y_, /*accumulate=*/false, pool);
+  for (std::size_t i = 0; i < y_.rows(); ++i) {
+    double* row = y_.row(i);
+    for (std::size_t j = 0; j < y_.cols(); ++j) row[j] += b_[j];
+  }
+  return y_;
 }
 
-Matrix Dense::forward_inference(const Matrix& x) const {
-  Matrix y = Matrix::matmul(x, w_);
+Matrix Dense::forward_inference(MatView x) const {
+  Matrix y;
+  gemm_nn(x, w_, y);
   for (std::size_t i = 0; i < y.rows(); ++i) {
     double* row = y.row(i);
     for (std::size_t j = 0; j < y.cols(); ++j) row[j] += b_[j];
@@ -35,16 +43,16 @@ Matrix Dense::forward_inference(const Matrix& x) const {
   return y;
 }
 
-Matrix Dense::backward(const Matrix& dy) {
+const Matrix& Dense::backward(MatView dy, exec::ThreadPool* pool) {
   // Accumulate so several backward calls per step (the shared kernel is
   // applied once per server) sum their gradients before step().
-  Matrix dw = Matrix::matmul_tn(x_cache_, dy);
-  for (std::size_t i = 0; i < dw_.size(); ++i) dw_.data()[i] += dw.data()[i];
-  for (std::size_t i = 0; i < dy.rows(); ++i) {
+  gemm_tn(x_cache_, dy, dw_, /*accumulate=*/true, pool);
+  for (std::size_t i = 0; i < dy.rows; ++i) {
     const double* row = dy.row(i);
-    for (std::size_t j = 0; j < dy.cols(); ++j) db_[j] += row[j];
+    for (std::size_t j = 0; j < dy.cols; ++j) db_[j] += row[j];
   }
-  return Matrix::matmul_nt(dy, w_);
+  gemm_nt(dy, w_, dx_, /*accumulate=*/false, pool);
+  return dx_;
 }
 
 void Dense::zero_grad() {
@@ -77,6 +85,16 @@ void Dense::step(const AdamParams& p, std::int64_t t) {
   zero_grad();
 }
 
+void Dense::snapshot_to(double* dst) const {
+  dst = std::copy(w_.data().begin(), w_.data().end(), dst);
+  std::copy(b_.begin(), b_.end(), dst);
+}
+
+void Dense::restore_from(const double* src) {
+  std::copy(src, src + w_.size(), w_.data().begin());
+  std::copy(src + w_.size(), src + w_.size() + b_.size(), b_.begin());
+}
+
 void Dense::save(std::ostream& os) const {
   // max_digits10 so weights survive the text round trip bit-exactly.
   os.precision(17);
@@ -107,44 +125,54 @@ void Dense::load(std::istream& is) {
   }
 }
 
-Matrix ReLU::forward(const Matrix& x) {
-  x_cache_ = x;
-  return forward_inference(x);
+const Matrix& ReLU::forward(MatView x) {
+  y_.resize(x.rows, x.cols);
+  const double* in = x.ptr;
+  double* out = y_.data().data();
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+  return y_;
 }
 
-Matrix ReLU::forward_inference(const Matrix& x) {
-  Matrix y = x;
-  for (double& v : y.data()) v = v > 0.0 ? v : 0.0;
+Matrix ReLU::forward_inference(MatView x) {
+  Matrix y(x.rows, x.cols);
+  const double* in = x.ptr;
+  double* out = y.data().data();
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
   return y;
 }
 
-Matrix ReLU::backward(const Matrix& dy) const {
-  Matrix dx = dy;
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    if (x_cache_.data()[i] <= 0.0) dx.data()[i] = 0.0;
-  }
-  return dx;
+const Matrix& ReLU::backward(MatView dy) {
+  dx_.resize(dy.rows, dy.cols);
+  const double* in = dy.ptr;
+  const double* y = y_.data().data();
+  double* out = dx_.data().data();
+  for (std::size_t i = 0; i < dy.size(); ++i) out[i] = y[i] > 0.0 ? in[i] : 0.0;
+  return dx_;
 }
 
-Matrix Tanh::forward(const Matrix& x) {
-  Matrix y = forward_inference(x);
-  y_cache_ = y;
+const Matrix& Tanh::forward(MatView x) {
+  y_.resize(x.rows, x.cols);
+  const double* in = x.ptr;
+  double* out = y_.data().data();
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::tanh(in[i]);
+  return y_;
+}
+
+Matrix Tanh::forward_inference(MatView x) {
+  Matrix y(x.rows, x.cols);
+  const double* in = x.ptr;
+  double* out = y.data().data();
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::tanh(in[i]);
   return y;
 }
 
-Matrix Tanh::forward_inference(const Matrix& x) {
-  Matrix y = x;
-  for (double& v : y.data()) v = std::tanh(v);
-  return y;
-}
-
-Matrix Tanh::backward(const Matrix& dy) const {
-  Matrix dx = dy;
-  for (std::size_t i = 0; i < dx.size(); ++i) {
-    const double t = y_cache_.data()[i];
-    dx.data()[i] *= 1.0 - t * t;
-  }
-  return dx;
+const Matrix& Tanh::backward(MatView dy) {
+  dx_.resize(dy.rows, dy.cols);
+  const double* in = dy.ptr;
+  const double* y = y_.data().data();
+  double* out = dx_.data().data();
+  for (std::size_t i = 0; i < dy.size(); ++i) out[i] = in[i] * (1.0 - y[i] * y[i]);
+  return dx_;
 }
 
 std::pair<double, Matrix> SquaredError::loss_and_grad(const Matrix& pred,

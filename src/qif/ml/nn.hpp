@@ -5,6 +5,14 @@
 // the paper is a PyTorch model, but a dependency-free C++ implementation
 // keeps the framework deployable on the login/management node of a cluster
 // where a Python stack is unwelcome.
+//
+// Buffer discipline: the training-path forward()/backward() methods write
+// into buffers owned by the layer and return a reference, so a steady-state
+// epoch performs no heap allocation.  A returned reference stays valid
+// until the same layer's next forward()/backward() call; chaining layers is
+// safe because every layer only writes its own buffers.  The *_inference
+// paths stay const (and allocate) so a shared trained model can serve
+// predictions from several threads.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,10 @@
 
 #include "qif/ml/matrix.hpp"
 #include "qif/sim/rng.hpp"
+
+namespace qif::exec {
+class ThreadPool;
+}
 
 namespace qif::ml {
 
@@ -30,12 +42,13 @@ class Dense {
   Dense() = default;
   Dense(std::size_t in, std::size_t out, sim::Rng& rng);
 
-  /// Forward pass; caches X for the backward pass.
-  Matrix forward(const Matrix& x);
+  /// Forward pass; caches X for the backward pass.  `pool` (optional)
+  /// parallelizes the GEMM with bit-identical results at any job count.
+  const Matrix& forward(MatView x, exec::ThreadPool* pool = nullptr);
   /// Inference-only forward: no cache, usable on a const layer.
-  [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
+  [[nodiscard]] Matrix forward_inference(MatView x) const;
   /// Backward pass: accumulates dW/db from the cached X, returns dX.
-  Matrix backward(const Matrix& dy);
+  const Matrix& backward(MatView dy, exec::ThreadPool* pool = nullptr);
   /// Applies one Adam update with bias correction at step `t` (1-based)
   /// and clears the gradient accumulators.
   void step(const AdamParams& p, std::int64_t t);
@@ -45,6 +58,14 @@ class Dense {
   [[nodiscard]] std::size_t out_dim() const { return w_.cols(); }
   [[nodiscard]] const Matrix& weights() const { return w_; }
   [[nodiscard]] const std::vector<double>& bias() const { return b_; }
+
+  /// Number of learnable parameters (weights + biases).
+  [[nodiscard]] std::size_t param_count() const { return w_.size() + b_.size(); }
+  /// Copies W then b into `dst` (param_count() doubles) — the binary
+  /// snapshot path used by early stopping.
+  void snapshot_to(double* dst) const;
+  /// Restores W then b from `src` (param_count() doubles).
+  void restore_from(const double* src);
 
   void save(std::ostream& os) const;
   void load(std::istream& is);
@@ -57,28 +78,33 @@ class Dense {
   Matrix mw_, vw_;         // Adam first/second moments for W
   std::vector<double> mb_, vb_;
   Matrix x_cache_;
+  Matrix y_;   // training forward output
+  Matrix dx_;  // training backward output
 };
 
-/// ReLU activation with cached mask.
+/// ReLU activation.  The backward mask comes from the cached output
+/// (y > 0 iff x > 0), so no separate input cache is needed.
 class ReLU {
  public:
-  Matrix forward(const Matrix& x);
-  [[nodiscard]] static Matrix forward_inference(const Matrix& x);
-  Matrix backward(const Matrix& dy) const;
+  const Matrix& forward(MatView x);
+  [[nodiscard]] static Matrix forward_inference(MatView x);
+  const Matrix& backward(MatView dy);
 
  private:
-  Matrix x_cache_;
+  Matrix y_;
+  Matrix dx_;
 };
 
 /// Tanh activation with cached output (tanh' = 1 - tanh^2).
 class Tanh {
  public:
-  Matrix forward(const Matrix& x);
-  [[nodiscard]] static Matrix forward_inference(const Matrix& x);
-  Matrix backward(const Matrix& dy) const;
+  const Matrix& forward(MatView x);
+  [[nodiscard]] static Matrix forward_inference(MatView x);
+  const Matrix& backward(MatView dy);
 
  private:
-  Matrix y_cache_;
+  Matrix y_;
+  Matrix dx_;
 };
 
 /// Mean squared error for the regression extension (predicting the

@@ -2,28 +2,39 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <sstream>
+#include <memory>
 
+#include "qif/exec/thread_pool.hpp"
 #include "qif/sim/rng.hpp"
 
 namespace qif::ml {
 namespace {
 
-Matrix gather_rows(const Matrix& x, const std::vector<std::size_t>& idx, std::size_t lo,
-                   std::size_t hi) {
-  Matrix out(hi - lo, x.cols());
+/// Copies the idx[lo..hi) rows of x into `out` (resized in place), so the
+/// per-batch gather reuses one persistent buffer instead of allocating.
+void gather_rows_into(const Matrix& x, const std::vector<std::size_t>& idx, std::size_t lo,
+                      std::size_t hi, Matrix& out) {
+  out.resize(hi - lo, x.cols());
   for (std::size_t k = lo; k < hi; ++k) {
     std::copy(x.row(idx[k]), x.row(idx[k]) + x.cols(), out.row(k - lo));
   }
-  return out;
 }
 
-std::vector<int> gather_labels(const std::vector<int>& y, const std::vector<std::size_t>& idx,
-                               std::size_t lo, std::size_t hi) {
-  std::vector<int> out(hi - lo);
+void gather_labels_into(const std::vector<int>& y, const std::vector<std::size_t>& idx,
+                        std::size_t lo, std::size_t hi, std::vector<int>& out) {
+  out.resize(hi - lo);
   for (std::size_t k = lo; k < hi; ++k) out[k - lo] = y[idx[k]];
-  return out;
 }
+
+/// Attaches a pool to the net for the duration of a scope; detaches on
+/// exit so the net never outlives a dangling pool pointer.
+struct PoolGuard {
+  KernelNet& net;
+  explicit PoolGuard(KernelNet& n, exec::ThreadPool* pool) : net(n) { net.set_pool(pool); }
+  ~PoolGuard() { net.set_pool(nullptr); }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+};
 
 }  // namespace
 
@@ -51,7 +62,15 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
   std::vector<std::size_t> idx(x.rows());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
 
-  std::ostringstream best_weights;
+  // GEMM fan-out: the row-block partitioning makes results bit-identical
+  // at every job count, so the pool is purely a throughput knob.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (config_.jobs > 1) pool = std::make_unique<exec::ThreadPool>(config_.jobs);
+  const PoolGuard guard(net, pool.get());
+
+  std::vector<double> best_weights;  // binary snapshot of the best epoch
+  Matrix xb;                         // persistent minibatch buffers
+  std::vector<int> yb;
   double best_f1 = -1.0;
   int best_epoch = 0;
   int since_best = 0;
@@ -69,9 +88,9 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
     for (std::size_t lo = 0; lo < idx.size(); lo += static_cast<std::size_t>(config_.batch_size)) {
       const std::size_t hi =
           std::min(idx.size(), lo + static_cast<std::size_t>(config_.batch_size));
-      const Matrix xb = gather_rows(x, idx, lo, hi);
-      const std::vector<int> yb = gather_labels(y, idx, lo, hi);
-      const Matrix logits = net.forward(xb);
+      gather_rows_into(x, idx, lo, hi, xb);
+      gather_labels_into(y, idx, lo, hi, yb);
+      const Matrix& logits = net.forward(xb);
       auto [loss, dlogits] = SoftmaxXent::loss_and_grad(logits, yb, weights);
       net.backward(dlogits);
       net.step(config_.adam, ++adam_t);
@@ -94,19 +113,14 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
       best_f1 = val_f1;
       best_epoch = epoch;
       since_best = 0;
-      best_weights.str({});
-      best_weights.clear();
-      net.save(best_weights);
+      net.snapshot_into(best_weights);
     } else if (++since_best >= config_.patience) {
       break;
     }
   }
 
   // Restore the best snapshot.
-  if (best_f1 >= 0.0) {
-    std::istringstream is(best_weights.str());
-    net.load(is);
-  }
+  if (best_f1 >= 0.0) net.restore(best_weights);
   result.best_epoch = best_epoch;
   result.best_val_macro_f1 = best_f1;
   return result;

@@ -21,6 +21,10 @@ struct TrainConfig {
   bool class_weighted = true;         ///< inverse-frequency loss weights
   std::uint64_t seed = 11;
   bool verbose = false;               ///< print per-epoch losses to stdout
+  /// GEMM worker threads (<= 1 trains single-threaded).  The row-block
+  /// partitioning keeps results bit-identical for every value, so this is
+  /// purely a throughput knob.
+  int jobs = 1;
 };
 
 struct EpochStats {
@@ -40,7 +44,8 @@ class Trainer {
   explicit Trainer(TrainConfig config) : config_(std::move(config)) {}
 
   /// Fits `stdz` on `train`, then trains `net` with minibatch Adam, early
-  /// stopping on validation macro-F1 (restoring the best weights).
+  /// stopping on validation macro-F1 (restoring the best weights via
+  /// binary in-memory snapshots).
   TrainResult train(KernelNet& net, Standardizer& stdz, const monitor::Dataset& train) const;
 
   /// Evaluates a trained net on a dataset, returning its confusion matrix.

@@ -212,6 +212,61 @@ TEST(Trainer, EarlyStoppingRestoresBestEpoch) {
   EXPECT_LE(static_cast<int>(result.history.size()) - result.best_epoch, tc.patience);
 }
 
+TEST(Trainer, ResultIsBitIdenticalAcrossJobCounts) {
+  // Campaign-width dataset (7 servers x 37 features) so the kernel-layer
+  // GEMMs at batch 64 — (448, 37)x(37, 64) ≈ 1.06M multiply-adds — clear
+  // the parallel threshold and the pooled path actually runs.  The
+  // determinism contract says jobs must not change a single bit.
+  monitor::Dataset ds;
+  ds.n_servers = 7;
+  ds.dim = 37;
+  sim::Rng rng(23);
+  for (std::size_t i = 0; i < 192; ++i) {
+    monitor::Sample s;
+    s.window_index = static_cast<std::int64_t>(i);
+    s.features.resize(7 * 37);
+    for (auto& v : s.features) v = rng.normal(0, 1);
+    const bool hot = i % 2 == 0;
+    if (hot) s.features[0] += 4.0;
+    s.label = hot ? 1 : 0;
+    s.degradation = hot ? 4.0 : 1.0;
+    ds.samples.push_back(std::move(s));
+  }
+
+  auto run = [&ds](int jobs) {
+    TrainConfig tc;
+    tc.max_epochs = 4;
+    tc.jobs = jobs;
+    Trainer trainer(tc);
+    KernelNetConfig nc;
+    nc.per_server_dim = 37;
+    nc.n_servers = 7;
+    nc.n_classes = 2;
+    KernelNet net(nc);
+    Standardizer stdz;
+    const TrainResult result = trainer.train(net, stdz, ds);
+    std::stringstream weights;
+    net.save(weights);
+    return std::make_pair(result, weights.str());
+  };
+
+  const auto [r1, w1] = run(1);
+  for (const int jobs : {2, 4}) {
+    const auto [rn, wn] = run(jobs);
+    EXPECT_EQ(rn.best_epoch, r1.best_epoch) << "jobs=" << jobs;
+    EXPECT_EQ(rn.best_val_macro_f1, r1.best_val_macro_f1) << "jobs=" << jobs;
+    ASSERT_EQ(rn.history.size(), r1.history.size()) << "jobs=" << jobs;
+    for (std::size_t e = 0; e < r1.history.size(); ++e) {
+      EXPECT_EQ(rn.history[e].train_loss, r1.history[e].train_loss)
+          << "jobs=" << jobs << " epoch=" << e;
+      EXPECT_EQ(rn.history[e].val_macro_f1, r1.history[e].val_macro_f1)
+          << "jobs=" << jobs << " epoch=" << e;
+    }
+    // Final weights, via the exact text serialization, match byte for byte.
+    EXPECT_EQ(wn, w1) << "jobs=" << jobs;
+  }
+}
+
 TEST(ConfusionMatrix, HandComputedMetrics) {
   ConfusionMatrix cm(2);
   // 50 TN, 10 FP, 5 FN, 35 TP.

@@ -14,8 +14,11 @@
 //       (output is bit-identical to --jobs 1).
 //
 //   qif train --data data.csv --out model.txt [--classes C] [--epochs E]
+//             [--jobs N]
 //       Train the kernel-based model on a CSV dataset (80/20 split) and
-//       save the bundle; prints the held-out confusion matrix.
+//       save the bundle; prints the held-out confusion matrix.  --jobs N
+//       partitions the training GEMMs across N worker threads (the model
+//       is bit-identical to --jobs 1).
 //
 //   qif eval --data data.csv --model model.txt
 //       Evaluate a saved bundle on a CSV dataset.
@@ -83,7 +86,7 @@ int usage() {
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
                " --out F.csv\n"
-               "  train --data F.csv --out model.txt [--classes C] [--epochs E]\n"
+               "  train --data F.csv --out model.txt [--classes C] [--epochs E] [--jobs N]\n"
                "  eval --data F.csv --model model.txt\n"
                "  dump-trace <target> [--scale S] [--seed K] --out F.txt\n");
   return 2;
@@ -196,6 +199,7 @@ int cmd_train(const Args& args) {
   core::TrainingServerConfig cfg;
   cfg.n_classes = args.get_int("classes", 2);
   cfg.train.max_epochs = args.get_int("epochs", cfg.train.max_epochs);
+  cfg.train.jobs = args.get_int("jobs", 1);
   core::TrainingServer server(cfg);
   const ml::TrainResult tr = server.fit(train);
   std::printf("trained on %zu windows (best epoch %d, val macro-F1 %.3f)\n", train.size(),
