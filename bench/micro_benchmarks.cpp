@@ -35,6 +35,47 @@ void BM_EventEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngine)->Arg(1000)->Arg(100000);
 
+// The FairLink pattern: every new arrival cancels the pending completion
+// event and re-arms it.  With the tombstone engine each cancelled event
+// also pays an O(cancelled) sweep at pop time, so this loop was quadratic;
+// the pooled heap makes cancel a true O(log n) removal.
+void BM_EventEngineCancelChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    const int n = static_cast<int>(state.range(0));
+    sim::EventId pending = sim::kInvalidEvent;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      s.cancel(pending);
+      pending = s.schedule_at(i + n, [&fired] { ++fired; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventEngineCancelChurn)->Arg(1000)->Arg(16384);
+
+// Timeout-teardown pattern: many armed timeouts that never fire (they are
+// cancelled before their deadline), interleaved with real work events.
+void BM_EventEngineTimeouts(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation s;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::EventId> timeouts;
+    timeouts.reserve(static_cast<std::size_t>(n));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      timeouts.push_back(s.schedule_at(1'000'000 + i, [&fired] { ++fired; }));
+      s.schedule_at(i, [&fired] { ++fired; });
+    }
+    for (const auto id : timeouts) s.cancel(id);
+    benchmark::DoNotOptimize(s.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_EventEngineTimeouts)->Arg(1000)->Arg(16384);
+
 void BM_FairLink(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation s;
@@ -265,6 +306,32 @@ void BM_EndToEndScenario(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndScenario)->Unit(benchmark::kMillisecond);
+
+// Campaign wall-clock proxy: one labelled-window pair the way a campaign
+// produces it — a target workload with concurrent interference instances,
+// monitors on.  This is the loop the paper's 11k+ IO500 and 23k DLIO
+// windows come out of, i.e. the permanent hot path.
+void BM_CampaignScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ScenarioConfig cfg;
+    cfg.cluster = core::testbed_cluster_config(11);
+    cfg.target.workload = "ior-easy-write";
+    cfg.target.nodes = {0, 1};
+    cfg.target.procs_per_node = 2;
+    cfg.target.seed = 11;
+    cfg.target.scale = 0.25;
+    core::InterferenceSpec bg;
+    bg.workload = "ior-easy-read";
+    bg.nodes = {2, 3};
+    bg.instances = 2;
+    bg.scale = 0.25;
+    cfg.interference = bg;
+    cfg.monitors = true;
+    const auto res = core::run_scenario(cfg);
+    benchmark::DoNotOptimize(res.events_executed);
+  }
+}
+BENCHMARK(BM_CampaignScenario)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -10,12 +10,21 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-echo "=== tier-1: exec/campaign tests under TSan ==="
+echo "=== tier-1: exec/campaign/scheduler tests under TSan ==="
 cmake -B build-tsan -S . -DQIF_SANITIZE=thread
-cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer
+cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
+  test_sim_simulation test_sim_links
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
 ./build-tsan/tests/test_ml_gemm --gtest_filter='Gemm.Parallel*'
 ./build-tsan/tests/test_ml_trainer --gtest_filter='Trainer.ResultIsBitIdenticalAcrossJobCounts'
+# The event engine itself is single-threaded, but campaign workers each run
+# a private Simulation on pool threads — the slab/heap must stay free of
+# cross-engine shared state.
+./build-tsan/tests/test_sim_simulation
+./build-tsan/tests/test_sim_links
+
+echo "=== tier-1: benchmark smoke ==="
+./scripts/bench_sim.sh --smoke
 
 echo "tier-1 OK"

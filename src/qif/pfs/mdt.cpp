@@ -237,18 +237,33 @@ void MdtServer::await_commit(std::function<void()> on_committed) {
 void MdtServer::do_commit() {
   commit_scheduled_ = false;
   if (commit_waiters_.empty()) return;
-  std::vector<std::function<void()>> batch;
-  batch.swap(commit_waiters_);
+  // Swap the waiters into a pooled batch buffer (keeping both vectors'
+  // capacity) so steady-state commits allocate nothing.
+  std::uint32_t b;
+  if (!commit_batch_free_.empty()) {
+    b = commit_batch_free_.back();
+    commit_batch_free_.pop_back();
+  } else {
+    b = static_cast<std::uint32_t>(commit_batch_pool_.size());
+    commit_batch_pool_.emplace_back();
+  }
+  commit_batch_pool_[b].swap(commit_waiters_);
   const std::int64_t bytes =
-      static_cast<std::int64_t>(batch.size()) * params_.journal_txn_bytes;
+      static_cast<std::int64_t>(commit_batch_pool_[b].size()) * params_.journal_txn_bytes;
   counters_.commits += 1;
   // The journal is a sequential region at the front of the MDT device.
   const std::int64_t off = journal_cursor_;
   journal_cursor_ = (journal_cursor_ + bytes) % (128ll << 20);
-  disk_.submit(/*is_write=*/true, off, bytes, [batch = std::move(batch)]() mutable {
-    for (auto& fn : batch) {
+  disk_.submit(/*is_write=*/true, off, bytes, [this, b] {
+    // No references across the calls: a waiter's continuation can re-enter
+    // do_commit() synchronously and grow the pool, so index every access
+    // and move each callback out before invoking it.
+    for (std::size_t i = 0; i < commit_batch_pool_[b].size(); ++i) {
+      std::function<void()> fn = std::move(commit_batch_pool_[b][i]);
       if (fn) fn();
     }
+    commit_batch_pool_[b].clear();
+    commit_batch_free_.push_back(b);
   });
 }
 

@@ -139,6 +139,12 @@ class MdtServer {
   int busy_threads_ = 0;
 
   std::vector<std::function<void()>> commit_waiters_;
+  /// Recycled commit-batch buffers: a journal flush hands its waiters to a
+  /// pooled buffer (several commits can be in flight on a slow MDT disk)
+  /// and returns the buffer after firing, so steady-state commits stop
+  /// allocating a fresh vector per batch.
+  std::vector<std::vector<std::function<void()>>> commit_batch_pool_;
+  std::vector<std::uint32_t> commit_batch_free_;
   bool commit_scheduled_ = false;
   std::int64_t journal_cursor_ = 0;
 

@@ -6,10 +6,13 @@
 
 namespace qif::sim {
 
-void FairLink::transfer(std::int64_t bytes, std::function<void()> on_done) {
+void FairLink::transfer(std::int64_t bytes, InlineTask on_done) {
   settle();
   const std::int64_t clamped = std::max<std::int64_t>(bytes, 0);
-  flows_.push_back(Flow{static_cast<double>(clamped), clamped, std::move(on_done)});
+  const double remaining = static_cast<double>(clamped);
+  flows_.push_back(Flow{remaining, clamped, std::move(on_done)});
+  // Incremental min maintenance: an arrival can only lower the minimum.
+  min_remaining_ = flows_.size() == 1 ? remaining : std::min(min_remaining_, remaining);
   reschedule();
 }
 
@@ -22,47 +25,74 @@ void FairLink::settle() {
   const double elapsed_s = to_seconds(now - last_settle_);
   const double per_flow = elapsed_s * bytes_per_second_ / static_cast<double>(flows_.size());
   for (auto& f : flows_) f.remaining = std::max(0.0, f.remaining - per_flow);
+  // Every flow was debited by the same amount through the same expression,
+  // and x -> max(0, x - p) is monotone, so the minimum moves with its flow:
+  // this stays bit-identical to a full rescan.
+  min_remaining_ = std::max(0.0, min_remaining_ - per_flow);
   last_settle_ = now;
 }
 
 void FairLink::reschedule() {
-  if (pending_event_ != kInvalidEvent) {
-    sim_.cancel(pending_event_);
-    pending_event_ = kInvalidEvent;
+  if (flows_.empty()) {
+    if (pending_event_ != kInvalidEvent) {
+      sim_.cancel(pending_event_);
+      pending_event_ = kInvalidEvent;
+    }
+    return;
   }
-  if (flows_.empty()) return;
-  double min_remaining = flows_.front().remaining;
-  for (const auto& f : flows_) min_remaining = std::min(min_remaining, f.remaining);
   const double per_flow_bps = bytes_per_second_ / static_cast<double>(flows_.size());
-  const double eta_s = min_remaining / per_flow_bps;
+  const double eta_s = min_remaining_ / per_flow_bps;
   // Ceil to whole nanoseconds so the flow is guaranteed drained at the event.
   const auto delay = static_cast<SimDuration>(std::ceil(eta_s * 1e9));
+  const SimTime fire = sim_.now() + delay;
+  if (pending_event_ != kInvalidEvent) {
+    // Keep the armed event when the deadline did not move.  Restricted to
+    // strictly-future deadlines: re-arming a same-tick event would give it
+    // a fresh (larger) sequence number, so keeping the old one could fire
+    // it earlier among simultaneous events — only elide when no other
+    // event can legally sit between the two deadlines.
+    if (fire == pending_fire_ && fire > sim_.now()) {
+      ++reschedules_elided_;
+      return;
+    }
+    sim_.cancel(pending_event_);
+  }
+  pending_fire_ = fire;
   pending_event_ = sim_.schedule_after(delay, [this] { on_completion(); });
 }
 
 void FairLink::on_completion() {
   pending_event_ = kInvalidEvent;
   settle();
-  // Collect every flow that has drained (several may finish simultaneously).
-  // Epsilon covers the sub-nanosecond residue left by the ceil in reschedule.
+  // Collect every flow that has drained (several may finish simultaneously)
+  // into the reused callback buffer.  Epsilon covers the sub-nanosecond
+  // residue left by the ceil in reschedule.
   constexpr double kEps = 1e-6;
-  std::vector<std::function<void()>> done;
+  done_.clear();
   for (std::size_t i = 0; i < flows_.size();) {
     if (flows_[i].remaining <= kEps) {
       bytes_delivered_ += flows_[i].total_bytes;
-      done.push_back(std::move(flows_[i].on_done));
+      done_.push_back(std::move(flows_[i].on_done));
       flows_[i] = std::move(flows_.back());
       flows_.pop_back();
     } else {
       ++i;
     }
   }
+  // The drained flows were the minimum; rescan the survivors once.
+  if (!flows_.empty()) {
+    double m = flows_.front().remaining;
+    for (const auto& f : flows_) m = std::min(m, f.remaining);
+    min_remaining_ = m;
+  }
   reschedule();
   // Fire callbacks after internal state is consistent; callbacks routinely
-  // start new transfers on this same link.
-  for (auto& fn : done) {
+  // start new transfers on this same link (they never re-enter this method
+  // synchronously — completions only run from the event loop).
+  for (auto& fn : done_) {
     if (fn) fn();
   }
+  done_.clear();  // destroy captured state promptly; keeps capacity
 }
 
 }  // namespace qif::sim

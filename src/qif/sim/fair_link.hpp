@@ -8,13 +8,27 @@
 //
 // Implementation: classic fluid-flow event-driven processor sharing.  Each
 // transfer tracks its remaining bytes; whenever the active set changes we
-// debit elapsed work from every transfer and reschedule the single "next
+// debit elapsed work from every transfer and re-arm the single "next
 // completion" event.  O(n) per membership change, exact (integer bytes,
 // nanosecond clock) and deterministic.
+//
+// Churn reduction (this is the engine's single heaviest cancel customer —
+// every arriving transfer used to cancel and re-schedule the completion
+// event unconditionally):
+//   * the minimum remaining-bytes value is maintained incrementally —
+//     settling debits every flow by the same amount, so the min just moves
+//     with them and arrivals only take a min() against the new flow;
+//   * when the recomputed completion time equals the already-armed one,
+//     the pending event is kept instead of being cancelled and re-armed
+//     (guarded to strictly-future times so same-tick event ordering, and
+//     with it trace bit-identity, is preserved);
+//   * the per-completion callback buffer is a reused member, not a fresh
+//     vector per completion.
+// None of this changes the settle arithmetic, so traces stay bit-identical
+// to the pre-rebuild engine (pinned by test_sim_golden).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "qif/sim/simulation.hpp"
@@ -32,13 +46,17 @@ class FairLink {
 
   /// Starts a transfer of `bytes`; `on_done` fires when the last byte has
   /// been serviced.  Zero-byte transfers complete on the next event cycle.
-  void transfer(std::int64_t bytes, std::function<void()> on_done);
+  void transfer(std::int64_t bytes, InlineTask on_done);
 
   /// Number of transfers currently in flight.
   [[nodiscard]] std::size_t active() const { return flows_.size(); }
 
   /// Total bytes fully delivered so far (monitoring counter).
   [[nodiscard]] std::int64_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// Completion events skipped because the re-armed deadline would have
+  /// been identical (monitoring counter for the churn optimisation).
+  [[nodiscard]] std::uint64_t reschedules_elided() const { return reschedules_elided_; }
 
   /// Instantaneous per-flow rate in bytes/second (capacity / active flows).
   [[nodiscard]] double per_flow_rate() const {
@@ -50,7 +68,7 @@ class FairLink {
   struct Flow {
     double remaining;          // bytes left; double because shares are fractional
     std::int64_t total_bytes;  // original size, credited to bytes_delivered()
-    std::function<void()> on_done;
+    InlineTask on_done;
   };
 
   void settle();      // debit elapsed work from all flows
@@ -60,9 +78,14 @@ class FairLink {
   Simulation& sim_;
   double bytes_per_second_;
   std::vector<Flow> flows_;
+  /// min over flows_ of .remaining; only meaningful while !flows_.empty().
+  double min_remaining_ = 0.0;
   SimTime last_settle_ = 0;
   EventId pending_event_ = kInvalidEvent;
+  SimTime pending_fire_ = 0;  ///< absolute time pending_event_ fires at
   std::int64_t bytes_delivered_ = 0;
+  std::uint64_t reschedules_elided_ = 0;
+  std::vector<InlineTask> done_;  ///< reused per-completion callback buffer
 };
 
 }  // namespace qif::sim

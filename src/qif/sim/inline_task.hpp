@@ -1,0 +1,121 @@
+// Allocation-free type-erased closure for the event engine.
+//
+// Every scheduled event used to carry a std::function<void()>, which heap-
+// allocates for any capture larger than the library's tiny SSO buffer
+// (16 bytes on libstdc++) — i.e. for essentially every closure the pfs
+// layer schedules.  At millions of events per campaign that is a malloc
+// and a free per event, on the system's permanent hot path.
+//
+// InlineTask stores the callable inline in a fixed 128-byte buffer, sized
+// for the largest closure scheduled today (MdtServer::dispatch's
+// this + Task ≈ 104 bytes, see DESIGN.md) with headroom.  There is no heap
+// fallback *by construction*: a closure that outgrows the buffer is a
+// compile error, so the zero-allocation property cannot silently rot.  The
+// type is move-only (closures own moved-in state such as std::function
+// members) and relocation is a move-construct + destroy pair dispatched
+// through a static ops table, never a heap round trip.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qif::sim {
+
+class InlineTask {
+ public:
+  /// Inline capture budget.  Raising it is cheap (events live in a pooled
+  /// slab, not on the stack); shrinking it below any live closure is a
+  /// compile error at the offending schedule site.
+  static constexpr std::size_t kStorageBytes = 128;
+
+  InlineTask() noexcept = default;
+  InlineTask(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename Fn = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, InlineTask> &&
+                                        !std::is_same_v<Fn, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  InlineTask(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(Fn) <= kStorageBytes,
+                  "closure exceeds InlineTask's inline buffer; shrink its "
+                  "captures (or box the large member) — there is deliberately "
+                  "no heap fallback");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned closures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "closures must be nothrow-movable so event slots can be "
+                  "relocated without a throwing state");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  InlineTask(InlineTask&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { reset(); }
+
+  /// Invokes the stored closure.  Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the stored closure (if any) and becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static void invoke_impl(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void relocate_impl(void* src, void* dst) noexcept {
+    Fn* s = static_cast<Fn*>(src);
+    ::new (dst) Fn(std::move(*s));
+    s->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_impl(void* p) noexcept {
+    static_cast<Fn*>(p)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor{&invoke_impl<Fn>, &relocate_impl<Fn>, &destroy_impl<Fn>};
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kStorageBytes];
+};
+
+}  // namespace qif::sim

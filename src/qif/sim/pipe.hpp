@@ -6,11 +6,16 @@
 // sharing at a contended port), a Pipe preserves strict arrival order, which
 // matters for per-rank op streams: a rank's requests may not overtake each
 // other.
+//
+// Allocation discipline: the waiting queue is a grow-once ring buffer (a
+// deque would allocate/free blocks as it marches), and delivery callbacks
+// park in a pooled slot so the in-flight delivery event captures only
+// {this, slot index} instead of the full closure.  After warm-up a pipe
+// performs zero heap allocations per message (asserted by test_sim_alloc).
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <vector>
 
 #include "qif/sim/simulation.hpp"
 
@@ -28,23 +33,40 @@ class Pipe {
 
   /// Enqueues a message; `on_delivered` fires once the message has fully
   /// serialized (in FIFO order) and propagated.
-  void send(std::int64_t bytes, std::function<void()> on_delivered);
+  void send(std::int64_t bytes, InlineTask on_delivered);
 
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+  [[nodiscard]] std::size_t queue_depth() const { return count_ + (busy_ ? 1 : 0); }
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
 
  private:
   struct Message {
     std::int64_t bytes;
-    std::function<void()> on_delivered;
+    InlineTask on_delivered;
   };
 
   void start_next();
+  void on_serialized();
+  void ring_push(Message msg);
+  Message ring_pop();
 
   Simulation& sim_;
   double bytes_per_second_;
   SimDuration latency_;
-  std::deque<Message> queue_;
+
+  // Ring buffer of waiting messages (head_ = oldest, count_ live entries).
+  std::vector<Message> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+
+  // The message currently serializing (busy_ == true).
+  std::int64_t current_bytes_ = 0;
+  InlineTask current_done_;
+
+  // Pooled parking slots for callbacks riding out the propagation delay;
+  // several deliveries can be in flight at once (cut-through overlap).
+  std::vector<InlineTask> delivery_pool_;
+  std::vector<std::uint32_t> delivery_free_;
+
   bool busy_ = false;
   std::int64_t bytes_sent_ = 0;
 };

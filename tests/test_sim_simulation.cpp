@@ -2,6 +2,8 @@
 // horizons, determinism, and the periodic sampler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "qif/sim/rng.hpp"
@@ -117,6 +119,147 @@ TEST(Simulation, EventsCanScheduleMoreEvents) {
   s.run_all();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Simulation, CancelThenRescheduleSameTickRunsOnlyReplacement) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] { order.push_back(0); });
+  const EventId doomed = s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(10, [&] { order.push_back(2); });
+  s.cancel(doomed);
+  // The replacement gets a fresh sequence id, so it runs after event 2 —
+  // exactly what a cancel+reschedule at the same timestamp must do.
+  s.schedule_at(10, [&] { order.push_back(3); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Simulation, DoubleCancelIsNoOp) {
+  Simulation s;
+  int count = 0;
+  const EventId id = s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.cancel(id);
+  s.cancel(id);  // second cancel must not disturb the other event
+  s.run_all();
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Simulation, CancelOfRecycledSlotDoesNotKillNewEvent) {
+  Simulation s;
+  bool stale_fired = false;
+  bool fresh_fired = false;
+  const EventId stale = s.schedule_at(10, [&] { stale_fired = true; });
+  s.cancel(stale);
+  // The freed slot is recycled; the stale id's generation no longer matches.
+  const EventId fresh = s.schedule_at(20, [&] { fresh_fired = true; });
+  s.cancel(stale);
+  s.run_all();
+  EXPECT_FALSE(stale_fired);
+  EXPECT_TRUE(fresh_fired);
+  (void)fresh;
+}
+
+TEST(Simulation, EventCanCancelAnotherPendingEvent) {
+  Simulation s;
+  bool victim_fired = false;
+  EventId victim = kInvalidEvent;
+  victim = s.schedule_at(20, [&] { victim_fired = true; });
+  s.schedule_at(10, [&] { s.cancel(victim); });
+  s.run_all();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Simulation, EventCancellingItselfWhileFiringIsNoOp) {
+  Simulation s;
+  int count = 0;
+  EventId self = kInvalidEvent;
+  self = s.schedule_at(10, [&] {
+    ++count;
+    s.cancel(self);  // the id is already released when the closure runs
+  });
+  s.schedule_at(20, [&] { ++count; });
+  s.run_all();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Simulation, CancelChurnDoesNotGrowState) {
+  // The old engine kept a cancelled-id tombstone set that grew without
+  // bound under the FairLink pattern (cancel the pending completion,
+  // schedule a new one, repeat).  The slot slab must stay at the peak
+  // number of *simultaneously* pending events instead.
+  Simulation s;
+  EventId pending = s.schedule_at(1, [] {});
+  for (int i = 2; i < 5000; ++i) {
+    s.cancel(pending);
+    pending = s.schedule_at(i, [] {});
+  }
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_LE(s.slot_slab_size(), 4u);
+  EXPECT_TRUE(s.check_invariants());
+  s.run_all();
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Simulation, InterleavedCancelKeepsHeapConsistent) {
+  // Randomized structural check: cancel every third event out of a shuffled
+  // schedule and verify heap order, back-pointers, and the free list.
+  Simulation s;
+  Rng rng(1234);
+  std::vector<EventId> ids;
+  std::vector<SimTime> fired;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime when = rng.uniform_int(1, 10'000);
+    ids.push_back(s.schedule_at(when, [&fired, &s] { fired.push_back(s.now()); }));
+    if (i % 3 == 0) {
+      s.cancel(ids[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1))]);
+      ASSERT_TRUE(s.check_invariants());
+    }
+  }
+  ASSERT_TRUE(s.check_invariants());
+  s.run_all();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(InlineTask, MoveTransfersClosureAndEmptiesSource) {
+  int hits = 0;
+  InlineTask a = [&hits] { ++hits; };
+  InlineTask b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  b.reset();
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(InlineTask, DestroysCapturesExactlyOnce) {
+  struct Probe {
+    int* live;
+    explicit Probe(int* l) : live(l) { ++*live; }
+    Probe(const Probe& o) : live(o.live) { ++*live; }
+    Probe(Probe&& o) noexcept : live(o.live) { o.live = nullptr; }
+    ~Probe() {
+      if (live != nullptr) --*live;
+    }
+    void operator()() const {}
+  };
+  int live = 0;
+  {
+    InlineTask t = Probe(&live);
+    EXPECT_EQ(live, 1);
+    InlineTask u = std::move(t);
+    EXPECT_EQ(live, 1);  // relocation, not duplication
+  }
+  EXPECT_EQ(live, 0);
 }
 
 TEST(Simulation, PendingTracksQueue) {
