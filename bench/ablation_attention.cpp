@@ -5,8 +5,10 @@
 // so the "same load on different OSTs" robustness the kernel design *aims*
 // for (shared per-server interpretation) holds exactly; the question is
 // whether giving up slot identity costs in-distribution accuracy.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "qif/core/datasets.hpp"
 #include "qif/ml/attention_net.hpp"
@@ -19,17 +21,19 @@ using namespace qif;
 
 namespace {
 
-monitor::Dataset rotate_osts(const monitor::Dataset& ds, int shift) {
-  monitor::Dataset out = ds;
-  const int n_osts = ds.n_servers - 1;  // the MDT block (last) stays put
-  for (auto& s : out.samples) {
-    std::vector<double> rotated = s.features;
+monitor::Dataset rotate_osts(const monitor::TableView& ds, int shift) {
+  monitor::Dataset out = ds.materialize();
+  const int n_osts = ds.n_servers() - 1;  // the MDT block (last) stays put
+  const int dim = ds.dim();
+  std::vector<double> rotated(out.width());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double* row = out.row(i);
+    std::copy(row, row + out.width(), rotated.begin());
     for (int o = 0; o < n_osts; ++o) {
       const int dst = (o + shift) % n_osts;
-      std::copy(s.features.begin() + o * ds.dim, s.features.begin() + (o + 1) * ds.dim,
-                rotated.begin() + dst * ds.dim);
+      std::copy(row + o * dim, row + (o + 1) * dim, rotated.begin() + dst * dim);
     }
-    s.features = std::move(rotated);
+    std::copy(rotated.begin(), rotated.end(), row);
   }
   return out;
 }
@@ -95,23 +99,25 @@ int main(int argc, char** argv) {
 
   ml::Standardizer stdz;
   stdz.fit(train);
-  auto [x, y] = ml::to_matrix(train, &stdz);
-  auto [xt, yt] = ml::to_matrix(test, &stdz);
-  auto [xr, yr] = ml::to_matrix(rotated, &stdz);
+  ml::Matrix x, xt, xr;
+  std::vector<int> y, yt, yr;
+  ml::gather_standardized(train, &stdz, x, y);
+  ml::gather_standardized(test, &stdz, xt, yt);
+  ml::gather_standardized(rotated, &stdz, xr, yr);
   const auto weights = ml::inverse_frequency_weights(train, 2);
   const int epochs = 40;
 
   ml::KernelNetConfig kc;
-  kc.per_server_dim = ds.dim;
-  kc.n_servers = ds.n_servers;
+  kc.per_server_dim = ds.dim();
+  kc.n_servers = ds.n_servers();
   kc.n_classes = 2;
   ml::KernelNet kernel(kc);
   train_net(kernel, x, y, weights, epochs);
   const auto [kf1, krot] = evaluate_both(kernel, xt, yt, xr, yr);
 
   ml::AttentionNetConfig ac;
-  ac.per_server_dim = ds.dim;
-  ac.n_servers = ds.n_servers;
+  ac.per_server_dim = ds.dim();
+  ac.n_servers = ds.n_servers();
   ac.n_classes = 2;
   ml::AttentionNet attention(ac);
   train_net(attention, x, y, weights, epochs);

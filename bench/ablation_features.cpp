@@ -18,20 +18,21 @@ using namespace qif;
 
 namespace {
 
-monitor::Dataset mask_group(const monitor::Dataset& ds,
+monitor::Dataset mask_group(const monitor::TableView& ds,
                             const std::vector<int>& drop_indices) {
-  monitor::Dataset out = ds;
-  for (auto& s : out.samples) {
-    for (int server = 0; server < ds.n_servers; ++server) {
+  monitor::Dataset out = ds.materialize();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double* row = out.row(i);
+    for (int server = 0; server < out.n_servers(); ++server) {
       for (const int f : drop_indices) {
-        s.features[static_cast<std::size_t>(server * ds.dim + f)] = 0.0;
+        row[static_cast<std::size_t>(server * out.dim() + f)] = 0.0;
       }
     }
   }
   return out;
 }
 
-double train_eval(const monitor::Dataset& train, const monitor::Dataset& test) {
+double train_eval(const monitor::TableView& train, const monitor::TableView& test) {
   core::TrainingServerConfig cfg;
   cfg.n_classes = 2;
   core::TrainingServer server(cfg);
@@ -65,7 +66,9 @@ int main(int argc, char** argv) {
   // Knockout direction: how much does losing one group cost?
   for (const auto group : groups) {
     const auto idx = schema.group_indices(group);
-    const double f1 = train_eval(mask_group(train, idx), mask_group(test, idx));
+    const monitor::Dataset masked_train = mask_group(train, idx);
+    const monitor::Dataset masked_test = mask_group(test, idx);
+    const double f1 = train_eval(masked_train, masked_test);
     std::printf("drop %-23s macro-F1 %6.3f   delta %+6.3f\n",
                 monitor::group_name(group), f1, f1 - full);
   }
@@ -79,7 +82,9 @@ int main(int argc, char** argv) {
       const auto idx = schema.group_indices(group);
       drop_idx.insert(drop_idx.end(), idx.begin(), idx.end());
     }
-    const double f1 = train_eval(mask_group(train, drop_idx), mask_group(test, drop_idx));
+    const monitor::Dataset masked_train = mask_group(train, drop_idx);
+    const monitor::Dataset masked_test = mask_group(test, drop_idx);
+    const double f1 = train_eval(masked_train, masked_test);
     std::printf("keep only %-18s macro-F1 %6.3f   delta %+6.3f\n",
                 monitor::group_name(keep), f1, f1 - full);
   }

@@ -9,8 +9,10 @@
 //   1. test macro-F1,
 //   2. robustness when the test windows' OST vectors are rotated — i.e.
 //      the same load lands on *different* servers than in training.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "qif/core/datasets.hpp"
 #include "qif/core/training_server.hpp"
@@ -20,29 +22,30 @@ using namespace qif;
 
 namespace {
 
-/// Reinterprets a per-server dataset as flat vectors: one "server" of
-/// width n_servers * dim.  Same numbers, no weight sharing.
-monitor::Dataset flatten(const monitor::Dataset& ds) {
-  monitor::Dataset out = ds;
-  out.dim = ds.n_servers * ds.dim;
-  out.n_servers = 1;
+/// Reinterprets a per-server view as flat vectors: one "server" of width
+/// n_servers * dim.  Same block, reshaped — no copy of the features.
+monitor::Dataset flatten(const monitor::TableView& ds) {
+  monitor::Dataset out = ds.materialize();
+  out.reshape(1, ds.n_servers() * ds.dim());
   return out;
 }
 
-/// Rotates the OST blocks of every sample by `shift` (the MDT block, last,
+/// Rotates the OST blocks of every row by `shift` (the MDT block, last,
 /// stays in place): the workload that hit OSTs {0,1} now appears on
 /// {shift, shift+1}, emulating a run that targeted different servers.
-monitor::Dataset rotate_osts(const monitor::Dataset& ds, int shift) {
-  monitor::Dataset out = ds;
-  const int n_osts = ds.n_servers - 1;
-  for (auto& s : out.samples) {
-    std::vector<double> rotated = s.features;
+monitor::Dataset rotate_osts(const monitor::TableView& ds, int shift) {
+  monitor::Dataset out = ds.materialize();
+  const int n_osts = ds.n_servers() - 1;
+  const int dim = ds.dim();
+  std::vector<double> rotated(out.width());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double* row = out.row(i);
+    std::copy(row, row + out.width(), rotated.begin());
     for (int o = 0; o < n_osts; ++o) {
       const int dst = (o + shift) % n_osts;
-      std::copy(s.features.begin() + o * ds.dim, s.features.begin() + (o + 1) * ds.dim,
-                rotated.begin() + dst * ds.dim);
+      std::copy(row + o * dim, row + (o + 1) * dim, rotated.begin() + dst * dim);
     }
-    s.features = std::move(rotated);
+    std::copy(rotated.begin(), rotated.end(), row);
   }
   return out;
 }
@@ -52,8 +55,8 @@ struct Scores {
   double rotated_f1 = 0.0;
 };
 
-Scores run(const monitor::Dataset& train, const monitor::Dataset& test,
-           const monitor::Dataset& rotated_test) {
+Scores run(const monitor::TableView& train, const monitor::TableView& test,
+           const monitor::TableView& rotated_test) {
   core::TrainingServerConfig cfg;
   cfg.n_classes = 2;
   core::TrainingServer server(cfg);
@@ -82,7 +85,10 @@ int main(int argc, char** argv) {
   std::printf("windows: %zu train / %zu test\n\n", train.size(), test.size());
 
   const Scores kernel = run(train, test, rotated);
-  const Scores flat = run(flatten(train), flatten(test), flatten(rotated));
+  const monitor::Dataset flat_train = flatten(train);
+  const monitor::Dataset flat_test = flatten(test);
+  const monitor::Dataset flat_rotated = flatten(rotated);
+  const Scores flat = run(flat_train, flat_test, flat_rotated);
 
   std::printf("%-22s %12s %25s\n", "architecture", "test mF1", "rotated-OST test mF1");
   std::printf("%-22s %12.3f %25.3f\n", "kernel-based (shared)", kernel.test_f1,
@@ -93,6 +99,6 @@ int main(int argc, char** argv) {
               "\nmore first-layer parameters for the same windows, and only the shared"
               "\nkernel generalizes to cluster shapes it was not trained on (it can be"
               "\napplied to any number of servers; the flat head cannot).\n",
-              train.n_servers);
+              train.n_servers());
   return 0;
 }

@@ -1,0 +1,144 @@
+// Window data-plane benchmark: the FeatureTable pipeline stages that the
+// columnar refactor targets.
+//
+//   data_plane [--richness R]...     (default: --richness 1 --richness 4)
+//
+// For each richness it builds the IO500 campaign dataset once, then times
+//   assemble:  the campaign build itself (scenario -> labelled table)
+//   append:    block-appending the table into a reserve-once destination
+//   split:     the 80/20 index-view split (zero-copy TableViews)
+//   csv/qds:   save + load through both persistence paths (memory streams,
+//              so the numbers compare parse cost, not disk)
+// and prints one JSON object to stdout; scripts/bench_data.sh wraps this
+// into BENCH_data.json.  The headline number is load_speedup_qds_vs_csv:
+// the binary reader is O(read) where CSV re-parses every cell.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qif/core/datasets.hpp"
+#include "qif/ml/preprocess.hpp"
+#include "qif/monitor/export.hpp"
+
+using namespace qif;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+/// Best-of-3 wall time of `fn` in milliseconds.
+template <typename Fn>
+double best_ms(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double t = ms_since(t0);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+struct StageTimes {
+  std::size_t windows = 0;
+  double assemble_ms = 0.0;
+  double append_ms = 0.0;
+  double split_ms = 0.0;
+  double csv_save_ms = 0.0;
+  double csv_load_ms = 0.0;
+  double qds_save_ms = 0.0;
+  double qds_load_ms = 0.0;
+  std::size_t csv_bytes = 0;
+  std::size_t qds_bytes = 0;
+};
+
+StageTimes run_richness(double richness) {
+  StageTimes t;
+  core::DatasetOptions opts;
+  opts.richness = richness;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const monitor::Dataset ds = core::build_io500_dataset(opts);
+  t.assemble_ms = ms_since(t0);
+  t.windows = ds.size();
+
+  t.append_ms = best_ms([&] {
+    monitor::Dataset dst;
+    dst.set_shape(ds.n_servers(), ds.dim());
+    dst.reserve(ds.size());
+    dst.append(ds);
+  });
+
+  t.split_ms = best_ms([&] {
+    auto [train, test] = ml::split_dataset(ds, 0.2, 17);
+    if (train.size() + test.size() != ds.size()) std::abort();
+  });
+
+  std::string csv_text, qds_text;
+  t.csv_save_ms = best_ms([&] {
+    std::ostringstream os;
+    monitor::write_dataset_csv(os, ds);
+    csv_text = os.str();
+  });
+  t.qds_save_ms = best_ms([&] {
+    std::ostringstream os;
+    monitor::write_dataset_qds(os, ds);
+    qds_text = os.str();
+  });
+  t.csv_bytes = csv_text.size();
+  t.qds_bytes = qds_text.size();
+
+  t.csv_load_ms = best_ms([&] {
+    std::istringstream is(csv_text);
+    const monitor::Dataset loaded = monitor::read_dataset_csv(is);
+    if (loaded.size() != ds.size()) std::abort();
+  });
+  t.qds_load_ms = best_ms([&] {
+    std::istringstream is(qds_text);
+    const monitor::Dataset loaded = monitor::read_dataset_qds(is);
+    if (loaded.size() != ds.size()) std::abort();
+  });
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<double> richnesses;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--richness") == 0 && i + 1 < argc) {
+      richnesses.push_back(std::atof(argv[++i]));
+    }
+  }
+  if (richnesses.empty()) richnesses = {1.0, 4.0};
+
+  std::printf("{\n");
+  for (std::size_t r = 0; r < richnesses.size(); ++r) {
+    std::fprintf(stderr, "richness %.3g: building campaign dataset...\n",
+                 richnesses[r]);
+    const StageTimes t = run_richness(richnesses[r]);
+    std::printf("  \"richness_%g\": {\n", richnesses[r]);
+    std::printf("    \"windows\": %zu,\n", t.windows);
+    std::printf("    \"assemble_ms\": %.3f,\n", t.assemble_ms);
+    std::printf("    \"append_ms\": %.4f,\n", t.append_ms);
+    std::printf("    \"split_ms\": %.4f,\n", t.split_ms);
+    std::printf("    \"csv_save_ms\": %.3f,\n", t.csv_save_ms);
+    std::printf("    \"csv_load_ms\": %.3f,\n", t.csv_load_ms);
+    std::printf("    \"qds_save_ms\": %.3f,\n", t.qds_save_ms);
+    std::printf("    \"qds_load_ms\": %.3f,\n", t.qds_load_ms);
+    std::printf("    \"csv_bytes\": %zu,\n", t.csv_bytes);
+    std::printf("    \"qds_bytes\": %zu,\n", t.qds_bytes);
+    std::printf("    \"load_speedup_qds_vs_csv\": %.2f\n",
+                t.qds_load_ms > 0 ? t.csv_load_ms / t.qds_load_ms : 0.0);
+    std::printf("  }%s\n", r + 1 < richnesses.size() ? "," : "");
+  }
+  std::printf("}\n");
+  return 0;
+}

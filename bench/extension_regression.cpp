@@ -36,21 +36,21 @@ int main(int argc, char** argv) {
 
   ml::Standardizer stdz;
   stdz.fit(train);
-  auto [x, y_unused] = ml::to_matrix(train, &stdz);
-  auto [xt, yt_unused] = ml::to_matrix(test, &stdz);
-  (void)y_unused;
-  (void)yt_unused;
+  ml::Matrix x, xt;
+  std::vector<int> y_unused, yt_unused;
+  ml::gather_standardized(train, &stdz, x, y_unused);
+  ml::gather_standardized(test, &stdz, xt, yt_unused);
   std::vector<double> target(train.size()), target_test(test.size());
   for (std::size_t i = 0; i < train.size(); ++i) {
-    target[i] = std::log2(std::max(train.samples[i].degradation, 1.0));
+    target[i] = std::log2(std::max(train.degradation(i), 1.0));
   }
   for (std::size_t i = 0; i < test.size(); ++i) {
-    target_test[i] = std::log2(std::max(test.samples[i].degradation, 1.0));
+    target_test[i] = std::log2(std::max(test.degradation(i), 1.0));
   }
 
   ml::KernelNetConfig kc;
-  kc.per_server_dim = ds.dim;
-  kc.n_servers = ds.n_servers;
+  kc.per_server_dim = ds.dim();
+  kc.n_servers = ds.n_servers();
   kc.n_classes = 1;  // regression head
   ml::KernelNet reg(kc);
   sim::Rng rng(43);
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   // (b) Regressor-as-classifier at the 2x threshold vs. the direct model.
   ml::ConfusionMatrix from_reg(2);
   for (std::size_t i = 0; i < test.size(); ++i) {
-    from_reg.add(test.samples[i].label, pred.at(i, 0) >= 1.0 ? 1 : 0);  // log2(2)=1
+    from_reg.add(test.label(i), pred.at(i, 0) >= 1.0 ? 1 : 0);  // log2(2)=1
   }
   core::TrainingServerConfig cfg;
   cfg.n_classes = 2;

@@ -260,18 +260,12 @@ BENCHMARK(BM_GemmParallel) QIF_GEMM_SHAPES;
 // One full training epoch (minibatch Adam + validation eval) on a
 // campaign-sized dataset: 7 servers x 37 features, 512 windows.
 void BM_TrainerEpoch(benchmark::State& state) {
-  monitor::Dataset ds;
-  ds.n_servers = 7;
-  ds.dim = 37;
+  monitor::Dataset ds(7, 37);
   sim::Rng rng(31);
   for (std::size_t i = 0; i < 512; ++i) {
-    monitor::Sample s;
-    s.window_index = static_cast<std::int64_t>(i);
-    s.features.resize(7 * 37);
-    for (auto& v : s.features) v = rng.normal(0, 1);
-    s.label = static_cast<int>(i % 2);
-    s.degradation = s.label ? 4.0 : 1.0;
-    ds.samples.push_back(std::move(s));
+    const int label = static_cast<int>(i % 2);
+    double* row = ds.append_row(static_cast<std::int64_t>(i), label, label ? 4.0 : 1.0);
+    for (std::size_t j = 0; j < ds.width(); ++j) row[j] = rng.normal(0, 1);
   }
   ml::TrainConfig tc;
   tc.max_epochs = 1;

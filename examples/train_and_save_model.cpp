@@ -59,8 +59,9 @@ int main(int argc, char** argv) {
     reloaded.load(in);
   }
   std::size_t agree = 0;
-  for (const auto& s : test.samples) {
-    if (reloaded.predict(s.features) == server.predict(s.features)) ++agree;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::vector<double> features = test.row_vector(i);
+    if (reloaded.predict(features) == server.predict(features)) ++agree;
   }
   std::printf("\nsaved to %s; reloaded model agrees on %zu/%zu test windows\n", path,
               agree, test.size());

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Window data-plane benchmark: FeatureTable assemble/append/split plus the
+# CSV (interop) vs .qds (native binary) persistence paths.
+#
+# Builds the portable configuration, runs bench/data_plane at richness 1
+# and 4 (override with e.g. `bench_data.sh 0.5 1`), and writes
+# BENCH_data.json.  The acceptance bar for the columnar refactor is
+# load_speedup_qds_vs_csv >= 5 at richness 1: the binary reader block-reads
+# whole columns where CSV re-parses every cell.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_JSON="BENCH_data.json"
+
+RICHNESS_ARGS=()
+if [[ $# -gt 0 ]]; then
+  for r in "$@"; do RICHNESS_ARGS+=(--richness "$r"); done
+else
+  RICHNESS_ARGS=(--richness 1 --richness 4)
+fi
+
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+cmake --build "${BUILD_DIR}" -j --target data_plane > /dev/null
+
+"./${BUILD_DIR}/bench/data_plane" "${RICHNESS_ARGS[@]}" > "${OUT_JSON}"
+
+python3 - "${OUT_JSON}" <<'EOF'
+import json, sys
+out = json.load(open(sys.argv[1]))
+print(json.dumps(out, indent=2))
+for key, t in out.items():
+    s = t["load_speedup_qds_vs_csv"]
+    print(f"{key}: {t['windows']} windows, .qds load {s:.1f}x faster than CSV")
+EOF
+
+echo "wrote ${OUT_JSON}"

@@ -13,9 +13,13 @@ ctest --test-dir build --output-on-failure -j
 echo "=== tier-1: exec/campaign/scheduler tests under TSan ==="
 cmake -B build-tsan -S . -DQIF_SANITIZE=thread
 cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
-  test_sim_simulation test_sim_links
+  test_sim_simulation test_sim_links test_export test_data_alloc
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
+# Data-plane: parallel campaign shards block-append into one FeatureTable,
+# and the .qds reader touches whole columns — both must stay race-free.
+./build-tsan/tests/test_export
+./build-tsan/tests/test_data_alloc
 ./build-tsan/tests/test_ml_gemm --gtest_filter='Gemm.Parallel*'
 ./build-tsan/tests/test_ml_trainer --gtest_filter='Trainer.ResultIsBitIdenticalAcrossJobCounts'
 # The event engine itself is single-threaded, but campaign workers each run

@@ -108,28 +108,27 @@ CaseResult join_case_result(const CampaignConfig& config, const CaseSpec& cs,
   result.outcome.windows = labels.size();
   result.outcome.target_finished = run.target_finished;
 
-  result.shard.n_servers = run.n_servers;
-  result.shard.dim = run.dim;
+  if (run.n_servers > 0) {
+    result.shard.set_shape(run.n_servers, run.dim);
+    result.shard.reserve(labels.size());
+  }
   double deg_sum = 0.0;
   for (const trace::WindowLabel& lbl : labels) {
-    const auto it = run.window_features.find(lbl.window_index);
-    if (it == run.window_features.end()) continue;  // no features captured
-    monitor::Sample s;
-    s.window_index = lbl.window_index;
-    s.features = it->second;
-    s.label = lbl.label;
-    s.degradation = lbl.degradation;
-    result.shard.samples.push_back(std::move(s));
+    // The scenario emits windows in ascending order, so the lookup is a
+    // binary search over the window_index column.
+    const std::size_t pos = run.window_features.find_window_sorted(lbl.window_index);
+    if (pos == monitor::FeatureTable::npos) continue;  // no features captured
+    result.shard.append_row(lbl.window_index, lbl.label, lbl.degradation,
+                            run.window_features.row(pos));
     deg_sum += lbl.degradation;
   }
   // Average only over the windows actually summed: dividing by
   // labels.size() while skipping feature-less windows biased the headline
   // degradation number low.  labels.size() is still reported as `windows`.
-  result.outcome.sampled_windows = result.shard.samples.size();
+  result.outcome.sampled_windows = result.shard.size();
   result.outcome.mean_degradation =
-      result.shard.samples.empty()
-          ? 1.0
-          : deg_sum / static_cast<double>(result.shard.samples.size());
+      result.shard.empty() ? 1.0
+                           : deg_sum / static_cast<double>(result.shard.size());
   return result;
 }
 
@@ -152,19 +151,40 @@ CaseResult run_campaign_case(const CampaignConfig& config, const CaseSpec& cs,
   return result;
 }
 
-CampaignResult run_campaign(const CampaignConfig& config) {
+CampaignResult stitch_case_results(std::vector<CaseResult> cases) {
   CampaignResult result;
-  std::map<std::uint64_t, CampaignBaseline> baselines;
-  for (const std::uint64_t seed : campaign_baseline_seeds(config)) {
-    baselines.emplace(seed, run_campaign_baseline(config, seed));
+  // Reserve-once block assembly: size the table from the shards, adopt the
+  // first successful shard's shape, then append each shard as one block
+  // copy.  The whole stitch is O(shards) heap allocations, independent of
+  // how many windows the campaign produced.
+  std::size_t total_rows = 0;
+  for (const CaseResult& cr : cases) {
+    if (!cr.outcome.ok()) continue;
+    total_rows += cr.shard.size();
+    if (result.dataset.n_servers() == 0 && cr.shard.n_servers() != 0) {
+      result.dataset.set_shape(cr.shard.n_servers(), cr.shard.dim());
+    }
   }
-  result.outcomes.reserve(config.cases.size());
-  for (const CaseSpec& cs : config.cases) {
-    CaseResult cr = run_campaign_case(config, cs, baselines.at(cs.seed));
+  result.dataset.reserve(total_rows);
+  result.outcomes.reserve(cases.size());
+  for (CaseResult& cr : cases) {
     if (cr.outcome.ok()) result.dataset.append(cr.shard);
     result.outcomes.push_back(std::move(cr.outcome));
   }
   return result;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  std::map<std::uint64_t, CampaignBaseline> baselines;
+  for (const std::uint64_t seed : campaign_baseline_seeds(config)) {
+    baselines.emplace(seed, run_campaign_baseline(config, seed));
+  }
+  std::vector<CaseResult> cases;
+  cases.reserve(config.cases.size());
+  for (const CaseSpec& cs : config.cases) {
+    cases.push_back(run_campaign_case(config, cs, baselines.at(cs.seed)));
+  }
+  return stitch_case_results(std::move(cases));
 }
 
 monitor::Dataset Campaign::run() {

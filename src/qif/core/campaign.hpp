@@ -112,6 +112,13 @@ struct CampaignBaseline {
                                            const CaseSpec& cs,
                                            const CampaignBaseline& baseline);
 
+/// Assembles per-case results (in declaration order) into one campaign
+/// result: outcomes in order, successful shards block-appended into a
+/// reserve-once dataset (O(shards) heap allocations regardless of window
+/// count).  Shared by the sequential driver below and
+/// exec::ParallelCampaignRunner's stitch phase.
+[[nodiscard]] CampaignResult stitch_case_results(std::vector<CaseResult> cases);
+
 /// Sequential driver: baselines first (each seed once), then every case in
 /// declaration order.
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);

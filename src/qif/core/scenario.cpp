@@ -86,8 +86,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.n_servers = cluster.n_servers();
     result.dim = monitor::MetricSchema::kPerServerDim;
     monitor::FeatureAssembler assembler(*client_mon, *server_mon, cluster.n_servers());
-    for (const std::int64_t w : client_mon->window_indices()) {
-      result.window_features.emplace(w, assembler.window_features(w));
+    const std::vector<std::int64_t> windows = client_mon->window_indices();
+    result.window_features.set_shape(result.n_servers, result.dim);
+    result.window_features.reserve(windows.size());
+    // window_indices() is ascending, so the table's window column stays
+    // sorted and the campaign join can binary-search it.
+    for (const std::int64_t w : windows) {
+      assembler.fill_window(w, result.window_features.append_row(w, 0, 1.0));
     }
   }
   return result;

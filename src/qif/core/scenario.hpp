@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,8 +41,11 @@ struct ScenarioConfig {
 struct ScenarioResult {
   trace::TraceLog trace;           ///< all jobs' op records
   /// Per-window flattened per-server feature vectors (only windows where
-  /// the target did I/O); empty when monitors were disabled.
-  std::map<std::int64_t, std::vector<double>> window_features;
+  /// the target did I/O); empty when monitors were disabled.  One row per
+  /// window, appended in ascending window order (so window lookups are a
+  /// binary search over the window_index column); labels/degradations in
+  /// this table are placeholders — the campaign join supplies real ones.
+  monitor::FeatureTable window_features;
   int n_servers = 0;
   int dim = 0;
   bool target_finished = false;

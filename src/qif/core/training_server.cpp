@@ -6,11 +6,11 @@
 
 namespace qif::core {
 
-ml::TrainResult TrainingServer::fit(const monitor::Dataset& train_ds) {
+ml::TrainResult TrainingServer::fit(const monitor::TableView& train_ds) {
   if (train_ds.empty()) throw std::invalid_argument("cannot train on an empty dataset");
   ml::KernelNetConfig net_cfg;
-  net_cfg.per_server_dim = train_ds.dim;
-  net_cfg.n_servers = train_ds.n_servers;
+  net_cfg.per_server_dim = train_ds.dim();
+  net_cfg.n_servers = train_ds.n_servers();
   net_cfg.n_classes = config_.n_classes;
   net_cfg.kernel_hidden = config_.kernel_hidden;
   net_cfg.head_hidden = config_.head_hidden;
@@ -23,22 +23,19 @@ ml::TrainResult TrainingServer::fit(const monitor::Dataset& train_ds) {
   return trainer.train(net_, stdz_, train_ds);
 }
 
-ml::ConfusionMatrix TrainingServer::evaluate(const monitor::Dataset& test_ds) const {
+ml::ConfusionMatrix TrainingServer::evaluate(const monitor::TableView& test_ds) const {
   return ml::Trainer::evaluate(net_, stdz_, test_ds);
 }
 
 int TrainingServer::predict(std::vector<double> features) const {
   stdz_.transform(features);
-  ml::Matrix x(1, features.size());
-  x.data() = std::move(features);
-  return net_.predict(x)[0];
+  return net_.predict(ml::MatView(features.data(), 1, features.size()))[0];
 }
 
 std::vector<double> TrainingServer::predict_proba(std::vector<double> features) const {
   stdz_.transform(features);
-  ml::Matrix x(1, features.size());
-  x.data() = std::move(features);
-  const ml::Matrix p = ml::SoftmaxXent::softmax(net_.forward_inference(x));
+  const ml::Matrix p = ml::SoftmaxXent::softmax(
+      net_.forward_inference(ml::MatView(features.data(), 1, features.size())));
   return {p.row(0), p.row(0) + p.cols()};
 }
 

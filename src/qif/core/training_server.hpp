@@ -30,11 +30,12 @@ class TrainingServer {
  public:
   explicit TrainingServer(TrainingServerConfig config) : config_(std::move(config)) {}
 
-  /// Trains a fresh model on `train_ds` (shape taken from the dataset).
-  ml::TrainResult fit(const monitor::Dataset& train_ds);
+  /// Trains a fresh model on `train_ds` (shape taken from the view; a
+  /// FeatureTable converts implicitly).
+  ml::TrainResult fit(const monitor::TableView& train_ds);
 
   /// Confusion matrix of the current model on a held-out set.
-  [[nodiscard]] ml::ConfusionMatrix evaluate(const monitor::Dataset& test_ds) const;
+  [[nodiscard]] ml::ConfusionMatrix evaluate(const monitor::TableView& test_ds) const;
 
   /// Class prediction for one window's flattened features.
   [[nodiscard]] int predict(std::vector<double> features) const;

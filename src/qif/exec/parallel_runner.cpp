@@ -36,13 +36,8 @@ core::CampaignResult ParallelCampaignRunner::run() const {
 
   // Phase 3: stitch shards and outcomes back in declaration order — the
   // invariant that makes the output byte-identical to the sequential path.
-  core::CampaignResult result;
-  result.outcomes.reserve(cases.size());
-  for (core::CaseResult& cr : cases) {
-    if (cr.outcome.ok()) result.dataset.append(cr.shard);
-    result.outcomes.push_back(std::move(cr.outcome));
-  }
-  return result;
+  // Same reserve-once block assembly the sequential driver uses.
+  return core::stitch_case_results(std::move(cases));
 }
 
 core::CampaignResult run_campaign_parallel(const core::CampaignConfig& config,

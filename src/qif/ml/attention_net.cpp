@@ -113,13 +113,13 @@ void AttentionNet::step(const AdamParams& params, std::int64_t t) {
   for (auto& l : head_layers_) l.step(params, t);
 }
 
-Matrix AttentionNet::forward_inference(const Matrix& x) const {
-  const auto b = x.rows();
+Matrix AttentionNet::forward_inference(MatView x) const {
+  const auto b = x.rows;
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
-  assert(x.cols() == s * d);
-  const Matrix embed = ReLU::forward_inference(
-      embed_.forward_inference(MatView(x).reshaped(b * s, d)));
+  assert(x.cols == s * d);
+  const Matrix embed =
+      ReLU::forward_inference(embed_.forward_inference(x.reshaped(b * s, d)));
   const Matrix u = Tanh::forward_inference(attn_hidden_.forward_inference(embed));
   const Matrix alpha =
       SoftmaxXent::softmax(attn_score_.forward_inference(u).reshaped(b, s));
@@ -131,7 +131,7 @@ Matrix AttentionNet::forward_inference(const Matrix& x) const {
   return head_layers_.back().forward_inference(h);
 }
 
-std::vector<int> AttentionNet::predict(const Matrix& x) const {
+std::vector<int> AttentionNet::predict(MatView x) const {
   const Matrix logits = forward_inference(x);
   std::vector<int> out(logits.rows());
   for (std::size_t i = 0; i < logits.rows(); ++i) {

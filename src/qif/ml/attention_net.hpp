@@ -50,8 +50,8 @@ class AttentionNet {
   void backward(MatView dlogits);
   void step(const AdamParams& params, std::int64_t t);
 
-  [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
-  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  [[nodiscard]] Matrix forward_inference(MatView x) const;
+  [[nodiscard]] std::vector<int> predict(MatView x) const;
   /// Attention weights over servers for one sample (which servers the
   /// model attends to).
   [[nodiscard]] std::vector<double> attention_weights(

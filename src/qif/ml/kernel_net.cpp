@@ -85,12 +85,12 @@ void KernelNet::step(const AdamParams& params, std::int64_t t) {
   for (auto& l : head_layers_) l.step(params, t);
 }
 
-Matrix KernelNet::forward_inference(const Matrix& x) const {
-  const auto b = x.rows();
+Matrix KernelNet::forward_inference(MatView x) const {
+  const auto b = x.rows;
   const auto s = static_cast<std::size_t>(config_.n_servers);
   const auto d = static_cast<std::size_t>(config_.per_server_dim);
-  assert(x.cols() == s * d);
-  const Matrix scores = kernel_forward_inference(MatView(x).reshaped(b * s, d));
+  assert(x.cols == s * d);
+  const Matrix scores = kernel_forward_inference(x.reshaped(b * s, d));
   Matrix h;
   MatView v = MatView(scores).reshaped(b, s);
   for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
@@ -100,7 +100,7 @@ Matrix KernelNet::forward_inference(const Matrix& x) const {
   return head_layers_.back().forward_inference(v);
 }
 
-std::vector<int> KernelNet::predict(const Matrix& x) const {
+std::vector<int> KernelNet::predict(MatView x) const {
   const Matrix logits = forward_inference(x);
   std::vector<int> out(logits.rows());
   for (std::size_t i = 0; i < logits.rows(); ++i) {

@@ -55,10 +55,11 @@ class KernelNet {
   /// Adam update on every layer (t is the 1-based step count).
   void step(const AdamParams& params, std::int64_t t);
 
-  /// Inference without touching training caches.
-  [[nodiscard]] Matrix forward_inference(const Matrix& x) const;
+  /// Inference without touching training caches.  Takes a view, so rows
+  /// can come straight out of a FeatureTable block or a Matrix alike.
+  [[nodiscard]] Matrix forward_inference(MatView x) const;
   /// Predicted class per row of X.
-  [[nodiscard]] std::vector<int> predict(const Matrix& x) const;
+  [[nodiscard]] std::vector<int> predict(MatView x) const;
   /// Per-server kernel scores for one sample (interpretability hook: which
   /// server the model blames).
   [[nodiscard]] std::vector<double> server_scores(const std::vector<double>& features) const;

@@ -10,18 +10,20 @@
 
 namespace qif::ml {
 
-void Standardizer::fit(const monitor::Dataset& ds) {
-  const auto d = static_cast<std::size_t>(ds.dim);
+void Standardizer::fit(const monitor::TableView& ds) {
+  const auto d = static_cast<std::size_t>(ds.dim());
   mean_.assign(d, 0.0);
   inv_std_.assign(d, 1.0);
   if (ds.empty()) return;
   std::vector<double> m2(d, 0.0);
   std::size_t n = 0;
-  for (const auto& s : ds.samples) {
-    for (std::size_t off = 0; off < s.features.size(); off += d) {
+  const std::size_t width = ds.width();
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    const double* row = ds.row(k);
+    for (std::size_t off = 0; off < width; off += d) {
       ++n;
       for (std::size_t j = 0; j < d; ++j) {
-        const double x = s.features[off + j];
+        const double x = row[off + j];
         const double delta = x - mean_[j];
         mean_[j] += delta / static_cast<double>(n);
         m2[j] += delta * (x - mean_[j]);
@@ -41,6 +43,19 @@ void Standardizer::transform(std::vector<double>& features) const {
   for (std::size_t off = 0; off < features.size(); off += d) {
     for (std::size_t j = 0; j < d; ++j) {
       features[off + j] = (features[off + j] - mean_[j]) * inv_std_[j];
+    }
+  }
+}
+
+void Standardizer::transform_into(const double* src, std::size_t n, double* dst) const {
+  const std::size_t d = mean_.size();
+  if (d == 0) {
+    std::copy(src, src + n, dst);
+    return;
+  }
+  for (std::size_t off = 0; off < n; off += d) {
+    for (std::size_t j = 0; j < d; ++j) {
+      dst[off + j] = (src[off + j] - mean_[j]) * inv_std_[j];
     }
   }
 }
@@ -69,9 +84,9 @@ void Standardizer::load(std::istream& is) {
   }
 }
 
-std::pair<monitor::Dataset, monitor::Dataset> split_dataset(const monitor::Dataset& ds,
-                                                            double test_fraction,
-                                                            std::uint64_t seed) {
+std::pair<monitor::TableView, monitor::TableView> split_dataset(const monitor::TableView& ds,
+                                                                double test_fraction,
+                                                                std::uint64_t seed) {
   std::vector<std::size_t> idx(ds.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   sim::Rng rng(sim::Rng::derive_seed(seed, "split"));
@@ -88,34 +103,42 @@ std::pair<monitor::Dataset, monitor::Dataset> split_dataset(const monitor::Datas
   if (ds.size() > 0 && test_fraction < 1.0 && n_test >= ds.size()) {
     n_test = ds.size() - 1;
   }
-  monitor::Dataset train, test;
-  train.n_servers = test.n_servers = ds.n_servers;
-  train.dim = test.dim = ds.dim;
+  // Membership and *order* both match the old materializing implementation
+  // exactly: test gets the first n_test shuffled rows, train the rest, so
+  // order-sensitive downstream stats (the Welford fit) are bit-identical.
+  std::vector<std::size_t> test_rows(n_test);
+  std::vector<std::size_t> train_rows(idx.size() - n_test);
   for (std::size_t k = 0; k < idx.size(); ++k) {
-    (k < n_test ? test : train).samples.push_back(ds.samples[idx[k]]);
+    const std::size_t base = ds.base_row(idx[k]);
+    (k < n_test ? test_rows[k] : train_rows[k - n_test]) = base;
   }
-  return {std::move(train), std::move(test)};
+  if (ds.table() == nullptr) return {monitor::TableView{}, monitor::TableView{}};
+  return {monitor::TableView(*ds.table(), std::move(train_rows)),
+          monitor::TableView(*ds.table(), std::move(test_rows))};
 }
 
-std::pair<Matrix, std::vector<int>> to_matrix(const monitor::Dataset& ds,
-                                              const Standardizer* stdz) {
-  const std::size_t width =
-      static_cast<std::size_t>(ds.n_servers) * static_cast<std::size_t>(ds.dim);
-  Matrix x(ds.size(), width);
-  std::vector<int> y(ds.size());
-  for (std::size_t i = 0; i < ds.size(); ++i) {
-    std::vector<double> f = ds.samples[i].features;
-    if (stdz != nullptr && stdz->fitted()) stdz->transform(f);
-    std::copy(f.begin(), f.end(), x.row(i));
-    y[i] = ds.samples[i].label;
+void gather_standardized(const monitor::TableView& ds, const Standardizer* stdz, Matrix& x,
+                         std::vector<int>& y) {
+  const std::size_t width = ds.width();
+  x.resize(ds.size(), width);
+  y.resize(ds.size());
+  const bool standardize = stdz != nullptr && stdz->fitted();
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    const double* src = ds.row(k);
+    if (standardize) {
+      stdz->transform_into(src, width, x.row(k));
+    } else {
+      std::copy(src, src + width, x.row(k));
+    }
+    y[k] = ds.label(k);
   }
-  return {std::move(x), std::move(y)};
 }
 
-std::vector<double> inverse_frequency_weights(const monitor::Dataset& ds, int n_classes) {
+std::vector<double> inverse_frequency_weights(const monitor::TableView& ds, int n_classes) {
   std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes), 0);
-  for (const auto& s : ds.samples) {
-    if (s.label >= 0 && s.label < n_classes) counts[static_cast<std::size_t>(s.label)] += 1;
+  for (std::size_t k = 0; k < ds.size(); ++k) {
+    const int l = ds.label(k);
+    if (l >= 0 && l < n_classes) counts[static_cast<std::size_t>(l)] += 1;
   }
   std::vector<double> w(static_cast<std::size_t>(n_classes), 1.0);
   const double n = static_cast<double>(ds.size());

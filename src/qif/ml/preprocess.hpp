@@ -1,4 +1,10 @@
 // Dataset preprocessing: standardization and the 80/20 window split.
+//
+// Everything here operates on monitor::TableView — non-owning, index-based
+// views of one columnar FeatureTable.  split_dataset permutes indices
+// instead of materializing datasets, the standardizer fits by streaming
+// view rows, and gather_standardized is the only place features are ever
+// copied (straight into a caller-owned matrix, standardization fused in).
 #pragma once
 
 #include <cstdint>
@@ -19,10 +25,14 @@ class Standardizer {
  public:
   Standardizer() = default;
 
-  /// Fits on a dataset's per-server columns (train split only).
-  void fit(const monitor::Dataset& ds);
+  /// Fits on a view's per-server columns (train split only).
+  void fit(const monitor::TableView& ds);
   /// In-place transform of a flattened (n_servers * dim) feature vector.
   void transform(std::vector<double>& features) const;
+  /// Out-of-place transform of `n` doubles (a multiple of dim()) from
+  /// `src` into `dst`; plain copy when unfitted.  The trainer's per-batch
+  /// gather runs through this, reading table rows in place.
+  void transform_into(const double* src, std::size_t n, double* dst) const;
   [[nodiscard]] bool fitted() const { return !mean_.empty(); }
   [[nodiscard]] int dim() const { return static_cast<int>(mean_.size()); }
 
@@ -37,17 +47,21 @@ class Standardizer {
 
 /// Random split preserving the paper's protocol: "we randomly select time
 /// windows accounting for 20% of the total amount of windows and reserve
-/// these for a test set".
-[[nodiscard]] std::pair<monitor::Dataset, monitor::Dataset> split_dataset(
-    const monitor::Dataset& ds, double test_fraction, std::uint64_t seed);
+/// these for a test set".  Returns index views into the input's table —
+/// no rows are copied, and splitting a view composes (the trainer's
+/// validation carve-out splits the campaign's train view).  The table must
+/// outlive the returned views.
+[[nodiscard]] std::pair<monitor::TableView, monitor::TableView> split_dataset(
+    const monitor::TableView& ds, double test_fraction, std::uint64_t seed);
 
-/// Packs a dataset into an (N, n_servers*dim) matrix and a label vector,
-/// applying the standardizer if fitted.
-[[nodiscard]] std::pair<Matrix, std::vector<int>> to_matrix(const monitor::Dataset& ds,
-                                                            const Standardizer* stdz);
+/// Gathers a view into a caller-owned (N, n_servers*dim) matrix and label
+/// vector, applying the standardizer if fitted.  The matrix/vector are
+/// resized in place so steady-state callers reuse their capacity.
+void gather_standardized(const monitor::TableView& ds, const Standardizer* stdz, Matrix& x,
+                         std::vector<int>& y);
 
 /// Inverse-frequency class weights: w_c = N / (K * N_c).
-[[nodiscard]] std::vector<double> inverse_frequency_weights(const monitor::Dataset& ds,
+[[nodiscard]] std::vector<double> inverse_frequency_weights(const monitor::TableView& ds,
                                                             int n_classes);
 
 }  // namespace qif::ml

@@ -10,20 +10,25 @@
 namespace qif::ml {
 namespace {
 
-/// Copies the idx[lo..hi) rows of x into `out` (resized in place), so the
-/// per-batch gather reuses one persistent buffer instead of allocating.
-void gather_rows_into(const Matrix& x, const std::vector<std::size_t>& idx, std::size_t lo,
-                      std::size_t hi, Matrix& out) {
-  out.resize(hi - lo, x.cols());
+/// Gathers the idx[lo..hi) rows of the view into `out` (resized in place),
+/// standardizing on the fly: table block -> batch buffer is the only copy
+/// on the training path.
+void gather_batch_into(const monitor::TableView& ds, const Standardizer& stdz,
+                       const std::vector<std::size_t>& idx, std::size_t lo, std::size_t hi,
+                       Matrix& xb, std::vector<int>& yb) {
+  const std::size_t width = ds.width();
+  xb.resize(hi - lo, width);
+  yb.resize(hi - lo);
+  const bool standardize = stdz.fitted();
   for (std::size_t k = lo; k < hi; ++k) {
-    std::copy(x.row(idx[k]), x.row(idx[k]) + x.cols(), out.row(k - lo));
+    const double* src = ds.row(idx[k]);
+    if (standardize) {
+      stdz.transform_into(src, width, xb.row(k - lo));
+    } else {
+      std::copy(src, src + width, xb.row(k - lo));
+    }
+    yb[k - lo] = ds.label(idx[k]);
   }
-}
-
-void gather_labels_into(const std::vector<int>& y, const std::vector<std::size_t>& idx,
-                        std::size_t lo, std::size_t hi, std::vector<int>& out) {
-  out.resize(hi - lo);
-  for (std::size_t k = lo; k < hi; ++k) out[k - lo] = y[idx[k]];
 }
 
 /// Attaches a pool to the net for the duration of a scope; detaches on
@@ -39,7 +44,7 @@ struct PoolGuard {
 }  // namespace
 
 TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
-                           const monitor::Dataset& train_ds) const {
+                           const monitor::TableView& train_ds) const {
   TrainResult result;
   if (train_ds.empty()) return result;
 
@@ -50,8 +55,11 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
   if (fit_ds.empty()) fit_ds = train_ds;  // tiny datasets: validate on train
 
   stdz.fit(fit_ds);
-  auto [x, y] = to_matrix(fit_ds, &stdz);
-  auto [xv, yv] = to_matrix(val_ds.empty() ? fit_ds : val_ds, &stdz);
+  // Validation is standardized once; training batches standardize lazily
+  // out of the table, so the old dataset-sized `x` matrix is gone.
+  Matrix xv;
+  std::vector<int> yv;
+  gather_standardized(val_ds.empty() ? fit_ds : val_ds, &stdz, xv, yv);
 
   const int n_classes = net.config().n_classes;
   const std::vector<double> weights =
@@ -59,7 +67,7 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
                              : std::vector<double>{};
 
   sim::Rng rng(sim::Rng::derive_seed(config_.seed, "shuffle"));
-  std::vector<std::size_t> idx(x.rows());
+  std::vector<std::size_t> idx(fit_ds.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
 
   // GEMM fan-out: the row-block partitioning makes results bit-identical
@@ -88,8 +96,7 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
     for (std::size_t lo = 0; lo < idx.size(); lo += static_cast<std::size_t>(config_.batch_size)) {
       const std::size_t hi =
           std::min(idx.size(), lo + static_cast<std::size_t>(config_.batch_size));
-      gather_rows_into(x, idx, lo, hi, xb);
-      gather_labels_into(y, idx, lo, hi, yb);
+      gather_batch_into(fit_ds, stdz, idx, lo, hi, xb, yb);
       const Matrix& logits = net.forward(xb);
       auto [loss, dlogits] = SoftmaxXent::loss_and_grad(logits, yb, weights);
       net.backward(dlogits);
@@ -127,10 +134,12 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
 }
 
 ConfusionMatrix Trainer::evaluate(const KernelNet& net, const Standardizer& stdz,
-                                  const monitor::Dataset& test) {
+                                  const monitor::TableView& test) {
   ConfusionMatrix cm(net.config().n_classes);
   if (test.empty()) return cm;
-  auto [x, y] = to_matrix(test, &stdz);
+  Matrix x;
+  std::vector<int> y;
+  gather_standardized(test, &stdz, x, y);
   cm.add_all(y, net.predict(x));
   return cm;
 }

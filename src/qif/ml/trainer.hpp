@@ -45,12 +45,15 @@ class Trainer {
 
   /// Fits `stdz` on `train`, then trains `net` with minibatch Adam, early
   /// stopping on validation macro-F1 (restoring the best weights via
-  /// binary in-memory snapshots).
-  TrainResult train(KernelNet& net, Standardizer& stdz, const monitor::Dataset& train) const;
+  /// binary in-memory snapshots).  Minibatches are gathered row by row
+  /// straight out of the view's backing FeatureTable into the persistent
+  /// batch buffer, standardization fused in — no dataset-sized temporary
+  /// is ever built.
+  TrainResult train(KernelNet& net, Standardizer& stdz, const monitor::TableView& train) const;
 
-  /// Evaluates a trained net on a dataset, returning its confusion matrix.
+  /// Evaluates a trained net on a view, returning its confusion matrix.
   static ConfusionMatrix evaluate(const KernelNet& net, const Standardizer& stdz,
-                                  const monitor::Dataset& test);
+                                  const monitor::TableView& test);
 
  private:
   TrainConfig config_;

@@ -1,14 +1,50 @@
 #include "qif/monitor/export.hpp"
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "qif/monitor/schema.hpp"
 
 namespace qif::monitor {
+namespace {
+
+// Strict cell parsers: every byte of the cell must be consumed, so a
+// corrupted "12x7" or empty cell throws instead of silently becoming 0
+// (the old atoll/atoi/atof behaviour).
+template <typename Int>
+Int parse_int_cell(std::string_view cell, const char* what) {
+  Int value{};
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw std::runtime_error(std::string("malformed ") + what + " cell: '" +
+                             std::string(cell) + "'");
+  }
+  return value;
+}
+
+double parse_double_cell(std::string_view cell, const char* what) {
+  // strtod + end-pointer check: from_chars<double> is used nowhere else in
+  // the tree and strtod matches the writer's formatting exactly.
+  const std::string buf(cell);
+  if (buf.empty()) {
+    throw std::runtime_error(std::string("empty ") + what + " cell");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    throw std::runtime_error(std::string("malformed ") + what + " cell: '" + buf + "'");
+  }
+  return value;
+}
+
+}  // namespace
 
 void write_dxt(std::ostream& os, const trace::TraceLog& log) {
   os << "# DXT qif 1\n";
@@ -48,6 +84,11 @@ trace::TraceLog read_dxt(std::istream& is) {
     r.type = op_from_name(type);
     std::int32_t target = 0;
     while (ls >> target) r.targets.push_back(target);
+    // ls >> target stops on either end-of-line or a malformed token; only
+    // the former is a clean parse.  "1 2 x" must throw, not drop "x".
+    if (!ls.eof()) {
+      throw std::runtime_error("malformed DXT targets in line: " + line);
+    }
     log.record(std::move(r));
   }
   return log;
@@ -57,12 +98,12 @@ void write_dataset_csv(std::ostream& os, const Dataset& ds) {
   os.precision(17);
   const MetricSchema schema;
   os << "window_index,label,degradation";
-  for (int s = 0; s < ds.n_servers; ++s) {
-    for (int f = 0; f < ds.dim; ++f) {
+  for (int s = 0; s < ds.n_servers(); ++s) {
+    for (int f = 0; f < ds.dim(); ++f) {
       os << ",s" << s << '.';
       // Feature names are known when dim matches the standard schema;
       // otherwise fall back to positional names.
-      if (ds.dim == schema.dim()) {
+      if (ds.dim() == schema.dim()) {
         os << schema.at(f).name;
       } else {
         os << 'f' << f;
@@ -70,15 +111,16 @@ void write_dataset_csv(std::ostream& os, const Dataset& ds) {
     }
   }
   os << '\n';
-  for (const auto& sample : ds.samples) {
-    os << sample.window_index << ',' << sample.label << ',' << sample.degradation;
-    for (const double v : sample.features) os << ',' << v;
+  const std::size_t width = ds.width();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    os << ds.window_index(i) << ',' << ds.label(i) << ',' << ds.degradation(i);
+    const double* row = ds.row(i);
+    for (std::size_t j = 0; j < width; ++j) os << ',' << row[j];
     os << '\n';
   }
 }
 
 Dataset read_dataset_csv(std::istream& is) {
-  Dataset ds;
   std::string line;
   if (!std::getline(is, line)) throw std::runtime_error("empty dataset CSV");
   // Infer the shape from the header: count "sK." prefixes and the highest K.
@@ -91,39 +133,184 @@ Dataset read_dataset_csv(std::istream& is) {
     while (std::getline(hs, cell, ',')) {
       if (col++ < 3) continue;
       ++n_features;
-      if (cell.size() > 1 && cell[0] == 's') {
-        max_server = std::max(max_server, std::atoi(cell.c_str() + 1));
+      const auto dot = cell.find('.');
+      if (cell.size() > 1 && cell[0] == 's' && dot != std::string::npos && dot > 1) {
+        max_server = std::max(
+            max_server, parse_int_cell<int>({cell.data() + 1, dot - 1}, "CSV header server"));
       }
     }
   }
   if (n_features == 0 || max_server < 0) {
     throw std::runtime_error("dataset CSV header has no feature columns");
   }
-  ds.n_servers = max_server + 1;
-  if (n_features % static_cast<std::size_t>(ds.n_servers) != 0) {
+  const int n_servers = max_server + 1;
+  if (n_features % static_cast<std::size_t>(n_servers) != 0) {
     throw std::runtime_error("dataset CSV feature count not divisible by servers");
   }
-  ds.dim = static_cast<int>(n_features / static_cast<std::size_t>(ds.n_servers));
+  Dataset ds(n_servers, static_cast<int>(n_features / static_cast<std::size_t>(n_servers)));
 
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string cell;
-    Sample s;
     if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
-    s.window_index = std::atoll(cell.c_str());
+    const auto window = parse_int_cell<std::int64_t>(cell, "CSV window_index");
     if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
-    s.label = std::atoi(cell.c_str());
+    const auto label = parse_int_cell<int>(cell, "CSV label");
     if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
-    s.degradation = std::atof(cell.c_str());
-    s.features.reserve(n_features);
-    while (std::getline(ls, cell, ',')) s.features.push_back(std::atof(cell.c_str()));
-    if (s.features.size() != n_features) {
-      throw std::runtime_error("dataset CSV row width mismatch");
+    const auto degradation = parse_double_cell(cell, "CSV degradation");
+    double* row = ds.append_row(window, label, degradation);
+    std::size_t j = 0;
+    while (std::getline(ls, cell, ',')) {
+      if (j >= n_features) throw std::runtime_error("dataset CSV row width mismatch");
+      row[j++] = parse_double_cell(cell, "CSV feature");
     }
-    ds.samples.push_back(std::move(s));
+    if (j != n_features) throw std::runtime_error("dataset CSV row width mismatch");
   }
   return ds;
+}
+
+namespace {
+
+constexpr char kQdsMagic[8] = {'q', 'i', 'f', '.', 'q', 'd', 's', '\n'};
+constexpr std::uint32_t kQdsVersion = 1;
+
+/// Stream checksum: FNV-1a folded 8 bytes at a time (one xor-multiply per
+/// word instead of per byte), byte-wise over the tail.  Word-wise so the
+/// checksum pass stays negligible next to the column reads — the reader
+/// hashes every payload byte of multi-megabyte files.
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, sizeof(word));
+    h ^= word;
+    h *= 1099511628211ull;
+  }
+  for (; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void write_raw(std::ostream& os, const void* data, std::size_t n, std::uint64_t& hash) {
+  os.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  hash = fnv1a(data, n, hash);
+}
+
+void read_raw(std::istream& is, void* data, std::size_t n, std::uint64_t& hash,
+              const char* what) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) {
+    throw std::runtime_error(std::string("truncated .qds dataset (") + what + ")");
+  }
+  hash = fnv1a(data, n, hash);
+}
+
+/// Schema hash stamped into headers: the canonical MetricSchema hash when
+/// the per-server width matches it, 0 (unchecked) for custom widths such
+/// as the flat-net ablation's reshaped tables.
+std::uint64_t header_schema_hash(int dim) {
+  if (dim != MetricSchema::kPerServerDim) return 0;
+  return MetricSchema().layout_hash();
+}
+
+}  // namespace
+
+bool is_qds_magic(const char* bytes, std::size_t n) {
+  return n >= sizeof(kQdsMagic) && std::memcmp(bytes, kQdsMagic, sizeof(kQdsMagic)) == 0;
+}
+
+void write_dataset_qds(std::ostream& os, const Dataset& ds) {
+  os.write(kQdsMagic, sizeof(kQdsMagic));
+  std::uint64_t hash = 14695981039346656037ull;
+  const std::uint32_t version = kQdsVersion;
+  const std::uint64_t schema_hash = header_schema_hash(ds.dim());
+  const std::int32_t n_servers = ds.n_servers();
+  const std::int32_t dim = ds.dim();
+  const std::uint64_t rows = ds.size();
+  write_raw(os, &version, sizeof(version), hash);
+  write_raw(os, &schema_hash, sizeof(schema_hash), hash);
+  write_raw(os, &n_servers, sizeof(n_servers), hash);
+  write_raw(os, &dim, sizeof(dim), hash);
+  write_raw(os, &rows, sizeof(rows), hash);
+  write_raw(os, ds.window_index_column().data(), ds.size() * sizeof(std::int64_t), hash);
+  write_raw(os, ds.label_column().data(), ds.size() * sizeof(std::int32_t), hash);
+  write_raw(os, ds.degradation_column().data(), ds.size() * sizeof(double), hash);
+  write_raw(os, ds.feature_block().data(), ds.feature_block().size() * sizeof(double), hash);
+  os.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+  if (!os) throw std::runtime_error("failed writing .qds dataset");
+}
+
+Dataset read_dataset_qds(std::istream& is) {
+  char magic[sizeof(kQdsMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(is.gcount()) != sizeof(magic) ||
+      !is_qds_magic(magic, sizeof(magic))) {
+    throw std::runtime_error("not a .qds dataset (bad magic)");
+  }
+  std::uint64_t hash = 14695981039346656037ull;
+  std::uint32_t version = 0;
+  std::uint64_t schema_hash = 0;
+  std::int32_t n_servers = 0;
+  std::int32_t dim = 0;
+  std::uint64_t rows = 0;
+  read_raw(is, &version, sizeof(version), hash, "version");
+  if (version != kQdsVersion) {
+    throw std::runtime_error(".qds dataset: unsupported version " + std::to_string(version));
+  }
+  read_raw(is, &schema_hash, sizeof(schema_hash), hash, "schema hash");
+  read_raw(is, &n_servers, sizeof(n_servers), hash, "n_servers");
+  read_raw(is, &dim, sizeof(dim), hash, "dim");
+  read_raw(is, &rows, sizeof(rows), hash, "row count");
+  if (n_servers < 0 || dim < 0 || (n_servers == 0) != (dim == 0)) {
+    throw std::runtime_error(".qds dataset: corrupt header shape");
+  }
+  if (schema_hash != 0 && dim == MetricSchema::kPerServerDim &&
+      schema_hash != MetricSchema().layout_hash()) {
+    throw std::runtime_error(".qds dataset: metric-schema hash mismatch");
+  }
+  const auto width = static_cast<std::uint64_t>(n_servers) * static_cast<std::uint64_t>(dim);
+  if ((n_servers == 0 && rows != 0) ||
+      (width != 0 && rows > std::numeric_limits<std::uint64_t>::max() / width / sizeof(double))) {
+    throw std::runtime_error(".qds dataset: corrupt header row count");
+  }
+
+  static_assert(sizeof(int) == sizeof(std::int32_t), "label column is stored as i32");
+  std::vector<std::int64_t> windows(rows);
+  std::vector<int> labels(rows);
+  std::vector<double> degradations(rows);
+  std::vector<double> features(rows * width);
+  read_raw(is, windows.data(), rows * sizeof(std::int64_t), hash, "window column");
+  read_raw(is, labels.data(), rows * sizeof(std::int32_t), hash, "label column");
+  read_raw(is, degradations.data(), rows * sizeof(double), hash, "degradation column");
+  read_raw(is, features.data(), features.size() * sizeof(double), hash, "feature block");
+  std::uint64_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<std::size_t>(is.gcount()) != sizeof(stored)) {
+    throw std::runtime_error("truncated .qds dataset (checksum)");
+  }
+  if (stored != hash) throw std::runtime_error(".qds dataset: checksum mismatch");
+  return Dataset::from_columns(n_servers, dim, std::move(windows), std::move(labels),
+                               std::move(degradations), std::move(features));
+}
+
+Dataset read_dataset_auto(std::istream& is) {
+  char magic[sizeof(kQdsMagic)] = {};
+  is.read(magic, sizeof(magic));
+  const auto got = static_cast<std::size_t>(is.gcount());
+  if (got == sizeof(magic) && is_qds_magic(magic, sizeof(magic))) {
+    is.clear();
+    is.seekg(0);
+    if (!is) throw std::runtime_error("dataset stream is not seekable");
+    return read_dataset_qds(is);
+  }
+  is.clear();
+  is.seekg(0);
+  if (!is) throw std::runtime_error("dataset stream is not seekable");
+  return read_dataset_csv(is);
 }
 
 }  // namespace qif::monitor

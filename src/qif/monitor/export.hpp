@@ -3,11 +3,31 @@
 // The paper's artifact ships collected data as text files consumed by
 // Python scripts; these exporters provide the same interop surface:
 //  * TraceLog -> a Darshan-DXT-flavoured text dump (one op per line),
-//  * Dataset  -> CSV with a header naming every per-server feature,
-// plus a CSV reader so externally produced window datasets can be trained
-// on with the same TrainingServer.
+//  * FeatureTable -> CSV with a header naming every per-server feature,
+// plus readers for both.  CSV is the *interop* path; the native dataset
+// artifact is the versioned binary `.qds` format below, which round-trips
+// the columnar FeatureTable byte-exactly and loads in O(read).
+//
+// .qds layout (all integers little-endian on every supported target —
+// values are written in native byte order and the format is not intended
+// as a cross-endian interchange file):
+//
+//   offset  size  field
+//   0       8     magic "qif.qds\n"
+//   8       4     u32 version (currently 1)
+//   12      8     u64 metric-schema layout hash (0 when dim is custom)
+//   20      4     i32 n_servers
+//   24      4     i32 dim
+//   28      8     u64 row count N
+//   36      8N    i64 window_index column
+//   ...     4N    i32 label column
+//   ...     8N    f64 degradation column
+//   ...     8NW   f64 feature block, row-major, W = n_servers*dim
+//   tail    8     u64 FNV-1a checksum (folded 8 bytes at a time, byte-wise
+//                 tail) over everything after the magic
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -23,7 +43,7 @@ namespace qif::monitor {
 void write_dxt(std::ostream& os, const trace::TraceLog& log);
 
 /// Reads a dump produced by write_dxt.  Throws std::runtime_error on
-/// malformed input.
+/// malformed input (including trailing garbage on a line).
 [[nodiscard]] trace::TraceLog read_dxt(std::istream& is);
 
 /// Writes the dataset as CSV: window_index, label, degradation, then one
@@ -31,7 +51,24 @@ void write_dxt(std::ostream& os, const trace::TraceLog& log);
 void write_dataset_csv(std::ostream& os, const Dataset& ds);
 
 /// Reads a CSV produced by write_dataset_csv.  Throws std::runtime_error
-/// on malformed input or inconsistent width.
+/// on malformed cells (strict from_chars/strtod parsing — garbage no
+/// longer decays to 0), inconsistent width, or a bad header.
 [[nodiscard]] Dataset read_dataset_csv(std::istream& is);
+
+/// Writes the versioned binary `.qds` dataset (see format table above).
+/// Throws std::runtime_error when the stream fails.
+void write_dataset_qds(std::ostream& os, const Dataset& ds);
+
+/// Reads a `.qds` dataset.  Throws std::runtime_error on bad magic,
+/// unsupported version, schema-hash mismatch, truncation, or a checksum
+/// mismatch.
+[[nodiscard]] Dataset read_dataset_qds(std::istream& is);
+
+/// True when the 8 bytes at `bytes` are the `.qds` magic.
+[[nodiscard]] bool is_qds_magic(const char* bytes, std::size_t n);
+
+/// Sniffs the stream's leading bytes and dispatches to the `.qds` or CSV
+/// reader.  Requires a seekable stream (files, stringstreams).
+[[nodiscard]] Dataset read_dataset_auto(std::istream& is);
 
 }  // namespace qif::monitor

@@ -1,52 +1,153 @@
 #include "qif/monitor/features.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace qif::monitor {
 
-std::vector<std::size_t> Dataset::class_histogram() const {
+void FeatureTable::set_shape(int n_servers, int dim) {
+  if (n_servers == n_servers_ && dim == dim_) return;
+  if (!empty()) {
+    throw std::invalid_argument("FeatureTable::set_shape: table already has rows");
+  }
+  if ((n_servers == 0) != (dim == 0) || n_servers < 0 || dim < 0) {
+    throw std::invalid_argument("FeatureTable::set_shape: invalid shape");
+  }
+  n_servers_ = n_servers;
+  dim_ = dim;
+}
+
+void FeatureTable::reshape(int n_servers, int dim) {
+  const auto new_width =
+      static_cast<std::size_t>(n_servers) * static_cast<std::size_t>(dim);
+  if (n_servers <= 0 || dim <= 0 || new_width != width()) {
+    throw std::invalid_argument("FeatureTable::reshape: row width must be preserved");
+  }
+  n_servers_ = n_servers;
+  dim_ = dim;
+}
+
+void FeatureTable::reserve(std::size_t rows) {
+  features_.reserve(rows * width());
+  window_index_.reserve(rows);
+  label_.reserve(rows);
+  degradation_.reserve(rows);
+}
+
+void FeatureTable::clear() {
+  features_.clear();
+  window_index_.clear();
+  label_.clear();
+  degradation_.clear();
+}
+
+double* FeatureTable::append_row(std::int64_t window_index, int label, double degradation) {
+  if (width() == 0) {
+    throw std::invalid_argument("FeatureTable::append_row: shape not set");
+  }
+  features_.resize(features_.size() + width());
+  window_index_.push_back(window_index);
+  label_.push_back(label);
+  degradation_.push_back(degradation);
+  return features_.data() + features_.size() - width();
+}
+
+void FeatureTable::append_row(std::int64_t window_index, int label, double degradation,
+                              const double* features) {
+  double* dst = append_row(window_index, label, degradation);
+  std::copy(features, features + width(), dst);
+}
+
+void FeatureTable::append(const FeatureTable& other) {
+  // The assert this check replaces vanished in release builds and let a
+  // mismatched shard silently corrupt the row geometry.
+  if (n_servers_ != 0 && other.n_servers_ != 0 &&
+      (n_servers_ != other.n_servers_ || dim_ != other.dim_)) {
+    throw std::invalid_argument("FeatureTable::append: shape mismatch");
+  }
+  if (n_servers_ == 0) set_shape(other.n_servers_, other.dim_);
+  features_.insert(features_.end(), other.features_.begin(), other.features_.end());
+  window_index_.insert(window_index_.end(), other.window_index_.begin(),
+                       other.window_index_.end());
+  label_.insert(label_.end(), other.label_.begin(), other.label_.end());
+  degradation_.insert(degradation_.end(), other.degradation_.begin(),
+                      other.degradation_.end());
+}
+
+FeatureTable FeatureTable::from_columns(int n_servers, int dim,
+                                        std::vector<std::int64_t> window_index,
+                                        std::vector<int> label,
+                                        std::vector<double> degradation,
+                                        std::vector<double> features) {
+  FeatureTable out;
+  out.set_shape(n_servers, dim);
+  const std::size_t rows = window_index.size();
+  if (label.size() != rows || degradation.size() != rows ||
+      features.size() != rows * out.width() || (out.width() == 0 && rows != 0)) {
+    throw std::invalid_argument("FeatureTable::from_columns: column lengths disagree");
+  }
+  out.window_index_ = std::move(window_index);
+  out.label_ = std::move(label);
+  out.degradation_ = std::move(degradation);
+  out.features_ = std::move(features);
+  return out;
+}
+
+std::size_t FeatureTable::find_window_sorted(std::int64_t w) const {
+  const auto it = std::lower_bound(window_index_.begin(), window_index_.end(), w);
+  if (it == window_index_.end() || *it != w) return npos;
+  return static_cast<std::size_t>(it - window_index_.begin());
+}
+
+std::vector<std::size_t> FeatureTable::class_histogram() const {
   int max_label = 0;
-  for (const auto& s : samples) max_label = std::max(max_label, s.label);
+  for (const int l : label_) max_label = std::max(max_label, l);
   std::vector<std::size_t> hist(static_cast<std::size_t>(max_label) + 1, 0);
-  for (const auto& s : samples) hist[static_cast<std::size_t>(s.label)] += 1;
+  for (const int l : label_) hist[static_cast<std::size_t>(l)] += 1;
   return hist;
 }
 
-void Dataset::append(const Dataset& other) {
-  assert((empty() || other.empty() ||
-          (n_servers == other.n_servers && dim == other.dim)) &&
-         "dataset shapes must match");
-  if (n_servers == 0) {
-    n_servers = other.n_servers;
-    dim = other.dim;
-  }
-  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+std::vector<std::size_t> TableView::class_histogram() const {
+  int max_label = 0;
+  for (std::size_t k = 0; k < size(); ++k) max_label = std::max(max_label, label(k));
+  std::vector<std::size_t> hist(static_cast<std::size_t>(max_label) + 1, 0);
+  for (std::size_t k = 0; k < size(); ++k) hist[static_cast<std::size_t>(label(k))] += 1;
+  return hist;
 }
 
-std::vector<double> FeatureAssembler::window_features(std::int64_t window_index) const {
-  const int dim = MetricSchema::kPerServerDim;
-  std::vector<double> out(static_cast<std::size_t>(n_servers_) * dim, 0.0);
-  for (int s = 0; s < n_servers_; ++s) {
-    double* vec = out.data() + static_cast<std::size_t>(s) * dim;
-    client_.fill_features(window_index, s, vec);
-    server_.fill_features(window_index, s, vec + MetricSchema::kClientFeatures);
+FeatureTable TableView::materialize() const {
+  FeatureTable out;
+  if (table_ == nullptr || table_->n_servers() == 0) return out;
+  out.set_shape(n_servers(), dim());
+  out.reserve(size());
+  for (std::size_t k = 0; k < size(); ++k) {
+    out.append_row(window_index(k), label(k), degradation(k), row(k));
   }
   return out;
 }
 
-Dataset FeatureAssembler::assemble(const std::vector<trace::WindowLabel>& labels) const {
-  Dataset ds;
-  ds.n_servers = n_servers_;
-  ds.dim = MetricSchema::kPerServerDim;
-  ds.samples.reserve(labels.size());
+void FeatureAssembler::fill_window(std::int64_t window_index, double* out) const {
+  const int dim = MetricSchema::kPerServerDim;
+  for (int s = 0; s < n_servers_; ++s) {
+    double* vec = out + static_cast<std::size_t>(s) * dim;
+    std::fill(vec, vec + dim, 0.0);
+    client_.fill_features(window_index, s, vec);
+    server_.fill_features(window_index, s, vec + MetricSchema::kClientFeatures);
+  }
+}
+
+std::vector<double> FeatureAssembler::window_features(std::int64_t window_index) const {
+  std::vector<double> out(
+      static_cast<std::size_t>(n_servers_) * MetricSchema::kPerServerDim, 0.0);
+  fill_window(window_index, out.data());
+  return out;
+}
+
+FeatureTable FeatureAssembler::assemble(const std::vector<trace::WindowLabel>& labels) const {
+  FeatureTable ds(n_servers_, MetricSchema::kPerServerDim);
+  ds.reserve(labels.size());
   for (const trace::WindowLabel& lbl : labels) {
-    Sample s;
-    s.window_index = lbl.window_index;
-    s.features = window_features(lbl.window_index);
-    s.label = lbl.label;
-    s.degradation = lbl.degradation;
-    ds.samples.push_back(std::move(s));
+    fill_window(lbl.window_index, ds.append_row(lbl.window_index, lbl.label, lbl.degradation));
   }
   return ds;
 }

@@ -1,10 +1,18 @@
-// Per-server feature vector assembly (the "Training Server" input format).
+// Columnar window feature storage (the "Training Server" input format).
 //
 // "There will be one vector for each storage server and each vector
 // consists of one time window worth of client-side metrics targeting the
 // given server and server-side metrics collected from the server."
+//
+// Every stage of the pipeline — monitors, campaign shards, split,
+// standardization, the GEMM trainer, persistence — shares one columnar
+// FeatureTable: a single contiguous row-major feature block of shape
+// N x (n_servers * dim) plus parallel window_index / label / degradation
+// columns.  Rows never live in per-window vectors; a campaign shard is one
+// block copy, and the trainer reads minibatches straight out of the block.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -15,26 +23,147 @@
 
 namespace qif::monitor {
 
-/// One training/evaluation sample: all per-server vectors of one window,
-/// flattened server-major, plus its degradation label.
-struct Sample {
-  std::int64_t window_index = 0;
-  std::vector<double> features;  ///< n_servers * MetricSchema::kPerServerDim
-  int label = 0;                 ///< degradation bin
-  double degradation = 1.0;      ///< raw Level_degrade
-};
+/// Columnar dataset: one contiguous feature block + parallel per-row
+/// columns.  The shape (n_servers, dim) is fixed once rows exist; all
+/// mutation goes through append_row/append, which grow every column in
+/// lockstep so the parallel-array invariant cannot be broken from outside.
+class FeatureTable {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-struct Dataset {
-  int n_servers = 0;
-  int dim = 0;  ///< per-server vector width
-  std::vector<Sample> samples;
+  FeatureTable() = default;
+  FeatureTable(int n_servers, int dim) { set_shape(n_servers, dim); }
 
-  [[nodiscard]] std::size_t size() const { return samples.size(); }
-  [[nodiscard]] bool empty() const { return samples.empty(); }
+  [[nodiscard]] int n_servers() const { return n_servers_; }
+  [[nodiscard]] int dim() const { return dim_; }
+  /// Flattened row width: n_servers * dim.
+  [[nodiscard]] std::size_t width() const {
+    return static_cast<std::size_t>(n_servers_) * static_cast<std::size_t>(dim_);
+  }
+  [[nodiscard]] std::size_t size() const { return window_index_.size(); }
+  [[nodiscard]] bool empty() const { return window_index_.empty(); }
+
+  /// Sets the shape.  Throws std::invalid_argument when rows already exist
+  /// with a different shape, or when exactly one of n_servers/dim is zero.
+  void set_shape(int n_servers, int dim);
+  /// Reinterprets the existing block with a new factorization of the same
+  /// row width (e.g. (S, D) -> (1, S*D) for the flat-net ablation).
+  /// Throws std::invalid_argument when the widths differ.
+  void reshape(int n_servers, int dim);
+  /// Reserves capacity in every column for `rows` total rows.
+  void reserve(std::size_t rows);
+  void clear();
+
+  // Column access (parallel arrays, all of length size()).
+  [[nodiscard]] const std::vector<double>& feature_block() const { return features_; }
+  [[nodiscard]] std::vector<double>& mutable_feature_block() { return features_; }
+  [[nodiscard]] const std::vector<std::int64_t>& window_index_column() const {
+    return window_index_;
+  }
+  [[nodiscard]] const std::vector<int>& label_column() const { return label_; }
+  [[nodiscard]] const std::vector<double>& degradation_column() const { return degradation_; }
+
+  // Row access.
+  [[nodiscard]] const double* row(std::size_t i) const { return features_.data() + i * width(); }
+  [[nodiscard]] double* row(std::size_t i) { return features_.data() + i * width(); }
+  [[nodiscard]] std::int64_t window_index(std::size_t i) const { return window_index_[i]; }
+  [[nodiscard]] int label(std::size_t i) const { return label_[i]; }
+  [[nodiscard]] double degradation(std::size_t i) const { return degradation_[i]; }
+  /// One row's features copied out (interop convenience; the hot paths
+  /// read row() in place).
+  [[nodiscard]] std::vector<double> row_vector(std::size_t i) const {
+    return {row(i), row(i) + width()};
+  }
+
+  /// Appends one row and returns a pointer to its (uninitialized) feature
+  /// storage for the caller to fill.  Throws std::invalid_argument when no
+  /// shape is set.
+  double* append_row(std::int64_t window_index, int label, double degradation);
+  /// Appends one row, copying `features` (width() doubles).
+  void append_row(std::int64_t window_index, int label, double degradation,
+                  const double* features);
+  /// Appends another table with identical shape (adopting its shape when
+  /// this table has none).  Throws std::invalid_argument on mismatch.
+  void append(const FeatureTable& other);
+
+  /// Assembles a table from whole columns (the `.qds` loader path: each
+  /// column is read as one block and moved in).  Throws
+  /// std::invalid_argument when the column lengths disagree.
+  [[nodiscard]] static FeatureTable from_columns(int n_servers, int dim,
+                                                 std::vector<std::int64_t> window_index,
+                                                 std::vector<int> label,
+                                                 std::vector<double> degradation,
+                                                 std::vector<double> features);
+
+  /// Index of the row carrying `w`, assuming window_index_column() is
+  /// ascending (true for monitor-assembled tables); npos when absent.
+  [[nodiscard]] std::size_t find_window_sorted(std::int64_t w) const;
+
   /// Sample count per class (histogram sized to the max label + 1).
   [[nodiscard]] std::vector<std::size_t> class_histogram() const;
-  /// Appends another dataset with identical shape.
-  void append(const Dataset& other);
+
+ private:
+  int n_servers_ = 0;
+  int dim_ = 0;
+  std::vector<double> features_;          ///< size() * width(), row-major
+  std::vector<std::int64_t> window_index_;
+  std::vector<int> label_;
+  std::vector<double> degradation_;
+};
+
+/// The historical name: every layer that consumed monitor::Dataset now
+/// consumes the columnar table.
+using Dataset = FeatureTable;
+
+/// Non-owning, index-based view of a FeatureTable's rows.  Views are what
+/// split_dataset returns: membership lives in a row-index vector, the
+/// feature block is never copied.  A view built straight from a table (the
+/// implicit conversion) is an identity view and stores no indices at all.
+/// Views compose: splitting a view yields views into the same table.
+class TableView {
+ public:
+  TableView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a table is its own view.
+  TableView(const FeatureTable& table) : table_(&table), identity_(true) {}
+  TableView(const FeatureTable&& table) = delete;  // no views of temporaries
+  TableView(const FeatureTable& table, std::vector<std::size_t> rows)
+      : table_(&table), rows_(std::move(rows)) {}
+  TableView(const FeatureTable&& table, std::vector<std::size_t> rows) = delete;
+
+  [[nodiscard]] const FeatureTable* table() const { return table_; }
+  [[nodiscard]] bool identity() const { return identity_; }
+  [[nodiscard]] std::size_t size() const {
+    if (identity_) return table_->size();
+    return rows_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] int n_servers() const { return table_ != nullptr ? table_->n_servers() : 0; }
+  [[nodiscard]] int dim() const { return table_ != nullptr ? table_->dim() : 0; }
+  [[nodiscard]] std::size_t width() const { return table_ != nullptr ? table_->width() : 0; }
+
+  /// Underlying table row index of view row k.
+  [[nodiscard]] std::size_t base_row(std::size_t k) const { return identity_ ? k : rows_[k]; }
+  [[nodiscard]] const double* row(std::size_t k) const { return table_->row(base_row(k)); }
+  [[nodiscard]] std::int64_t window_index(std::size_t k) const {
+    return table_->window_index(base_row(k));
+  }
+  [[nodiscard]] int label(std::size_t k) const { return table_->label(base_row(k)); }
+  [[nodiscard]] double degradation(std::size_t k) const {
+    return table_->degradation(base_row(k));
+  }
+  [[nodiscard]] std::vector<double> row_vector(std::size_t k) const {
+    return table_->row_vector(base_row(k));
+  }
+
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Copies the viewed rows into a standalone table (view order preserved).
+  [[nodiscard]] FeatureTable materialize() const;
+
+ private:
+  const FeatureTable* table_ = nullptr;
+  bool identity_ = false;
+  std::vector<std::size_t> rows_;
 };
 
 class FeatureAssembler {
@@ -42,13 +171,18 @@ class FeatureAssembler {
   FeatureAssembler(const ClientMonitor& client, const ServerMonitor& server, int n_servers)
       : client_(client), server_(server), n_servers_(n_servers) {}
 
-  /// Features of one window: n_servers per-server vectors, flattened.
+  /// Writes one window's features (n_servers per-server vectors, flattened
+  /// server-major) into `out`, which must hold n_servers * kPerServerDim.
+  void fill_window(std::int64_t window_index, double* out) const;
+
+  /// Features of one window as a fresh vector (online/predictor path).
   [[nodiscard]] std::vector<double> window_features(std::int64_t window_index) const;
 
-  /// Joins monitor windows with degradation labels into a dataset.  Only
+  /// Joins monitor windows with degradation labels into a table.  Only
   /// windows that carry a label (i.e. contained matched target-workload
-  /// ops) become samples, mirroring the paper's labelling process.
-  [[nodiscard]] Dataset assemble(const std::vector<trace::WindowLabel>& labels) const;
+  /// ops) become rows, mirroring the paper's labelling process.  One
+  /// reserve, zero per-window allocations.
+  [[nodiscard]] FeatureTable assemble(const std::vector<trace::WindowLabel>& labels) const;
 
  private:
   const ClientMonitor& client_;

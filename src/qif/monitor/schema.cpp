@@ -50,6 +50,24 @@ MetricSchema::MetricSchema() {
   }
 }
 
+std::uint64_t MetricSchema::layout_hash() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&h](const char* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(p[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const FeatureInfo& f : features_) {
+    mix(f.name.data(), f.name.size());
+    const char sep = '\0';
+    mix(&sep, 1);
+    const char g = static_cast<char>(f.group);
+    mix(&g, 1);
+  }
+  return h;
+}
+
 std::vector<int> MetricSchema::group_indices(FeatureGroup g) const {
   std::vector<int> out;
   for (int i = 0; i < static_cast<int>(features_.size()); ++i) {

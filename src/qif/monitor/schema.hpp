@@ -54,6 +54,12 @@ class MetricSchema {
   /// Names of the 9 raw per-second server counters, in cluster order.
   [[nodiscard]] static const std::vector<std::string>& raw_server_metric_names();
 
+  /// FNV-1a hash over every feature's name and group, in layout order.
+  /// Stamped into `.qds` dataset headers so a file written against a
+  /// different metric layout is rejected at load instead of silently
+  /// training on permuted columns.
+  [[nodiscard]] std::uint64_t layout_hash() const;
+
  private:
   std::vector<FeatureInfo> features_;
 };

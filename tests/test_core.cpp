@@ -2,6 +2,8 @@
 // training server, and the online predictor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <sstream>
 
 #include "qif/core/campaign.hpp"
@@ -42,9 +44,14 @@ TEST(Scenario, MonitorsProduceWindowFeatures) {
   EXPECT_EQ(res.n_servers, 7);
   EXPECT_EQ(res.dim, monitor::MetricSchema::kPerServerDim);
   ASSERT_FALSE(res.window_features.empty());
-  for (const auto& [w, f] : res.window_features) {
-    EXPECT_GE(w, 0);
-    EXPECT_EQ(f.size(), 7u * monitor::MetricSchema::kPerServerDim);
+  EXPECT_EQ(res.window_features.n_servers(), 7);
+  EXPECT_EQ(res.window_features.width(), 7u * monitor::MetricSchema::kPerServerDim);
+  for (std::size_t i = 0; i < res.window_features.size(); ++i) {
+    EXPECT_GE(res.window_features.window_index(i), 0);
+    if (i > 0) {  // rows are appended in ascending window order
+      EXPECT_LT(res.window_features.window_index(i - 1),
+                res.window_features.window_index(i));
+    }
   }
 }
 
@@ -95,7 +102,7 @@ TEST(Campaign, ProducesLabelledDatasetWithBothClasses) {
   Campaign campaign(cc);
   const monitor::Dataset ds = campaign.run();
   ASSERT_FALSE(ds.empty());
-  EXPECT_EQ(ds.n_servers, 7);
+  EXPECT_EQ(ds.n_servers(), 7);
   const auto hist = ds.class_histogram();
   EXPECT_GT(hist[0], 0u);  // quiet case yields negatives
   ASSERT_GE(hist.size(), 2u);
@@ -143,8 +150,9 @@ TEST(Campaign, MeanDegradationAveragesOnlySampledWindows) {
   run.target_finished = true;
   run.n_servers = 2;
   run.dim = 3;
-  run.window_features.emplace(0, std::vector<double>(6, 1.0));
-  run.window_features.emplace(1, std::vector<double>(6, 2.0));
+  run.window_features.set_shape(2, 3);
+  std::fill_n(run.window_features.append_row(0, 0, 1.0), 6, 1.0);
+  std::fill_n(run.window_features.append_row(1, 0, 1.0), 6, 2.0);
   // Window 2 (the 10x one) deliberately has no captured features.
 
   const CaseResult cr = join_case_result(cc, cs, base_log, run);
@@ -184,9 +192,9 @@ TEST(Campaign, QuietCaseDegradationNearOne) {
   cc.cases.push_back({"", 0, 1.0, 3});
   Campaign campaign(cc);
   const monitor::Dataset ds = campaign.run();
-  for (const auto& s : ds.samples) {
-    EXPECT_LT(s.degradation, 1.6) << "quiet window should not look degraded";
-    EXPECT_EQ(s.label, 0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_LT(ds.degradation(i), 1.6) << "quiet window should not look degraded";
+    EXPECT_EQ(ds.label(i), 0);
   }
 }
 
@@ -218,13 +226,13 @@ TEST(TrainingServer, FitPredictEvaluate) {
   EXPECT_GT(cm.accuracy(), 0.7);
 
   // Single-sample prediction API agrees with batch evaluation.
-  const auto& sample = test.samples.front();
-  const int pred = server.predict(sample.features);
-  const auto proba = server.predict_proba(sample.features);
+  const std::vector<double> features = test.row_vector(0);
+  const int pred = server.predict(features);
+  const auto proba = server.predict_proba(features);
   ASSERT_EQ(proba.size(), 2u);
   EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
   EXPECT_EQ(pred, proba[1] > proba[0] ? 1 : 0);
-  EXPECT_EQ(server.server_scores(sample.features).size(), 7u);
+  EXPECT_EQ(server.server_scores(features).size(), 7u);
 }
 
 TEST(TrainingServer, SaveLoadRoundTripPredictions) {
@@ -238,14 +246,16 @@ TEST(TrainingServer, SaveLoadRoundTripPredictions) {
   server.save(ss);
   TrainingServer loaded(TrainingServerConfig{});
   loaded.load(ss);
-  for (const auto& s : ds.samples) {
-    EXPECT_EQ(loaded.predict(s.features), server.predict(s.features));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const std::vector<double> features = ds.row_vector(i);
+    EXPECT_EQ(loaded.predict(features), server.predict(features));
   }
 }
 
 TEST(TrainingServer, RejectsEmptyDataset) {
   TrainingServer server(TrainingServerConfig{});
-  EXPECT_THROW(server.fit(monitor::Dataset{}), std::invalid_argument);
+  const monitor::Dataset empty;
+  EXPECT_THROW(server.fit(empty), std::invalid_argument);
 }
 
 TEST(TrainingServer, LoadThrowsOnTruncatedBundle) {

@@ -19,8 +19,8 @@ DatasetOptions cheap() {
 TEST(Datasets, Io500SkewsPositive) {
   const monitor::Dataset ds = build_io500_dataset(cheap());
   ASSERT_GT(ds.size(), 100u);
-  EXPECT_EQ(ds.n_servers, 7);
-  EXPECT_EQ(ds.dim, monitor::MetricSchema::kPerServerDim);
+  EXPECT_EQ(ds.n_servers(), 7);
+  EXPECT_EQ(ds.dim(), monitor::MetricSchema::kPerServerDim);
   const auto hist = ds.class_histogram();
   ASSERT_EQ(hist.size(), 2u);
   // Like the paper's 8,647 vs 2,991: interference windows dominate.
@@ -68,8 +68,8 @@ TEST(Datasets, DeterministicPerSeed) {
   const auto b = build_app_dataset("amrex", cheap());
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.samples[i].label, b.samples[i].label);
-    EXPECT_DOUBLE_EQ(a.samples[i].degradation, b.samples[i].degradation);
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_DOUBLE_EQ(a.degradation(i), b.degradation(i));
   }
 }
 
@@ -79,12 +79,40 @@ TEST(Datasets, SurvivesCsvRoundTrip) {
   monitor::write_dataset_csv(ss, ds);
   const monitor::Dataset loaded = monitor::read_dataset_csv(ss);
   ASSERT_EQ(loaded.size(), ds.size());
-  EXPECT_EQ(loaded.n_servers, ds.n_servers);
-  EXPECT_EQ(loaded.dim, ds.dim);
+  EXPECT_EQ(loaded.n_servers(), ds.n_servers());
+  EXPECT_EQ(loaded.dim(), ds.dim());
   for (std::size_t i = 0; i < ds.size(); ++i) {
-    EXPECT_EQ(loaded.samples[i].label, ds.samples[i].label);
+    EXPECT_EQ(loaded.label(i), ds.label(i));
   }
 }
+
+TEST(Datasets, CsvAndQdsAgreeOnCampaignData) {
+  // The interop (CSV) and native (.qds) paths must describe the same
+  // dataset: every column equal, CSV features equal after the text
+  // round-trip's %.17g formatting (which is exact for doubles).
+  const monitor::Dataset ds = build_app_dataset("amrex", cheap());
+  std::stringstream csv, qds;
+  monitor::write_dataset_csv(csv, ds);
+  monitor::write_dataset_qds(qds, ds);
+  const monitor::Dataset from_csv = monitor::read_dataset_csv(csv);
+  const monitor::Dataset from_qds = monitor::read_dataset_qds(qds);
+  ASSERT_EQ(from_csv.size(), ds.size());
+  ASSERT_EQ(from_qds.size(), ds.size());
+  ASSERT_EQ(from_csv.width(), from_qds.width());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(from_csv.window_index(i), from_qds.window_index(i));
+    EXPECT_EQ(from_csv.label(i), from_qds.label(i));
+    EXPECT_DOUBLE_EQ(from_csv.degradation(i), from_qds.degradation(i));
+    for (std::size_t f = 0; f < ds.width(); ++f) {
+      ASSERT_DOUBLE_EQ(from_csv.row(i)[f], from_qds.row(i)[f])
+          << "row " << i << " col " << f;
+    }
+  }
+  // And the binary path is the bit-exact one: its feature block matches
+  // the in-memory table directly.
+  EXPECT_EQ(from_qds.feature_block(), ds.feature_block());
+}
+
 
 }  // namespace
 }  // namespace qif::core

@@ -89,18 +89,16 @@ void expect_identical(const core::CampaignResult& a, const core::CampaignResult&
     EXPECT_EQ(oa.target_finished, ob.target_finished);
     EXPECT_EQ(oa.error, ob.error);
   }
-  EXPECT_EQ(a.dataset.n_servers, b.dataset.n_servers);
-  EXPECT_EQ(a.dataset.dim, b.dataset.dim);
+  EXPECT_EQ(a.dataset.n_servers(), b.dataset.n_servers());
+  EXPECT_EQ(a.dataset.dim(), b.dataset.dim());
   ASSERT_EQ(a.dataset.size(), b.dataset.size());
   for (std::size_t i = 0; i < a.dataset.size(); ++i) {
-    const monitor::Sample& sa = a.dataset.samples[i];
-    const monitor::Sample& sb = b.dataset.samples[i];
-    EXPECT_EQ(sa.window_index, sb.window_index);
-    EXPECT_EQ(sa.label, sb.label);
-    EXPECT_EQ(sa.degradation, sb.degradation);
-    ASSERT_EQ(sa.features.size(), sb.features.size());
-    for (std::size_t j = 0; j < sa.features.size(); ++j) {
-      EXPECT_EQ(sa.features[j], sb.features[j]) << "sample " << i << " feature " << j;
+    EXPECT_EQ(a.dataset.window_index(i), b.dataset.window_index(i));
+    EXPECT_EQ(a.dataset.label(i), b.dataset.label(i));
+    EXPECT_EQ(a.dataset.degradation(i), b.dataset.degradation(i));
+    for (std::size_t j = 0; j < a.dataset.width(); ++j) {
+      EXPECT_EQ(a.dataset.row(i)[j], b.dataset.row(i)[j])
+          << "sample " << i << " feature " << j;
     }
   }
 }

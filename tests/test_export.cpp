@@ -1,7 +1,8 @@
-// Tests for the DXT-style trace dump and dataset CSV round trips.
+// Tests for the DXT-style trace dump and dataset CSV / .qds round trips.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "qif/monitor/export.hpp"
 
@@ -64,19 +65,45 @@ TEST(DxtExport, RejectsGarbage) {
   EXPECT_THROW(read_dxt(ss), std::runtime_error);
 }
 
+TEST(DxtExport, RejectsTrailingGarbageOnLine) {
+  // A numeric line with extra junk after the target list must not be
+  // silently accepted.
+  trace::TraceLog log;
+  log.record(op(0, 0, 0, pfs::OpType::kRead, 0, 8, {1}));
+  std::stringstream ss;
+  write_dxt(ss, log);
+  std::string text = ss.str();
+  text.replace(text.rfind('\n'), 1, " banana\n");
+  std::stringstream bad(text);
+  EXPECT_THROW(read_dxt(bad), std::runtime_error);
+}
+
 Dataset tiny_dataset() {
-  Dataset ds;
-  ds.n_servers = 2;
-  ds.dim = 3;
+  Dataset ds(2, 3);
   for (int i = 0; i < 4; ++i) {
-    Sample s;
-    s.window_index = i * 10;
-    s.label = i % 2;
-    s.degradation = 1.0 + i * 0.75;
-    s.features = {1.5 * i, -2.0, 3.25, 0.0, 1e9 + i, 1.0 / 3.0};
-    ds.samples.push_back(std::move(s));
+    double* f = ds.append_row(i * 10, i % 2, 1.0 + i * 0.75);
+    f[0] = 1.5 * i;
+    f[1] = -2.0;
+    f[2] = 3.25;
+    f[3] = 0.0;
+    f[4] = 1e9 + i;
+    f[5] = 1.0 / 3.0;
   }
   return ds;
+}
+
+void expect_equal_datasets(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.n_servers(), b.n_servers());
+  ASSERT_EQ(a.dim(), b.dim());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.window_index(i), b.window_index(i));
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_DOUBLE_EQ(a.degradation(i), b.degradation(i));
+    for (std::size_t f = 0; f < a.width(); ++f) {
+      EXPECT_DOUBLE_EQ(a.row(i)[f], b.row(i)[f]) << "row " << i << " col " << f;
+    }
+  }
 }
 
 TEST(DatasetCsv, RoundTripPreservesShapeAndValues) {
@@ -84,27 +111,15 @@ TEST(DatasetCsv, RoundTripPreservesShapeAndValues) {
   std::stringstream ss;
   write_dataset_csv(ss, ds);
   const Dataset loaded = read_dataset_csv(ss);
-  EXPECT_EQ(loaded.n_servers, 2);
-  EXPECT_EQ(loaded.dim, 3);
+  EXPECT_EQ(loaded.n_servers(), 2);
+  EXPECT_EQ(loaded.dim(), 3);
   ASSERT_EQ(loaded.size(), 4u);
-  for (std::size_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(loaded.samples[i].window_index, ds.samples[i].window_index);
-    EXPECT_EQ(loaded.samples[i].label, ds.samples[i].label);
-    EXPECT_DOUBLE_EQ(loaded.samples[i].degradation, ds.samples[i].degradation);
-    ASSERT_EQ(loaded.samples[i].features.size(), 6u);
-    for (std::size_t f = 0; f < 6; ++f) {
-      EXPECT_DOUBLE_EQ(loaded.samples[i].features[f], ds.samples[i].features[f]);
-    }
-  }
+  expect_equal_datasets(loaded, ds);
 }
 
 TEST(DatasetCsv, HeaderNamesStandardSchemaFeatures) {
-  Dataset ds;
-  ds.n_servers = 1;
-  ds.dim = MetricSchema::kPerServerDim;
-  Sample s;
-  s.features.assign(static_cast<std::size_t>(ds.dim), 0.0);
-  ds.samples.push_back(s);
+  Dataset ds(1, MetricSchema::kPerServerDim);
+  ds.append_row(0, 0, 0.0);
   std::stringstream ss;
   write_dataset_csv(ss, ds);
   std::string header;
@@ -125,6 +140,130 @@ TEST(DatasetCsv, RejectsEmptyAndMalformed) {
   {
     std::stringstream ss("window_index,label,degradation,s0.f0,s0.f1\n1,0,1.0,2.0\n");
     EXPECT_THROW(read_dataset_csv(ss), std::runtime_error);  // row too short
+  }
+}
+
+TEST(DatasetCsv, RejectsMalformedCells) {
+  // Strict parsing: garbage must throw, not decay to 0 like atoll/atof did.
+  const std::string header = "window_index,label,degradation,s0.f0,s0.f1\n";
+  const char* bad_rows[] = {
+      "banana,0,1.0,2.0,3.0\n",   // non-numeric window index
+      "1x,0,1.0,2.0,3.0\n",       // trailing junk in an integer cell
+      "1,zero,1.0,2.0,3.0\n",     // non-numeric label
+      "1,0,1.0q,2.0,3.0\n",       // trailing junk in a double cell
+      "1,0,1.0,2.0,\n",           // empty feature cell
+      "1,0,1.0,2.0,nope\n",       // non-numeric feature
+  };
+  for (const char* row : bad_rows) {
+    std::stringstream ss(header + row);
+    EXPECT_THROW(read_dataset_csv(ss), std::runtime_error) << "row: " << row;
+  }
+  // The same cells, well-formed, parse fine.
+  std::stringstream ok(header + "1,0,1.0,2.0,3.0\n");
+  const Dataset ds = read_dataset_csv(ok);
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_DOUBLE_EQ(ds.row(0)[1], 3.0);
+}
+
+TEST(DatasetQds, RoundTripIsByteIdentical) {
+  const Dataset ds = tiny_dataset();
+  std::stringstream first;
+  write_dataset_qds(first, ds);
+  const Dataset loaded = read_dataset_qds(first);
+  expect_equal_datasets(loaded, ds);
+
+  // Write -> read -> write must reproduce the file byte for byte.
+  std::stringstream second;
+  write_dataset_qds(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(DatasetQds, RoundTripsEmptyAndSchemaWidthTables) {
+  {
+    Dataset empty(3, 4);
+    std::stringstream ss;
+    write_dataset_qds(ss, empty);
+    const Dataset loaded = read_dataset_qds(ss);
+    EXPECT_EQ(loaded.n_servers(), 3);
+    EXPECT_EQ(loaded.dim(), 4);
+    EXPECT_EQ(loaded.size(), 0u);
+  }
+  {
+    Dataset ds(2, MetricSchema::kPerServerDim);
+    double* f = ds.append_row(7, 1, 2.5);
+    f[0] = 42.0;
+    std::stringstream ss;
+    write_dataset_qds(ss, ds);
+    const Dataset loaded = read_dataset_qds(ss);
+    expect_equal_datasets(loaded, ds);
+  }
+}
+
+TEST(DatasetQds, RejectsTruncation) {
+  const Dataset ds = tiny_dataset();
+  std::stringstream ss;
+  write_dataset_qds(ss, ds);
+  const std::string full = ss.str();
+  // Every strict prefix must be rejected (spot-check a spread of cuts).
+  for (const std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{24},
+                                std::size_t{8}, std::size_t{3}, std::size_t{0}}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(read_dataset_qds(truncated), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(DatasetQds, RejectsBadMagicVersionAndHeader) {
+  const Dataset ds = tiny_dataset();
+  std::stringstream ss;
+  write_dataset_qds(ss, ds);
+  const std::string full = ss.str();
+  {
+    std::string bad = full;
+    bad[0] = 'x';  // magic
+    std::stringstream s(bad);
+    EXPECT_THROW(read_dataset_qds(s), std::runtime_error);
+  }
+  {
+    std::string bad = full;
+    bad[8] = static_cast<char>(0x7f);  // version
+    std::stringstream s(bad);
+    EXPECT_THROW(read_dataset_qds(s), std::runtime_error);
+  }
+  {
+    std::string bad = full;
+    bad[20] = static_cast<char>(0xff);  // n_servers -> nonsense (also checksum)
+    std::stringstream s(bad);
+    EXPECT_THROW(read_dataset_qds(s), std::runtime_error);
+  }
+}
+
+TEST(DatasetQds, RejectsChecksumMismatch) {
+  const Dataset ds = tiny_dataset();
+  std::stringstream ss;
+  write_dataset_qds(ss, ds);
+  std::string full = ss.str();
+  // Flip one bit in the middle of the feature block: header still parses,
+  // only the trailing checksum catches it.
+  full[full.size() / 2] = static_cast<char>(full[full.size() / 2] ^ 0x01);
+  std::stringstream corrupted(full);
+  EXPECT_THROW(read_dataset_qds(corrupted), std::runtime_error);
+}
+
+TEST(DatasetAuto, DispatchesOnLeadingBytes) {
+  const Dataset ds = tiny_dataset();
+  {
+    std::stringstream ss;
+    write_dataset_qds(ss, ds);
+    EXPECT_TRUE(is_qds_magic(ss.str().data(), 8));
+    const Dataset loaded = read_dataset_auto(ss);
+    expect_equal_datasets(loaded, ds);
+  }
+  {
+    std::stringstream ss;
+    write_dataset_csv(ss, ds);
+    EXPECT_FALSE(is_qds_magic(ss.str().data(), 8));
+    const Dataset loaded = read_dataset_auto(ss);
+    expect_equal_datasets(loaded, ds);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "qif/ml/metrics.hpp"
 #include "qif/ml/preprocess.hpp"
@@ -13,20 +14,18 @@ namespace {
 
 monitor::Dataset synthetic_dataset(std::size_t n, std::uint64_t seed) {
   // 2 servers x 3 features; label = 1 iff server 0's feature 0 is large.
-  monitor::Dataset ds;
-  ds.n_servers = 2;
-  ds.dim = 3;
+  monitor::Dataset ds(2, 3);
   sim::Rng rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
-    monitor::Sample s;
-    s.window_index = static_cast<std::int64_t>(i);
     const bool hot = rng.chance(0.5);
-    s.features = {hot ? rng.uniform(5.0, 8.0) : rng.uniform(0.0, 2.0),
-                  rng.normal(0, 1), rng.normal(100, 10),
-                  rng.normal(0, 1), rng.normal(0, 1), rng.normal(-5, 2)};
-    s.label = hot ? 1 : 0;
-    s.degradation = hot ? 4.0 : 1.0;
-    ds.samples.push_back(std::move(s));
+    double* f = ds.append_row(static_cast<std::int64_t>(i), hot ? 1 : 0,
+                              hot ? 4.0 : 1.0);
+    f[0] = hot ? rng.uniform(5.0, 8.0) : rng.uniform(0.0, 2.0);
+    f[1] = rng.normal(0, 1);
+    f[2] = rng.normal(100, 10);
+    f[3] = rng.normal(0, 1);
+    f[4] = rng.normal(0, 1);
+    f[5] = rng.normal(-5, 2);
   }
   return ds;
 }
@@ -40,8 +39,8 @@ TEST(Standardizer, ZeroMeanUnitVarianceAfterTransform) {
   // Pool transformed values per column (over samples AND servers).
   std::vector<double> sum(3, 0.0), sq(3, 0.0);
   std::size_t n = 0;
-  for (const auto& s : ds.samples) {
-    auto f = s.features;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    auto f = ds.row_vector(i);
     stdz.transform(f);
     for (std::size_t off = 0; off < f.size(); off += 3) {
       ++n;
@@ -58,13 +57,11 @@ TEST(Standardizer, ZeroMeanUnitVarianceAfterTransform) {
 }
 
 TEST(Standardizer, ConstantFeaturePassesThrough) {
-  monitor::Dataset ds;
-  ds.n_servers = 1;
-  ds.dim = 2;
+  monitor::Dataset ds(1, 2);
   for (int i = 0; i < 10; ++i) {
-    monitor::Sample s;
-    s.features = {7.0, static_cast<double>(i)};
-    ds.samples.push_back(s);
+    double* f = ds.append_row(i, 0, 1.0);
+    f[0] = 7.0;
+    f[1] = static_cast<double>(i);
   }
   Standardizer stdz;
   stdz.fit(ds);
@@ -82,11 +79,26 @@ TEST(Standardizer, SaveLoadRoundTrip) {
   a.save(ss);
   Standardizer b;
   b.load(ss);
-  std::vector<double> fa = ds.samples[0].features;
+  std::vector<double> fa = ds.row_vector(0);
   std::vector<double> fb = fa;
   a.transform(fa);
   b.transform(fb);
   for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_NEAR(fa[i], fb[i], 1e-12);
+}
+
+TEST(Standardizer, TransformIntoMatchesTransform) {
+  const auto ds = synthetic_dataset(64, 21);
+  Standardizer stdz;
+  stdz.fit(ds);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    std::vector<double> expected = ds.row_vector(i);
+    stdz.transform(expected);
+    std::vector<double> got(ds.width());
+    stdz.transform_into(ds.row(i), ds.width(), got.data());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_DOUBLE_EQ(got[j], expected[j]);
+    }
+  }
 }
 
 TEST(Standardizer, LoadThrowsOnTruncatedOrCorruptStream) {
@@ -138,8 +150,8 @@ TEST(SplitDataset, FractionsAndDisjointness) {
   EXPECT_EQ(train.size() + test.size(), 1000u);
   EXPECT_NEAR(static_cast<double>(test.size()), 200.0, 1.0);
   std::set<std::int64_t> train_w, test_w;
-  for (const auto& s : train.samples) train_w.insert(s.window_index);
-  for (const auto& s : test.samples) test_w.insert(s.window_index);
+  for (std::size_t i = 0; i < train.size(); ++i) train_w.insert(train.window_index(i));
+  for (std::size_t i = 0; i < test.size(); ++i) test_w.insert(test.window_index(i));
   for (const auto w : test_w) EXPECT_EQ(train_w.count(w), 0u);
 }
 
@@ -149,19 +161,41 @@ TEST(SplitDataset, DeterministicPerSeed) {
   auto [t2, e2] = split_dataset(ds, 0.2, 9);
   ASSERT_EQ(e1.size(), e2.size());
   for (std::size_t i = 0; i < e1.size(); ++i) {
-    EXPECT_EQ(e1.samples[i].window_index, e2.samples[i].window_index);
+    EXPECT_EQ(e1.window_index(i), e2.window_index(i));
   }
 }
 
+TEST(SplitDataset, Seed42MembershipGolden) {
+  // Pins the exact shuffle produced by Rng::derive_seed(42, "split") on the
+  // canonical 20-row dataset.  The split must stay bit-identical across
+  // refactors: the standardizer's Welford fit is iteration-order-dependent,
+  // so any change in membership *or order* changes every trained model.
+  monitor::Dataset ds(2, 3);
+  for (int i = 0; i < 20; ++i) {
+    double* f = ds.append_row(i, i % 2, 1.0 + i);
+    for (int j = 0; j < 6; ++j) f[j] = static_cast<double>((j + 1) * i);
+  }
+  auto [train, test] = split_dataset(ds, 0.2, 42);
+  const std::vector<std::int64_t> want_test = {8, 4, 1, 5};
+  const std::vector<std::int64_t> want_train = {17, 10, 12, 0, 3, 7,  6,  19,
+                                                18, 11, 15, 16, 2, 13, 14, 9};
+  ASSERT_EQ(test.size(), want_test.size());
+  ASSERT_EQ(train.size(), want_train.size());
+  for (std::size_t i = 0; i < want_test.size(); ++i) {
+    EXPECT_EQ(test.window_index(i), want_test[i]) << "test row " << i;
+  }
+  for (std::size_t i = 0; i < want_train.size(); ++i) {
+    EXPECT_EQ(train.window_index(i), want_train[i]) << "train row " << i;
+  }
+  // Views are zero-copy: both index into the original table.
+  EXPECT_EQ(train.table(), &ds);
+  EXPECT_EQ(test.table(), &ds);
+}
+
 TEST(InverseFrequencyWeights, BalancesClasses) {
-  monitor::Dataset ds;
-  ds.n_servers = 1;
-  ds.dim = 1;
+  monitor::Dataset ds(1, 1);
   for (int i = 0; i < 30; ++i) {
-    monitor::Sample s;
-    s.features = {0.0};
-    s.label = i < 24 ? 1 : 0;  // 24 positive, 6 negative
-    ds.samples.push_back(s);
+    ds.append_row(i, i < 24 ? 1 : 0, 0.0);  // 24 positive, 6 negative
   }
   const auto w = inverse_frequency_weights(ds, 2);
   ASSERT_EQ(w.size(), 2u);
@@ -217,20 +251,14 @@ TEST(Trainer, ResultIsBitIdenticalAcrossJobCounts) {
   // GEMMs at batch 64 — (448, 37)x(37, 64) ≈ 1.06M multiply-adds — clear
   // the parallel threshold and the pooled path actually runs.  The
   // determinism contract says jobs must not change a single bit.
-  monitor::Dataset ds;
-  ds.n_servers = 7;
-  ds.dim = 37;
+  monitor::Dataset ds(7, 37);
   sim::Rng rng(23);
   for (std::size_t i = 0; i < 192; ++i) {
-    monitor::Sample s;
-    s.window_index = static_cast<std::int64_t>(i);
-    s.features.resize(7 * 37);
-    for (auto& v : s.features) v = rng.normal(0, 1);
     const bool hot = i % 2 == 0;
-    if (hot) s.features[0] += 4.0;
-    s.label = hot ? 1 : 0;
-    s.degradation = hot ? 4.0 : 1.0;
-    ds.samples.push_back(std::move(s));
+    double* f = ds.append_row(static_cast<std::int64_t>(i), hot ? 1 : 0,
+                              hot ? 4.0 : 1.0);
+    for (std::size_t k = 0; k < ds.width(); ++k) f[k] = rng.normal(0, 1);
+    if (hot) f[0] += 4.0;
   }
 
   auto run = [&ds](int jobs) {

@@ -2,6 +2,8 @@
 // and per-server feature assembly.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "qif/monitor/client_monitor.hpp"
 #include "qif/monitor/features.hpp"
 #include "qif/monitor/schema.hpp"
@@ -187,15 +189,13 @@ TEST_F(ServerMonitorFixture, AssemblerCombinesClientAndServerBlocks) {
 }
 
 TEST(Dataset, HistogramAndAppend) {
-  Dataset a;
-  a.n_servers = 2;
-  a.dim = 3;
-  Sample s0;
-  s0.label = 0;
-  s0.features = {1, 2, 3, 4, 5, 6};
-  Sample s1 = s0;
-  s1.label = 2;
-  a.samples = {s0, s1, s1};
+  Dataset a(2, 3);
+  double* f0 = a.append_row(0, 0, 1.0);
+  for (int j = 0; j < 6; ++j) f0[j] = 1.0 + j;
+  for (int i = 1; i < 3; ++i) {
+    double* f = a.append_row(i, 2, 1.0);
+    for (int j = 0; j < 6; ++j) f[j] = 1.0 + j;
+  }
   const auto hist = a.class_histogram();
   ASSERT_EQ(hist.size(), 3u);
   EXPECT_EQ(hist[0], 1u);
@@ -204,10 +204,26 @@ TEST(Dataset, HistogramAndAppend) {
 
   Dataset b;
   b.append(a);
-  EXPECT_EQ(b.n_servers, 2);
+  EXPECT_EQ(b.n_servers(), 2);
   EXPECT_EQ(b.size(), 3u);
   b.append(a);
   EXPECT_EQ(b.size(), 6u);
+  EXPECT_DOUBLE_EQ(b.row(5)[5], 6.0);
+}
+
+TEST(Dataset, AppendShapeMismatchThrows) {
+  Dataset a(2, 3);
+  a.append_row(0, 0, 1.0);
+  Dataset wrong(3, 3);
+  wrong.append_row(0, 0, 1.0);
+  EXPECT_THROW(a.append(wrong), std::invalid_argument);
+  Dataset wrong_dim(2, 4);
+  wrong_dim.append_row(0, 0, 1.0);
+  EXPECT_THROW(a.append(wrong_dim), std::invalid_argument);
+  // Appending an empty, shapeless table is a no-op, not an error.
+  const Dataset empty;
+  a.append(empty);
+  EXPECT_EQ(a.size(), 1u);
 }
 
 }  // namespace

@@ -60,12 +60,13 @@ TEST_P(WorkloadScenarioTest, WindowFeaturesAreFiniteAndPlausible) {
   const ScenarioResult res = run_scenario(small_config(GetParam()));
   ASSERT_FALSE(res.window_features.empty()) << GetParam();
   const monitor::MetricSchema schema;
-  for (const auto& [w, f] : res.window_features) {
+  for (std::size_t i = 0; i < res.window_features.size(); ++i) {
+    const std::vector<double> f = res.window_features.row_vector(i);
     ASSERT_EQ(f.size(), 7u * static_cast<std::size_t>(schema.dim()));
-    for (std::size_t i = 0; i < f.size(); ++i) {
-      EXPECT_TRUE(std::isfinite(f[i])) << GetParam() << " feature " << i;
+    for (std::size_t j = 0; j < f.size(); ++j) {
+      EXPECT_TRUE(std::isfinite(f[j])) << GetParam() << " feature " << j;
       // Counts, byte sums, times and their aggregates are all non-negative.
-      EXPECT_GE(f[i], 0.0) << GetParam() << " feature " << i;
+      EXPECT_GE(f[j], 0.0) << GetParam() << " feature " << j;
     }
   }
 }

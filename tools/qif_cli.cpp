@@ -8,28 +8,38 @@
 //       completion time plus the per-op-type latency breakdown.
 //
 //   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
-//                [--bins 2|2,5] [--seed K] [--jobs N] --out data.csv
-//       Build a labelled training dataset and write it as CSV.  --jobs N
-//       fans the campaign's scenario simulations across N worker threads
-//       (output is bit-identical to --jobs 1).
+//                [--bins 2|2,5] [--seed K] [--jobs N] --out data.{csv,qds}
+//       Build a labelled training dataset; the --out extension picks the
+//       format (.qds = native binary, anything else = interop CSV).
+//       --jobs N fans the campaign's scenario simulations across N worker
+//       threads (output is bit-identical to --jobs 1).
 //
-//   qif train --data data.csv --out model.txt [--classes C] [--epochs E]
-//             [--jobs N]
-//       Train the kernel-based model on a CSV dataset (80/20 split) and
-//       save the bundle; prints the held-out confusion matrix.  --jobs N
+//   qif train --data data.{csv,qds} --out model.txt [--classes C]
+//             [--epochs E] [--jobs N]
+//       Train the kernel-based model on a dataset (80/20 split) and save
+//       the bundle; prints the held-out confusion matrix.  --jobs N
 //       partitions the training GEMMs across N worker threads (the model
 //       is bit-identical to --jobs 1).
 //
-//   qif eval --data data.csv --model model.txt
-//       Evaluate a saved bundle on a CSV dataset.
+//   qif eval --data data.{csv,qds} --model model.txt
+//       Evaluate a saved bundle on a dataset.
+//
+//   qif dataset info <file>
+//   qif dataset head <file> [--rows N]
+//   qif dataset convert <in> <out>
+//       Inspect or convert dataset files; formats are sniffed on read
+//       (.qds magic vs CSV) and picked by extension on write.
 //
 //   qif dump-trace <target> [--scale S] [--seed K] --out trace.txt
 //       Run the target solo and dump its DXT-style op trace.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -85,11 +95,35 @@ int usage() {
                "  workloads                          list workload names\n"
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
-               " --out F.csv\n"
-               "  train --data F.csv --out model.txt [--classes C] [--epochs E] [--jobs N]\n"
-               "  eval --data F.csv --model model.txt\n"
+               " --out F.{csv,qds}\n"
+               "  train --data F.{csv,qds} --out model.txt [--classes C] [--epochs E]"
+               " [--jobs N]\n"
+               "  eval --data F.{csv,qds} --model model.txt\n"
+               "  dataset info|head|convert <file> [out] [--rows N]\n"
                "  dump-trace <target> [--scale S] [--seed K] --out F.txt\n");
   return 2;
+}
+
+/// Loads a dataset file, sniffing .qds magic vs CSV.
+monitor::Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return monitor::read_dataset_auto(in);
+}
+
+bool has_qds_extension(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".qds") == 0;
+}
+
+/// Writes a dataset; the extension picks the format (.qds binary, else CSV).
+void save_dataset(const std::string& path, const monitor::Dataset& ds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (has_qds_extension(path)) {
+    monitor::write_dataset_qds(out, ds);
+  } else {
+    monitor::write_dataset_csv(out, ds);
+  }
 }
 
 int cmd_workloads() {
@@ -178,8 +212,7 @@ int cmd_campaign(const Args& args) {
     std::fprintf(stderr, "unknown campaign family: %s\n", family.c_str());
     return 1;
   }
-  std::ofstream out(args.get("out", ""));
-  monitor::write_dataset_csv(out, ds);
+  save_dataset(args.get("out", ""), ds);
   const auto hist = ds.class_histogram();
   std::printf("wrote %zu windows to %s (classes:", ds.size(), args.get("out", "").c_str());
   for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
@@ -189,12 +222,7 @@ int cmd_campaign(const Args& args) {
 
 int cmd_train(const Args& args) {
   if (args.options.count("data") == 0 || args.options.count("out") == 0) return usage();
-  std::ifstream in(args.get("data", ""));
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", args.get("data", "").c_str());
-    return 1;
-  }
-  const monitor::Dataset ds = monitor::read_dataset_csv(in);
+  const monitor::Dataset ds = load_dataset(args.get("data", ""));
   auto [train, test] = ml::split_dataset(ds, 0.2, 17);
   core::TrainingServerConfig cfg;
   cfg.n_classes = args.get_int("classes", 2);
@@ -213,17 +241,65 @@ int cmd_train(const Args& args) {
 
 int cmd_eval(const Args& args) {
   if (args.options.count("data") == 0 || args.options.count("model") == 0) return usage();
-  std::ifstream in(args.get("data", ""));
   std::ifstream min(args.get("model", ""));
-  if (!in || !min) {
-    std::fprintf(stderr, "cannot open inputs\n");
+  if (!min) {
+    std::fprintf(stderr, "cannot open %s\n", args.get("model", "").c_str());
     return 1;
   }
-  const monitor::Dataset ds = monitor::read_dataset_csv(in);
+  const monitor::Dataset ds = load_dataset(args.get("data", ""));
   core::TrainingServer server(core::TrainingServerConfig{});
   server.load(min);
   std::printf("%s", server.evaluate(ds).to_string().c_str());
   return 0;
+}
+
+int cmd_dataset(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const std::string& verb = args.positional[0];
+  const std::string& path = args.positional[1];
+  if (verb == "info") {
+    const monitor::Dataset ds = load_dataset(path);
+    const auto hist = ds.class_histogram();
+    std::printf("%s: %zu windows, %d servers x %d features (row width %zu)\n",
+                path.c_str(), ds.size(), ds.n_servers(), ds.dim(), ds.width());
+    std::printf("classes:");
+    for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
+    std::printf("\n");
+    if (!ds.empty()) {
+      double deg_sum = 0.0;
+      for (std::size_t i = 0; i < ds.size(); ++i) deg_sum += ds.degradation(i);
+      std::printf("windows %lld..%lld, mean degradation %.3f\n",
+                  static_cast<long long>(ds.window_index(0)),
+                  static_cast<long long>(ds.window_index(ds.size() - 1)),
+                  deg_sum / static_cast<double>(ds.size()));
+    }
+    return 0;
+  }
+  if (verb == "head") {
+    const monitor::Dataset ds = load_dataset(path);
+    const auto rows = static_cast<std::size_t>(args.get_int("rows", 5));
+    std::ostringstream os;
+    // Reuse the CSV writer on a head-sized copy so the column headers are
+    // printed too.
+    monitor::Dataset head;
+    if (ds.n_servers() != 0) head.set_shape(ds.n_servers(), ds.dim());
+    for (std::size_t i = 0; i < std::min(rows, ds.size()); ++i) {
+      head.append_row(ds.window_index(i), ds.label(i), ds.degradation(i), ds.row(i));
+    }
+    monitor::write_dataset_csv(os, head);
+    std::printf("%s", os.str().c_str());
+    return 0;
+  }
+  if (verb == "convert") {
+    if (args.positional.size() < 3) return usage();
+    const std::string& out_path = args.positional[2];
+    const monitor::Dataset ds = load_dataset(path);
+    save_dataset(out_path, ds);
+    std::printf("wrote %zu windows to %s (%s)\n", ds.size(), out_path.c_str(),
+                has_qds_extension(out_path) ? "binary .qds" : "CSV");
+    return 0;
+  }
+  return usage();
 }
 
 int cmd_dump_trace(const Args& args) {
@@ -257,6 +333,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "dataset") return cmd_dataset(args);
     if (cmd == "dump-trace") return cmd_dump_trace(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
