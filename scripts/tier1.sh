@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then the exec/campaign tests again
 # under ThreadSanitizer to catch data races in the qif::exec thread pool,
-# the parallel campaign runner, and the thread-parallel GEMM path.
+# the parallel campaign runner, and the thread-parallel GEMM path, and an
+# AddressSanitizer leg over the .qds corruption-fuzz and reader tests so
+# hostile bytes can never turn into a silent out-of-bounds read.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +15,8 @@ ctest --test-dir build --output-on-failure -j
 echo "=== tier-1: exec/campaign/scheduler tests under TSan ==="
 cmake -B build-tsan -S . -DQIF_SANITIZE=thread
 cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
-  test_sim_simulation test_sim_links test_export test_data_alloc
+  test_sim_simulation test_sim_links test_export test_data_alloc \
+  test_campaign_faults test_pfs_faults test_sim_property
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
 # Data-plane: parallel campaign shards block-append into one FeatureTable,
@@ -27,6 +30,17 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 # cross-engine shared state.
 ./build-tsan/tests/test_sim_simulation
 ./build-tsan/tests/test_sim_links
+# Fault layer: faulted campaigns shard across pool workers exactly like
+# healthy ones, and the property harness hammers the per-worker engines.
+./build-tsan/tests/test_campaign_faults
+./build-tsan/tests/test_pfs_faults
+./build-tsan/tests/test_sim_property
+
+echo "=== tier-1: .qds corruption fuzz under ASan ==="
+cmake -B build-asan -S . -DQIF_SANITIZE=address
+cmake --build build-asan -j --target test_qds_fuzz test_export
+./build-asan/tests/test_qds_fuzz
+./build-asan/tests/test_export
 
 echo "=== tier-1: benchmark smoke ==="
 ./scripts/bench_sim.sh --smoke

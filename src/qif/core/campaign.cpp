@@ -54,6 +54,7 @@ ScenarioConfig campaign_case_config(const CampaignConfig& config, const CaseSpec
   sc.window = config.window;
   sc.horizon = config.horizon;
   sc.monitors = true;
+  sc.faults = config.faults;  // cases run degraded; baselines stay healthy
   if (!cs.interference_workload.empty()) {
     InterferenceSpec spec;
     spec.workload = cs.interference_workload;

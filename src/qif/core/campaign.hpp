@@ -46,6 +46,13 @@ struct CampaignConfig {
   sim::SimDuration horizon = 240 * sim::kSecond;
   std::vector<double> bin_thresholds = {2.0};  ///< {2} binary, {2,5} 3-class
   std::size_t min_ops_per_window = 1;
+  /// Fault-injection schedule applied to every *case* run (the monitored,
+  /// possibly-degraded executions).  Baseline runs always stay healthy: the
+  /// label denominator is "this workload on an undisturbed cluster", so a
+  /// degraded-OST case is measured against the same healthy yardstick as a
+  /// contended one.  Empty = the historical healthy campaign, bit-identical
+  /// to pre-fault builds.
+  pfs::faults::FaultPlan faults;
 };
 
 struct CaseOutcome {

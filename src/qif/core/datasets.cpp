@@ -43,6 +43,7 @@ monitor::Dataset run_campaign_for_target(const std::string& target,
   cc.cluster = testbed_cluster_config(options.seed);
   cc.bin_thresholds = options.bin_thresholds;
   cc.min_ops_per_window = options.min_ops_per_window;
+  cc.faults = options.faults;
   CampaignResult result = options.runner ? options.runner(cc) : run_campaign(cc);
   if (options.verbose) {
     std::size_t windows = 0;

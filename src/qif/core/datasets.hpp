@@ -35,6 +35,9 @@ struct DatasetOptions {
   /// two ops is mostly noise; bursty loaders like DLIO need this).
   std::size_t min_ops_per_window = 1;
   CampaignRunFn runner;     ///< null = run campaigns sequentially
+  /// Fault plan injected into every campaign's case runs (baselines stay
+  /// healthy).  Empty = the historical healthy datasets.
+  pfs::faults::FaultPlan faults;
 };
 
 /// Windows from all 7 IO500 tasks under quiet/read/write/metadata noise at

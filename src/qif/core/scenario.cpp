@@ -31,9 +31,30 @@ pfs::ClusterConfig testbed_cluster_config(std::uint64_t seed) {
   return cfg;
 }
 
+/// Default per-RPC deadline for fault-injected runs whose config leaves the
+/// timeout machinery unconfigured: long enough that healthy contention never
+/// trips it (worst-case queueing in the paper's scenarios is well under a
+/// second), short enough that a stalled OST turns into timeouts within the
+/// monitor's window scale.
+constexpr sim::SimDuration kDefaultFaultRpcDeadline = 5 * sim::kSecond;
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   sim::Simulation simulation;
-  pfs::Cluster cluster(simulation, config.cluster);
+  pfs::ClusterConfig cluster_config = config.cluster;
+  if (!config.faults.empty() && cluster_config.client.rpc_deadline <= 0) {
+    cluster_config.client.rpc_deadline = kDefaultFaultRpcDeadline;
+  }
+  pfs::Cluster cluster(simulation, cluster_config);
+
+  // Arm the fault plan before any workload starts so episodes starting at
+  // t=0 are honoured.  The injector seeds its own RNG stream from the
+  // cluster seed, so faulted runs stay exactly as reproducible as healthy
+  // ones.
+  std::optional<pfs::faults::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(cluster, config.faults,
+                     sim::Rng::derive_seed(cluster_config.seed, "faults"));
+  }
 
   // Monitors attach before any workload starts so window 0 is complete.
   std::optional<monitor::ClientMonitor> client_mon;
@@ -83,9 +104,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.events_executed = simulation.events_executed();
   result.trace = cluster.trace_log();
   if (config.monitors) {
+    // Fault-injected runs widen every per-server vector with the fault
+    // block; healthy runs keep the exact historical 37-wide layout.
+    const bool with_faults = !config.faults.empty();
     result.n_servers = cluster.n_servers();
-    result.dim = monitor::MetricSchema::kPerServerDim;
-    monitor::FeatureAssembler assembler(*client_mon, *server_mon, cluster.n_servers());
+    result.dim = with_faults ? monitor::MetricSchema::kPerServerDimFaults
+                             : monitor::MetricSchema::kPerServerDim;
+    monitor::FeatureAssembler assembler(*client_mon, *server_mon, cluster.n_servers(),
+                                        with_faults);
     const std::vector<std::int64_t> windows = client_mon->window_indices();
     result.window_features.set_shape(result.n_servers, result.dim);
     result.window_features.reserve(windows.size());

@@ -16,6 +16,7 @@
 
 #include "qif/monitor/features.hpp"
 #include "qif/pfs/cluster.hpp"
+#include "qif/pfs/faults.hpp"
 #include "qif/trace/op_record.hpp"
 #include "qif/workloads/driver.hpp"
 
@@ -36,6 +37,12 @@ struct ScenarioConfig {
   sim::SimDuration window = sim::kSecond;   ///< monitor window size
   sim::SimDuration horizon = 600 * sim::kSecond;  ///< hard stop
   bool monitors = true;            ///< baseline runs can skip monitoring
+  /// Fault-injection schedule.  Empty (the default) means a healthy run:
+  /// no injector is constructed, no client timeout machinery is armed, and
+  /// the simulation is bit-identical to a pre-fault build.  Non-empty plans
+  /// arm the injector and (unless the cluster config already sets one)
+  /// enable a default client RPC deadline so stalls surface as timeouts.
+  pfs::faults::FaultPlan faults;
 };
 
 struct ScenarioResult {

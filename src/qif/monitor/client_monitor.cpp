@@ -51,6 +51,11 @@ void ClientMonitor::observe(const trace::OpRecord& rec) {
         break;
     }
     c.io_time_s += dur_s;
+    // Fault counters attribute in full to every target, like durations: a
+    // timed-out op was stuck on all the servers it straddled.
+    c.retries += rec.retries;
+    c.timeouts += rec.timeouts;
+    c.failed_ops += rec.failed ? 1 : 0;
   }
 }
 
@@ -86,6 +91,16 @@ void ClientMonitor::fill_features(std::int64_t window_index, int server, double*
   out[7] = c->io_time_s;
   out[8] = c->io_time_s > 0 ? total_bytes / c->io_time_s : 0.0;  // throughput
   out[9] = static_cast<double>(c->n_total()) / win_s;            // IOPS
+}
+
+void ClientMonitor::fill_fault_features(std::int64_t window_index, int server,
+                                        double* out) const {
+  const ClientWindow* c = cell(window_index, server);
+  const ClientWindow empty;
+  if (c == nullptr) c = &empty;
+  out[0] = static_cast<double>(c->retries);
+  out[1] = static_cast<double>(c->timeouts);
+  out[2] = static_cast<double>(c->failed_ops);
 }
 
 }  // namespace qif::monitor

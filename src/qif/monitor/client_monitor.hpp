@@ -27,6 +27,10 @@ struct ClientWindow {
   std::int64_t bytes_read = 0;
   std::int64_t bytes_write = 0;
   double io_time_s = 0.0;  ///< summed op durations attributed to this server
+  // Fault-path counters (all zero on healthy runs).
+  std::int64_t retries = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t failed_ops = 0;
 
   [[nodiscard]] std::int64_t n_total() const { return n_read + n_write + n_meta; }
   [[nodiscard]] std::int64_t bytes_total() const { return bytes_read + bytes_write; }
@@ -47,6 +51,11 @@ class ClientMonitor {
   /// Fills the client-side slice of a per-server feature vector.
   /// `out` must have room for MetricSchema::kClientFeatures doubles.
   void fill_features(std::int64_t window_index, int server, double* out) const;
+
+  /// Fills the fault-path slice (retries, timeouts, failed ops) of a
+  /// per-server feature vector.  `out` must have room for
+  /// MetricSchema::kFaultFeatures doubles.
+  void fill_fault_features(std::int64_t window_index, int server, double* out) const;
 
   [[nodiscard]] const ClientWindow* cell(std::int64_t window_index, int server) const;
   [[nodiscard]] std::vector<std::int64_t> window_indices() const;

@@ -15,31 +15,44 @@
 namespace qif::monitor {
 namespace {
 
+// Parse-failure location carried into every reader diagnostic: fuzz-found
+// rejections must name the exact line and column, not just the bad bytes.
+// `line` is 1-based; `column` is the 1-based field index (CSV/DXT fields,
+// not characters).
+[[noreturn]] void fail_cell(const char* what, std::string_view cell, std::int64_t line,
+                            std::int64_t column) {
+  throw std::runtime_error(std::string("malformed ") + what + " cell: '" +
+                           std::string(cell) + "' at line " + std::to_string(line) +
+                           ", column " + std::to_string(column));
+}
+
 // Strict cell parsers: every byte of the cell must be consumed, so a
 // corrupted "12x7" or empty cell throws instead of silently becoming 0
 // (the old atoll/atoi/atof behaviour).
 template <typename Int>
-Int parse_int_cell(std::string_view cell, const char* what) {
+Int parse_int_cell(std::string_view cell, const char* what, std::int64_t line,
+                   std::int64_t column) {
   Int value{};
   const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
   if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
-    throw std::runtime_error(std::string("malformed ") + what + " cell: '" +
-                             std::string(cell) + "'");
+    fail_cell(what, cell, line, column);
   }
   return value;
 }
 
-double parse_double_cell(std::string_view cell, const char* what) {
+double parse_double_cell(std::string_view cell, const char* what, std::int64_t line,
+                         std::int64_t column) {
   // strtod + end-pointer check: from_chars<double> is used nowhere else in
   // the tree and strtod matches the writer's formatting exactly.
   const std::string buf(cell);
   if (buf.empty()) {
-    throw std::runtime_error(std::string("empty ") + what + " cell");
+    throw std::runtime_error(std::string("empty ") + what + " cell at line " +
+                             std::to_string(line) + ", column " + std::to_string(column));
   }
   char* end = nullptr;
   const double value = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) {
-    throw std::runtime_error(std::string("malformed ") + what + " cell: '" + buf + "'");
+    fail_cell(what, cell, line, column);
   }
   return value;
 }
@@ -59,35 +72,75 @@ void write_dxt(std::ostream& os, const trace::TraceLog& log) {
 
 namespace {
 
-pfs::OpType op_from_name(const std::string& name) {
+pfs::OpType op_from_name(std::string_view name, std::int64_t line, std::int64_t column) {
   for (int i = 0; i < pfs::kNumOpTypes; ++i) {
     const auto t = static_cast<pfs::OpType>(i);
     if (name == pfs::op_name(t)) return t;
   }
-  throw std::runtime_error("unknown op type in DXT dump: " + name);
+  throw std::runtime_error("unknown op type in DXT dump: '" + std::string(name) +
+                           "' at line " + std::to_string(line) + ", column " +
+                           std::to_string(column));
 }
+
+/// Whitespace tokenizer over one line that knows which 1-based field it is
+/// on, so every parse failure can be located exactly.
+struct FieldCursor {
+  std::string_view line;
+  std::int64_t line_no;
+  std::size_t pos = 0;
+  std::int64_t column = 0;  // of the most recently returned token
+
+  /// Next whitespace-delimited token; empty when the line is exhausted.
+  std::string_view next() {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t begin = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > begin) ++column;
+    return line.substr(begin, pos - begin);
+  }
+
+  template <typename Int>
+  Int next_int(const char* what) {
+    const std::string_view tok = next();
+    if (tok.empty()) {
+      throw std::runtime_error(std::string("missing ") + what + " field at line " +
+                               std::to_string(line_no) + ", column " +
+                               std::to_string(column + 1));
+    }
+    return parse_int_cell<Int>(tok, what, line_no, column);
+  }
+};
 
 }  // namespace
 
 trace::TraceLog read_dxt(std::istream& is) {
   trace::TraceLog log;
   std::string line;
+  std::int64_t line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+    FieldCursor fields{line, line_no};
     trace::OpRecord r;
-    std::string type;
-    if (!(ls >> r.job >> r.rank >> r.op_index >> type >> r.offset >> r.bytes >> r.start >>
-          r.end)) {
-      throw std::runtime_error("malformed DXT line: " + line);
+    r.job = fields.next_int<std::int32_t>("DXT job");
+    r.rank = fields.next_int<pfs::Rank>("DXT rank");
+    r.op_index = fields.next_int<std::int64_t>("DXT op_index");
+    const std::string_view type = fields.next();
+    if (type.empty()) {
+      throw std::runtime_error("missing DXT op type field at line " +
+                               std::to_string(line_no) + ", column " +
+                               std::to_string(fields.column + 1));
     }
-    r.type = op_from_name(type);
-    std::int32_t target = 0;
-    while (ls >> target) r.targets.push_back(target);
-    // ls >> target stops on either end-of-line or a malformed token; only
-    // the former is a clean parse.  "1 2 x" must throw, not drop "x".
-    if (!ls.eof()) {
-      throw std::runtime_error("malformed DXT targets in line: " + line);
+    r.type = op_from_name(type, line_no, fields.column);
+    r.offset = fields.next_int<std::int64_t>("DXT offset");
+    r.bytes = fields.next_int<std::int64_t>("DXT bytes");
+    r.start = fields.next_int<sim::SimTime>("DXT start");
+    r.end = fields.next_int<sim::SimTime>("DXT end");
+    // Every remaining token is a target server id; "1 2 x" must throw with
+    // the position of "x", not drop it.
+    for (std::string_view tok = fields.next(); !tok.empty(); tok = fields.next()) {
+      r.targets.push_back(
+          parse_int_cell<std::int32_t>(tok, "DXT target", line_no, fields.column));
     }
     log.record(std::move(r));
   }
@@ -96,7 +149,9 @@ trace::TraceLog read_dxt(std::istream& is) {
 
 void write_dataset_csv(std::ostream& os, const Dataset& ds) {
   os.precision(17);
-  const MetricSchema schema;
+  // Pick the schema variant matching the table's per-server width, so both
+  // healthy (37) and fault-injected (40) datasets get named columns.
+  const MetricSchema schema(ds.dim() == MetricSchema::kPerServerDimFaults);
   os << "window_index,label,degradation";
   for (int s = 0; s < ds.n_servers(); ++s) {
     for (int f = 0; f < ds.dim(); ++f) {
@@ -129,14 +184,14 @@ Dataset read_dataset_csv(std::istream& is) {
   {
     std::istringstream hs(line);
     std::string cell;
-    int col = 0;
+    std::int64_t col = 0;
     while (std::getline(hs, cell, ',')) {
-      if (col++ < 3) continue;
+      if (++col <= 3) continue;
       ++n_features;
       const auto dot = cell.find('.');
       if (cell.size() > 1 && cell[0] == 's' && dot != std::string::npos && dot > 1) {
-        max_server = std::max(
-            max_server, parse_int_cell<int>({cell.data() + 1, dot - 1}, "CSV header server"));
+        max_server = std::max(max_server, parse_int_cell<int>({cell.data() + 1, dot - 1},
+                                                              "CSV header server", 1, col));
       }
     }
   }
@@ -149,23 +204,40 @@ Dataset read_dataset_csv(std::istream& is) {
   }
   Dataset ds(n_servers, static_cast<int>(n_features / static_cast<std::size_t>(n_servers)));
 
+  std::int64_t line_no = 1;  // the header was line 1
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string cell;
-    if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
-    const auto window = parse_int_cell<std::int64_t>(cell, "CSV window_index");
-    if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
-    const auto label = parse_int_cell<int>(cell, "CSV label");
-    if (!std::getline(ls, cell, ',')) throw std::runtime_error("malformed CSV row");
-    const auto degradation = parse_double_cell(cell, "CSV degradation");
+    std::int64_t col = 0;
+    const auto next_cell = [&]() {
+      if (!std::getline(ls, cell, ',')) {
+        throw std::runtime_error("truncated CSV row at line " + std::to_string(line_no) +
+                                 ", column " + std::to_string(col + 1));
+      }
+      ++col;
+    };
+    next_cell();
+    const auto window = parse_int_cell<std::int64_t>(cell, "CSV window_index", line_no, col);
+    next_cell();
+    const auto label = parse_int_cell<int>(cell, "CSV label", line_no, col);
+    next_cell();
+    const auto degradation = parse_double_cell(cell, "CSV degradation", line_no, col);
     double* row = ds.append_row(window, label, degradation);
     std::size_t j = 0;
     while (std::getline(ls, cell, ',')) {
-      if (j >= n_features) throw std::runtime_error("dataset CSV row width mismatch");
-      row[j++] = parse_double_cell(cell, "CSV feature");
+      ++col;
+      if (j >= n_features) {
+        throw std::runtime_error("dataset CSV row width mismatch at line " +
+                                 std::to_string(line_no) + ", column " + std::to_string(col));
+      }
+      row[j++] = parse_double_cell(cell, "CSV feature", line_no, col);
     }
-    if (j != n_features) throw std::runtime_error("dataset CSV row width mismatch");
+    if (j != n_features) {
+      throw std::runtime_error("dataset CSV row width mismatch at line " +
+                               std::to_string(line_no) + ", column " + std::to_string(col));
+    }
   }
   return ds;
 }
@@ -210,11 +282,15 @@ void read_raw(std::istream& is, void* data, std::size_t n, std::uint64_t& hash,
 }
 
 /// Schema hash stamped into headers: the canonical MetricSchema hash when
-/// the per-server width matches it, 0 (unchecked) for custom widths such
-/// as the flat-net ablation's reshaped tables.
+/// the per-server width matches the healthy (37) or fault-injected (40)
+/// layout, 0 (unchecked) for custom widths such as the flat-net ablation's
+/// reshaped tables.
 std::uint64_t header_schema_hash(int dim) {
-  if (dim != MetricSchema::kPerServerDim) return 0;
-  return MetricSchema().layout_hash();
+  if (dim == MetricSchema::kPerServerDim) return MetricSchema().layout_hash();
+  if (dim == MetricSchema::kPerServerDimFaults) {
+    return MetricSchema(/*with_fault_features=*/true).layout_hash();
+  }
+  return 0;
 }
 
 }  // namespace
@@ -268,14 +344,37 @@ Dataset read_dataset_qds(std::istream& is) {
   if (n_servers < 0 || dim < 0 || (n_servers == 0) != (dim == 0)) {
     throw std::runtime_error(".qds dataset: corrupt header shape");
   }
-  if (schema_hash != 0 && dim == MetricSchema::kPerServerDim &&
-      schema_hash != MetricSchema().layout_hash()) {
+  if (schema_hash != 0 && schema_hash != header_schema_hash(dim)) {
     throw std::runtime_error(".qds dataset: metric-schema hash mismatch");
   }
   const auto width = static_cast<std::uint64_t>(n_servers) * static_cast<std::uint64_t>(dim);
   if ((n_servers == 0 && rows != 0) ||
       (width != 0 && rows > std::numeric_limits<std::uint64_t>::max() / width / sizeof(double))) {
     throw std::runtime_error(".qds dataset: corrupt header row count");
+  }
+  // When the stream is seekable, bound the declared payload against the
+  // real stream size *before* allocating columns: a bit-flipped
+  // n_servers/dim/rows would otherwise drive a multi-gigabyte allocation
+  // (or OOM crash) ahead of the truncation checks.  Exactness also rejects
+  // trailing garbage, which the sequential reads would silently ignore.
+  if (const auto cur = is.tellg(); cur != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const auto stream_end = is.tellg();
+    is.seekg(cur);
+    if (!is || stream_end == std::istream::pos_type(-1) || stream_end < cur) {
+      throw std::runtime_error(".qds dataset: stream seek failed");
+    }
+    const auto have = static_cast<std::uint64_t>(stream_end - cur);
+    // 128-bit so a hostile rows * width cannot wrap the comparison.
+    const auto need = static_cast<unsigned __int128>(rows) *
+                          (sizeof(std::int64_t) + sizeof(std::int32_t) + sizeof(double) +
+                           static_cast<unsigned __int128>(width) * sizeof(double)) +
+                      sizeof(std::uint64_t);
+    if (static_cast<unsigned __int128>(have) != need) {
+      throw std::runtime_error(have < need
+                                   ? "truncated .qds dataset (declared payload exceeds file)"
+                                   : ".qds dataset: trailing garbage after payload");
+    }
   }
 
   static_assert(sizeof(int) == sizeof(std::int32_t), "label column is stored as i32");

@@ -127,24 +127,29 @@ FeatureTable TableView::materialize() const {
 }
 
 void FeatureAssembler::fill_window(std::int64_t window_index, double* out) const {
-  const int dim = MetricSchema::kPerServerDim;
+  const int d = dim();
   for (int s = 0; s < n_servers_; ++s) {
-    double* vec = out + static_cast<std::size_t>(s) * dim;
-    std::fill(vec, vec + dim, 0.0);
+    double* vec = out + static_cast<std::size_t>(s) * d;
+    std::fill(vec, vec + d, 0.0);
     client_.fill_features(window_index, s, vec);
-    server_.fill_features(window_index, s, vec + MetricSchema::kClientFeatures);
+    double* rest = vec + MetricSchema::kClientFeatures;
+    if (with_fault_features_) {
+      client_.fill_fault_features(window_index, s, rest);
+      rest += MetricSchema::kFaultFeatures;
+    }
+    server_.fill_features(window_index, s, rest);
   }
 }
 
 std::vector<double> FeatureAssembler::window_features(std::int64_t window_index) const {
-  std::vector<double> out(
-      static_cast<std::size_t>(n_servers_) * MetricSchema::kPerServerDim, 0.0);
+  std::vector<double> out(static_cast<std::size_t>(n_servers_) * static_cast<std::size_t>(dim()),
+                          0.0);
   fill_window(window_index, out.data());
   return out;
 }
 
 FeatureTable FeatureAssembler::assemble(const std::vector<trace::WindowLabel>& labels) const {
-  FeatureTable ds(n_servers_, MetricSchema::kPerServerDim);
+  FeatureTable ds(n_servers_, dim());
   ds.reserve(labels.size());
   for (const trace::WindowLabel& lbl : labels) {
     fill_window(lbl.window_index, ds.append_row(lbl.window_index, lbl.label, lbl.degradation));

@@ -168,11 +168,24 @@ class TableView {
 
 class FeatureAssembler {
  public:
-  FeatureAssembler(const ClientMonitor& client, const ServerMonitor& server, int n_servers)
-      : client_(client), server_(server), n_servers_(n_servers) {}
+  /// `with_fault_features` widens every per-server vector with the client
+  /// fault-path block (retries/timeouts/failed ops) — set on fault-injected
+  /// runs only, so healthy datasets keep the historical 37-wide layout.
+  FeatureAssembler(const ClientMonitor& client, const ServerMonitor& server, int n_servers,
+                   bool with_fault_features = false)
+      : client_(client),
+        server_(server),
+        n_servers_(n_servers),
+        with_fault_features_(with_fault_features) {}
+
+  /// Per-server vector width under this assembler's layout.
+  [[nodiscard]] int dim() const {
+    return with_fault_features_ ? MetricSchema::kPerServerDimFaults
+                                : MetricSchema::kPerServerDim;
+  }
 
   /// Writes one window's features (n_servers per-server vectors, flattened
-  /// server-major) into `out`, which must hold n_servers * kPerServerDim.
+  /// server-major) into `out`, which must hold n_servers * dim().
   void fill_window(std::int64_t window_index, double* out) const;
 
   /// Features of one window as a fresh vector (online/predictor path).
@@ -188,6 +201,7 @@ class FeatureAssembler {
   const ClientMonitor& client_;
   const ServerMonitor& server_;
   int n_servers_;
+  bool with_fault_features_ = false;
 };
 
 }  // namespace qif::monitor

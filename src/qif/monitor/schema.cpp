@@ -21,8 +21,9 @@ const std::vector<std::string>& MetricSchema::raw_server_metric_names() {
   return kNames;
 }
 
-MetricSchema::MetricSchema() {
-  features_.reserve(kPerServerDim);
+MetricSchema::MetricSchema(bool with_fault_features)
+    : with_fault_features_(with_fault_features) {
+  features_.reserve(with_fault_features ? kPerServerDimFaults : kPerServerDim);
   // Client-side block (paper §III-A): request counts by class, byte sums,
   // actual I/O time plus derived throughput and IOPS.
   const char* client_names[kClientFeatures] = {
@@ -31,6 +32,13 @@ MetricSchema::MetricSchema() {
       "cli_io_time_s",  "cli_throughput_bps", "cli_iops",
   };
   for (const char* n : client_names) features_.push_back({n, FeatureGroup::kClient});
+
+  // Fault-path block: present only on fault-injected runs (see header).
+  if (with_fault_features) {
+    features_.push_back({"cli_retries", FeatureGroup::kClient});
+    features_.push_back({"cli_timeouts", FeatureGroup::kClient});
+    features_.push_back({"cli_failed_ops", FeatureGroup::kClient});
+  }
 
   // Server-side block: window sum/mean/std of each per-second raw counter.
   static const FeatureGroup kRawGroups[kRawServerMetrics] = {

@@ -4,12 +4,19 @@
 // per time window, laid out as:
 //
 //   [ client-side features targeting this server (10)
+//   | client fault-path features (3, only on fault-injected runs)
 //   | server-side window aggregates: sum, mean, std of each of the 9
 //     once-per-second raw counters (27) ]
 //
-// for a total of 37 features.  The layout is identical for every server —
-// the contract the paper's kernel-based network relies on ("applies the
-// same dense network to each of the server's vectors").
+// for a total of 37 features (40 with fault injection).  The layout is
+// identical for every server — the contract the paper's kernel-based
+// network relies on ("applies the same dense network to each of the
+// server's vectors").
+//
+// The fault block (cli_retries / cli_timeouts / cli_failed_ops) exists only
+// when a run carries a non-empty FaultPlan: healthy runs keep the exact
+// 37-wide layout (and layout hash) they always had, so pre-fault `.qds`
+// and CSV artifacts stay byte-identical and loadable.
 //
 // Feature groups are tagged so the feature-ablation bench can zero out a
 // whole group (client, I/O-speed, device, queue) and measure the damage.
@@ -37,14 +44,17 @@ struct FeatureInfo {
 class MetricSchema {
  public:
   static constexpr int kClientFeatures = 10;
+  static constexpr int kFaultFeatures = 3;  // retries, timeouts, failed ops
   static constexpr int kRawServerMetrics = 9;
   static constexpr int kAggregatesPerMetric = 3;  // sum, mean, std
   static constexpr int kServerFeatures = kRawServerMetrics * kAggregatesPerMetric;
   static constexpr int kPerServerDim = kClientFeatures + kServerFeatures;
+  static constexpr int kPerServerDimFaults = kPerServerDim + kFaultFeatures;
 
-  MetricSchema();
+  explicit MetricSchema(bool with_fault_features = false);
 
-  [[nodiscard]] int dim() const { return kPerServerDim; }
+  [[nodiscard]] int dim() const { return static_cast<int>(features_.size()); }
+  [[nodiscard]] bool with_fault_features() const { return with_fault_features_; }
   [[nodiscard]] const std::vector<FeatureInfo>& features() const { return features_; }
   [[nodiscard]] const FeatureInfo& at(int i) const { return features_[static_cast<std::size_t>(i)]; }
 
@@ -62,6 +72,7 @@ class MetricSchema {
 
  private:
   std::vector<FeatureInfo> features_;
+  bool with_fault_features_ = false;
 };
 
 const char* group_name(FeatureGroup g);

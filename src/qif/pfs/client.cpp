@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "qif/pfs/cluster.hpp"
@@ -10,10 +11,14 @@ namespace qif::pfs {
 
 PfsClient::PfsClient(Cluster& cluster, NodeId node, Rank rank, std::int32_t job)
     : cluster_(cluster), node_(node), rank_(rank), job_(job),
-      params_(cluster.config().client) {}
+      params_(cluster.config().client),
+      retry_rng_(sim::Rng::derive_seed(
+          cluster.config().seed, "client-retry/n" + std::to_string(node) + "/r" +
+                                     std::to_string(rank) + "/j" + std::to_string(job))) {}
 
 void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t bytes,
-                     sim::SimTime start, std::vector<std::int32_t> targets) {
+                     sim::SimTime start, std::vector<std::int32_t> targets,
+                     const OpFaultStats* faults) {
   trace::OpRecord rec;
   rec.job = job_;
   rec.rank = rank_;
@@ -25,7 +30,100 @@ void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t
   rec.start = start;
   rec.end = cluster_.sim().now();
   rec.targets = std::move(targets);
+  if (faults != nullptr) {
+    rec.retries = faults->retries;
+    rec.timeouts = faults->timeouts;
+    rec.failed = faults->failed;
+    total_retries_ += faults->retries;
+    total_timeouts_ += faults->timeouts;
+    total_failed_ += faults->failed ? 1 : 0;
+  }
   cluster_.trace_log().record(std::move(rec));
+}
+
+// ---------------------------------------------------------------------------
+// RPC timeout/retry state machine.
+//
+// Each attempt arms a deadline timer; a response beats the timer or the
+// timer beats the response.  A timed-out attempt backs off exponentially
+// (with deterministic jitter from the client's own RNG stream) and
+// re-issues, up to rpc_max_retries re-issues, after which the op fails with
+// EIO.  Responses from superseded attempts are recognised by attempt number
+// and dropped — at-least-once semantics, like a real RPC resend (server
+// work is idempotent here).  With rpc_deadline == 0 none of this exists:
+// the RPC goes straight to the fabric, scheduling no timer and drawing no
+// randomness, so healthy runs replay the exact pre-fault event sequence.
+// ---------------------------------------------------------------------------
+
+void PfsClient::rpc_faultable(int server_port, std::int64_t request_payload,
+                              std::int64_t response_payload,
+                              std::function<void(std::function<void()>)> serve,
+                              std::function<void(bool)> cb,
+                              std::shared_ptr<OpFaultStats> stats) {
+  if (params_.rpc_deadline <= 0) {
+    cluster_.net().rpc(node_, server_port, request_payload, response_payload,
+                       std::move(serve), [cb = std::move(cb)] { cb(true); });
+    return;
+  }
+  auto op = std::make_shared<RetryOp>();
+  op->server_port = server_port;
+  op->request_payload = request_payload;
+  op->response_payload = response_payload;
+  op->serve = std::move(serve);
+  op->cb = std::move(cb);
+  op->stats = std::move(stats);
+  issue_attempt(std::move(op));
+}
+
+void PfsClient::issue_attempt(std::shared_ptr<RetryOp> op) {
+  const int my_attempt = ++op->attempt;
+  op->timer = cluster_.sim().schedule_after(params_.rpc_deadline, [this, op, my_attempt] {
+    if (op->done || op->attempt != my_attempt) return;  // superseded meanwhile
+    op->timer = sim::kInvalidEvent;
+    if (op->stats) ++op->stats->timeouts;
+    if (op->attempt > params_.rpc_max_retries) {
+      // Retries exhausted: surface EIO.  Late responses are ignored by the
+      // done flag; the serve closure is released so straggler requests
+      // still in flight pass through the server without re-doing work.
+      op->done = true;
+      if (op->stats) op->stats->failed = true;
+      auto cb = std::move(op->cb);
+      op->serve = nullptr;
+      cb(false);
+      return;
+    }
+    if (op->stats) ++op->stats->retries;
+    const double scale = static_cast<double>(1u << (op->attempt - 1));
+    double wait = static_cast<double>(params_.retry_backoff) * scale;
+    if (params_.retry_jitter > 0) {
+      wait *= 1.0 + params_.retry_jitter * retry_rng_.next_double();
+    }
+    cluster_.sim().schedule_after(
+        std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(wait)), [this, op] {
+          // A late response may have completed the op during the backoff.
+          if (!op->done) issue_attempt(op);
+        });
+  });
+  cluster_.net().rpc(
+      node_, op->server_port, op->request_payload, op->response_payload,
+      [op](std::function<void()> done) {
+        if (op->serve) {
+          op->serve(done);  // copy: a later attempt may need it again
+        } else {
+          done();  // op already settled; let the straggler drain
+        }
+      },
+      [this, op, my_attempt] {
+        if (op->done || op->attempt != my_attempt) return;  // stale response
+        op->done = true;
+        if (op->timer != sim::kInvalidEvent) {
+          cluster_.sim().cancel(op->timer);
+          op->timer = sim::kInvalidEvent;
+        }
+        auto cb = std::move(op->cb);
+        op->serve = nullptr;
+        cb(true);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -38,8 +136,9 @@ void PfsClient::create(const std::string& path, int stripe_count, OpenCallback c
   // The MDS reply payload travels back through the RPC; a shared slot
   // carries it from the serve closure to the completion closure.
   auto result = std::make_shared<MetaResult>();
-  cluster_.net().rpc(
-      node_, cluster_.mds_port(), /*request=*/256, /*response=*/256,
+  auto stats = make_fault_stats();
+  rpc_faultable(
+      cluster_.mds_port(), /*request=*/256, /*response=*/256,
       [this, path, stripe_count, stripe_hint, result](std::function<void()> done) {
         cluster_.mdt().create(path, stripe_count, stripe_hint,
                               [result, done = std::move(done)](const MetaResult& r) {
@@ -47,49 +146,62 @@ void PfsClient::create(const std::string& path, int stripe_count, OpenCallback c
                                 done();
                               });
       },
-      [this, result, start, cb = std::move(cb)] {
-        emit(OpType::kCreate, result->file, 0, 0, start, {trace::kMdtTarget});
-        cb(FileHandle{result->file, result->layout, result->size});
-      });
+      [this, result, start, cb = std::move(cb), stats](bool ok) {
+        emit(OpType::kCreate, ok ? result->file : kInvalidFile, 0, 0, start,
+             {trace::kMdtTarget}, stats.get());
+        if (ok) {
+          cb(FileHandle{result->file, result->layout, result->size});
+        } else {
+          cb(FileHandle{});  // EIO: invalid handle, caller's ops degenerate
+        }
+      },
+      stats);
 }
 
 void PfsClient::open(const std::string& path, OpenCallback cb) {
   const sim::SimTime start = cluster_.sim().now();
   auto result = std::make_shared<MetaResult>();
-  cluster_.net().rpc(
-      node_, cluster_.mds_port(), 256, 256,
+  auto stats = make_fault_stats();
+  rpc_faultable(
+      cluster_.mds_port(), 256, 256,
       [this, path, result](std::function<void()> done) {
         cluster_.mdt().open(path, [result, done = std::move(done)](const MetaResult& r) {
           *result = r;
           done();
         });
       },
-      [this, result, start, cb = std::move(cb)] {
-        emit(OpType::kOpen, result->file, 0, 0, start, {trace::kMdtTarget});
-        cb(FileHandle{result->ok ? result->file : kInvalidFile, result->layout,
+      [this, result, start, cb = std::move(cb), stats](bool ok) {
+        emit(OpType::kOpen, ok ? result->file : kInvalidFile, 0, 0, start,
+             {trace::kMdtTarget}, stats.get());
+        cb(FileHandle{ok && result->ok ? result->file : kInvalidFile, result->layout,
                       result->size});
-      });
+      },
+      stats);
 }
 
 void PfsClient::stat(const std::string& path, StatCallback cb) {
   const sim::SimTime start = cluster_.sim().now();
   auto result = std::make_shared<MetaResult>();
-  cluster_.net().rpc(
-      node_, cluster_.mds_port(), 256, 256,
+  auto stats = make_fault_stats();
+  rpc_faultable(
+      cluster_.mds_port(), 256, 256,
       [this, path, result](std::function<void()> done) {
         cluster_.mdt().stat(path, [result, done = std::move(done)](const MetaResult& r) {
           *result = r;
           done();
         });
       },
-      [this, result, start, cb = std::move(cb)] {
-        emit(OpType::kStat, result->file, 0, 0, start, {trace::kMdtTarget});
-        cb(result->ok, result->size);
-      });
+      [this, result, start, cb = std::move(cb), stats](bool ok) {
+        emit(OpType::kStat, ok ? result->file : kInvalidFile, 0, 0, start,
+             {trace::kMdtTarget}, stats.get());
+        cb(ok && result->ok, result->size);
+      },
+      stats);
 }
 
 void PfsClient::close(const FileHandle& fh, DataCallback cb) {
   const sim::SimTime start = cluster_.sim().now();
+  auto stats = make_fault_stats();
   // Flush-on-close: a small file's dirty bytes are committed to the OST
   // synchronously before the namespace close, so the close op's latency
   // carries the full cost of whatever the target disk is suffering.
@@ -97,31 +209,39 @@ void PfsClient::close(const FileHandle& fh, DataCallback cb) {
       it != small_dirty_.end() && !it->second.oversized && it->second.bytes > 0) {
     const SmallDirty dirty = it->second;
     small_dirty_.erase(it);
-    cluster_.net().rpc(
-        node_, cluster_.oss_port(dirty.ost), dirty.bytes, 0,
+    rpc_faultable(
+        cluster_.oss_port(dirty.ost), dirty.bytes, 0,
         [this, dirty](std::function<void()> done) {
           cluster_.ost(dirty.ost).write_sync(dirty.disk_offset, dirty.bytes, std::move(done));
         },
-        [this, file = fh.file, start, ost = dirty.ost, cb = std::move(cb)]() mutable {
-          finish_close(file, start, {ost, trace::kMdtTarget}, std::move(cb));
-        });
+        [this, file = fh.file, start, ost = dirty.ost, stats,
+         cb = std::move(cb)](bool) mutable {
+          // Whether or not the flush succeeded, the namespace close still
+          // goes to the MDS (its own attempt budget, shared op stats).
+          finish_close(file, start, {ost, trace::kMdtTarget}, std::move(stats),
+                       std::move(cb));
+        },
+        stats);
     return;
   }
   small_dirty_.erase(fh.file);
-  finish_close(fh.file, start, {trace::kMdtTarget}, std::move(cb));
+  finish_close(fh.file, start, {trace::kMdtTarget}, std::move(stats), std::move(cb));
 }
 
 void PfsClient::finish_close(FileId file, sim::SimTime start,
-                             std::vector<std::int32_t> targets, DataCallback cb) {
-  cluster_.net().rpc(
-      node_, cluster_.mds_port(), 256, 256,
+                             std::vector<std::int32_t> targets,
+                             std::shared_ptr<OpFaultStats> faults, DataCallback cb) {
+  rpc_faultable(
+      cluster_.mds_port(), 256, 256,
       [this, file](std::function<void()> done) {
         cluster_.mdt().close(file, [done = std::move(done)](const MetaResult&) { done(); });
       },
-      [this, file, start, targets = std::move(targets), cb = std::move(cb)] {
-        emit(OpType::kClose, file, 0, 0, start, targets);
+      [this, file, start, targets = std::move(targets), faults,
+       cb = std::move(cb)](bool) {
+        emit(OpType::kClose, file, 0, 0, start, targets, faults.get());
         cb();
-      });
+      },
+      faults);
 }
 
 void PfsClient::note_small_write(const FileHandle& fh, std::int64_t offset, std::int64_t len) {
@@ -138,28 +258,32 @@ void PfsClient::note_small_write(const FileHandle& fh, std::int64_t offset, std:
 
 void PfsClient::unlink(const std::string& path, DataCallback cb) {
   const sim::SimTime start = cluster_.sim().now();
-  cluster_.net().rpc(
-      node_, cluster_.mds_port(), 256, 256,
+  auto stats = make_fault_stats();
+  rpc_faultable(
+      cluster_.mds_port(), 256, 256,
       [this, path](std::function<void()> done) {
         cluster_.mdt().unlink(path, [done = std::move(done)](const MetaResult&) { done(); });
       },
-      [this, start, cb = std::move(cb)] {
-        emit(OpType::kUnlink, kInvalidFile, 0, 0, start, {trace::kMdtTarget});
+      [this, start, stats, cb = std::move(cb)](bool) {
+        emit(OpType::kUnlink, kInvalidFile, 0, 0, start, {trace::kMdtTarget}, stats.get());
         cb();
-      });
+      },
+      stats);
 }
 
 void PfsClient::mkdir(const std::string& path, DataCallback cb) {
   const sim::SimTime start = cluster_.sim().now();
-  cluster_.net().rpc(
-      node_, cluster_.mds_port(), 256, 256,
+  auto stats = make_fault_stats();
+  rpc_faultable(
+      cluster_.mds_port(), 256, 256,
       [this, path](std::function<void()> done) {
         cluster_.mdt().mkdir(path, [done = std::move(done)](const MetaResult&) { done(); });
       },
-      [this, start, cb = std::move(cb)] {
-        emit(OpType::kMkdir, kInvalidFile, 0, 0, start, {trace::kMdtTarget});
+      [this, start, stats, cb = std::move(cb)](bool) {
+        emit(OpType::kMkdir, kInvalidFile, 0, 0, start, {trace::kMdtTarget}, stats.get());
         cb();
-      });
+      },
+      stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -218,26 +342,31 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
   };
   if (is_write) note_small_write(fh, offset, len);
 
+  auto stats = make_fault_stats();  // shared by every chunk RPC of this op
   auto state = std::make_shared<OpState>(chunks->size());
-  auto finish = [this, is_write, fh, offset, len, start, targets = std::move(targets),
-                 cb = std::move(cb)]() {
-    if (is_write) cluster_.mdt().note_size(fh.file, offset + len);
-    emit(is_write ? OpType::kWrite : OpType::kRead, fh.file, offset, len, start, targets);
+  auto finish = [this, is_write, fh, offset, len, start, stats,
+                 targets = std::move(targets), cb = std::move(cb)]() {
+    // A failed op never reached the server coherently; don't grow the file.
+    if (is_write && !(stats && stats->failed)) {
+      cluster_.mdt().note_size(fh.file, offset + len);
+    }
+    emit(is_write ? OpType::kWrite : OpType::kRead, fh.file, offset, len, start, targets,
+         stats.get());
     cb();
   };
 
   // Issue chunks with at most max_rpcs_in_flight outstanding.  `pump` is
   // stored in a shared_ptr so completion callbacks can re-enter it.
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, is_write, chunks, state, pump, finish = std::move(finish)]() {
+  *pump = [this, is_write, chunks, state, stats, pump, finish = std::move(finish)]() {
     while (state->next < chunks->size() &&
            state->outstanding < static_cast<std::size_t>(params_.max_rpcs_in_flight)) {
       const Chunk c = (*chunks)[state->next++];
       ++state->outstanding;
       const std::int64_t req_payload = is_write ? c.len : 0;
       const std::int64_t resp_payload = is_write ? 0 : c.len;
-      cluster_.net().rpc(
-          node_, cluster_.oss_port(c.ost), req_payload, resp_payload,
+      rpc_faultable(
+          cluster_.oss_port(c.ost), req_payload, resp_payload,
           [this, is_write, c](std::function<void()> done) {
             if (is_write) {
               cluster_.ost(c.ost).write(c.disk_offset, c.len, std::move(done));
@@ -245,7 +374,9 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
               cluster_.ost(c.ost).read(c.disk_offset, c.len, std::move(done));
             }
           },
-          [state, pump, finish] {
+          [state, pump, finish](bool) {
+            // ok=false already marked stats->failed; the op still drains its
+            // remaining chunks so the completion count stays exact.
             --state->outstanding;
             --state->remaining;
             if (state->remaining == 0) {
@@ -255,7 +386,8 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
             } else {
               (*pump)();
             }
-          });
+          },
+          stats);
     }
   };
   (*pump)();

@@ -13,11 +13,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "qif/pfs/layout.hpp"
 #include "qif/pfs/types.hpp"
+#include "qif/sim/rng.hpp"
+#include "qif/sim/simulation.hpp"
 #include "qif/trace/op_record.hpp"
 
 namespace qif::pfs {
@@ -33,6 +36,20 @@ struct ClientParams {
   /// what makes mdtest-hard's 3901-byte bodies disk-bound while bulk IOR
   /// writes stream through the write-back cache).
   std::int64_t small_file_flush_bytes = 256 << 10;
+
+  // -- RPC timeout/retry (fault tolerance; Lustre's obd_timeout family) ----
+  /// Per-RPC deadline.  0 disables the whole timeout machinery: no timer
+  /// events are scheduled and every RPC takes the exact pre-fault code path
+  /// (this is what keeps healthy-run traces byte-identical to old goldens).
+  sim::SimDuration rpc_deadline = 0;
+  /// Re-issues after the first timeout before the op fails with EIO.
+  int rpc_max_retries = 4;
+  /// Base backoff before re-issue; doubles each attempt (exponential).
+  sim::SimDuration retry_backoff = 100 * sim::kMillisecond;
+  /// Uniform jitter fraction applied on top of the backoff: the wait is
+  /// backoff * 2^k * (1 + jitter * U[0,1)) with U from the client's own
+  /// deterministic RNG stream.
+  double retry_jitter = 0.5;
 };
 
 /// Open-file handle; cheap to copy.
@@ -73,6 +90,11 @@ class PfsClient {
   [[nodiscard]] std::int32_t job() const { return job_; }
   [[nodiscard]] std::int64_t ops_issued() const { return next_op_index_; }
 
+  /// Cumulative fault-path counters across every op this client issued.
+  [[nodiscard]] std::int64_t total_retries() const { return total_retries_; }
+  [[nodiscard]] std::int64_t total_timeouts() const { return total_timeouts_; }
+  [[nodiscard]] std::int64_t total_failed_ops() const { return total_failed_; }
+
  private:
   /// Small-file dirty state for flush-on-close.
   struct SmallDirty {
@@ -82,13 +104,48 @@ class PfsClient {
     bool oversized = false;  ///< grew past the threshold; close is cheap
   };
 
+  /// Fault outcome of one POSIX-level op (shared by all of its chunk RPCs).
+  struct OpFaultStats {
+    std::int32_t retries = 0;
+    std::int32_t timeouts = 0;
+    bool failed = false;
+  };
+
+  /// One RPC riding the timeout/retry state machine.
+  struct RetryOp {
+    int server_port = 0;
+    std::int64_t request_payload = 0;
+    std::int64_t response_payload = 0;
+    std::function<void(std::function<void()>)> serve;
+    std::function<void(bool ok)> cb;
+    std::shared_ptr<OpFaultStats> stats;
+    int attempt = 0;                        ///< attempts issued so far
+    bool done = false;                      ///< response accepted or EIO'd
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+
   void emit(OpType type, FileId file, std::int64_t offset, std::int64_t bytes,
-            sim::SimTime start, std::vector<std::int32_t> targets);
+            sim::SimTime start, std::vector<std::int32_t> targets,
+            const OpFaultStats* faults = nullptr);
   void data_op(bool is_write, const FileHandle& fh, std::int64_t offset, std::int64_t len,
                DataCallback cb);
   void note_small_write(const FileHandle& fh, std::int64_t offset, std::int64_t len);
   void finish_close(FileId file, sim::SimTime start, std::vector<std::int32_t> targets,
-                    DataCallback cb);
+                    std::shared_ptr<OpFaultStats> faults, DataCallback cb);
+
+  /// Runs one RPC under the timeout/retry machine when `rpc_deadline` > 0;
+  /// with a zero deadline it degrades to a plain fabric RPC (no timer
+  /// events, no RNG draws) and always reports ok=true.
+  void rpc_faultable(int server_port, std::int64_t request_payload,
+                     std::int64_t response_payload,
+                     std::function<void(std::function<void()>)> serve,
+                     std::function<void(bool ok)> cb,
+                     std::shared_ptr<OpFaultStats> stats);
+  void issue_attempt(std::shared_ptr<RetryOp> op);
+  /// Allocates per-op fault stats when the machinery is on, nullptr when off.
+  [[nodiscard]] std::shared_ptr<OpFaultStats> make_fault_stats() {
+    return params_.rpc_deadline > 0 ? std::make_shared<OpFaultStats>() : nullptr;
+  }
 
   Cluster& cluster_;
   NodeId node_;
@@ -97,6 +154,10 @@ class PfsClient {
   std::int64_t next_op_index_ = 0;
   ClientParams params_;
   std::map<FileId, SmallDirty> small_dirty_;
+  sim::Rng retry_rng_;
+  std::int64_t total_retries_ = 0;
+  std::int64_t total_timeouts_ = 0;
+  std::int64_t total_failed_ = 0;
 };
 
 }  // namespace qif::pfs

@@ -93,11 +93,20 @@ sim::SimDuration DiskModel::service_time(const Request& req) {
   if (params_.service_jitter > 0) {
     total *= 1.0 + rng_.uniform(-params_.service_jitter, params_.service_jitter);
   }
+  // Slow-disk episode: scale the whole media service.  Gated on != 1.0 so
+  // a healthy disk takes the exact pre-fault arithmetic path.
+  if (fault_multiplier_ != 1.0) total *= fault_multiplier_;
   return std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(total));
 }
 
+void DiskModel::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (!stalled_) maybe_dispatch();
+}
+
 void DiskModel::maybe_dispatch() {
-  if (busy_) return;
+  if (busy_ || stalled_) return;
   if (read_queue_.empty() && write_queue_.empty()) return;
   settle_time_integrals();
 

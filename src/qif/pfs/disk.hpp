@@ -99,6 +99,17 @@ class DiskModel {
   [[nodiscard]] const DiskParams& params() const { return params_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Fault injection: multiply every service time by `m` (slow-disk
+  /// episode).  Exactly 1.0 restores the healthy fast path.
+  void set_fault_multiplier(double m) { fault_multiplier_ = m; }
+  [[nodiscard]] double fault_multiplier() const { return fault_multiplier_; }
+
+  /// Fault injection: stall/blackout the device.  While stalled, nothing
+  /// dispatches (the in-flight request, if any, still completes); clearing
+  /// the stall resumes dispatch immediately.
+  void set_stalled(bool stalled);
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
  private:
   struct Request {
     std::int64_t offset = 0;
@@ -131,6 +142,8 @@ class DiskModel {
   sim::SimDuration write_credit_time_ = 0;  ///< service time left in the write turn
   sim::SimTime next_write_turn_ = 0;     ///< earliest start of the next write turn
   sim::SimTime oldest_write_arrival_ = 0;
+  double fault_multiplier_ = 1.0;  ///< slow-disk episode factor (1.0 = healthy)
+  bool stalled_ = false;           ///< blackout: dispatch suspended
 
   DiskCounters counters_;
   sim::SimTime last_integral_update_ = 0;

@@ -21,6 +21,20 @@ NetworkFabric::NetworkFabric(sim::Simulation& sim, const NetworkParams& params,
   }
 }
 
+void NetworkFabric::set_loss_gate(const std::function<bool()>& gate) {
+  for (auto& p : client_egress_) p->set_loss_gate(gate);
+  for (auto& l : server_ingress_) l->set_loss_gate(gate);
+  for (auto& l : server_egress_) l->set_loss_gate(gate);
+}
+
+std::uint64_t NetworkFabric::messages_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& p : client_egress_) n += p->messages_dropped();
+  for (const auto& l : server_ingress_) n += l->messages_dropped();
+  for (const auto& l : server_egress_) n += l->messages_dropped();
+  return n;
+}
+
 void NetworkFabric::rpc(NodeId client, int server_port, std::int64_t request_payload,
                         std::int64_t response_payload,
                         std::function<void(std::function<void()>)> serve,

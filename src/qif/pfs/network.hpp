@@ -56,6 +56,14 @@ class NetworkFabric {
     return server_egress_[port]->active();
   }
 
+  /// Fault injection: installs `gate` as the message-loss gate on every
+  /// client egress pipe and every server ingress/egress link.  Each resource
+  /// consults the gate independently per message.
+  void set_loss_gate(const std::function<bool()>& gate);
+
+  /// Total messages dropped by loss gates across all fabric resources.
+  [[nodiscard]] std::uint64_t messages_dropped() const;
+
  private:
   sim::Simulation& sim_;
   NetworkParams params_;

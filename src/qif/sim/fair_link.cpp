@@ -7,6 +7,10 @@
 namespace qif::sim {
 
 void FairLink::transfer(std::int64_t bytes, InlineTask on_done) {
+  if (loss_gate_ && loss_gate_()) {
+    ++messages_dropped_;
+    return;  // dropped on the wire: no link time, callback never fires
+  }
   settle();
   const std::int64_t clamped = std::max<std::int64_t>(bytes, 0);
   const double remaining = static_cast<double>(clamped);

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "qif/sim/simulation.hpp"
@@ -58,6 +59,12 @@ class FairLink {
   /// been identical (monitoring counter for the churn optimisation).
   [[nodiscard]] std::uint64_t reschedules_elided() const { return reschedules_elided_; }
 
+  /// Fault injection: when set, the gate is consulted on every transfer();
+  /// a `true` return drops the message (no link time consumed, `on_done`
+  /// destroyed unfired).  Unset by default.
+  void set_loss_gate(std::function<bool()> gate) { loss_gate_ = std::move(gate); }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
+
   /// Instantaneous per-flow rate in bytes/second (capacity / active flows).
   [[nodiscard]] double per_flow_rate() const {
     return flows_.empty() ? bytes_per_second_
@@ -86,6 +93,8 @@ class FairLink {
   std::int64_t bytes_delivered_ = 0;
   std::uint64_t reschedules_elided_ = 0;
   std::vector<InlineTask> done_;  ///< reused per-completion callback buffer
+  std::function<bool()> loss_gate_;
+  std::uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace qif::sim

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "qif/sim/simulation.hpp"
@@ -37,6 +38,13 @@ class Pipe {
 
   [[nodiscard]] std::size_t queue_depth() const { return count_ + (busy_ ? 1 : 0); }
   [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Fault injection: when set, the gate is consulted on every send(); a
+  /// `true` return drops the message on the floor (no link time consumed,
+  /// the delivery callback is destroyed unfired).  Unset by default — the
+  /// healthy path takes no branch cost beyond one bool test.
+  void set_loss_gate(std::function<bool()> gate) { loss_gate_ = std::move(gate); }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   struct Message {
@@ -69,6 +77,8 @@ class Pipe {
 
   bool busy_ = false;
   std::int64_t bytes_sent_ = 0;
+  std::function<bool()> loss_gate_;
+  std::uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace qif::sim

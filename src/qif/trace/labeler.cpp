@@ -17,6 +17,7 @@ std::vector<WindowLabel> Labeler::label(const std::vector<MatchedOp>& matched) c
   struct Acc {
     double ratio_sum = 0.0;
     std::size_t n = 0;
+    std::size_t n_failed = 0;
   };
   std::map<std::int64_t, Acc> windows;
   for (const MatchedOp& m : matched) {
@@ -29,6 +30,7 @@ std::vector<WindowLabel> Labeler::label(const std::vector<MatchedOp>& matched) c
     auto& acc = windows[w];
     acc.ratio_sum += noisy / base;
     acc.n += 1;
+    if (m.interference.failed) acc.n_failed += 1;
   }
 
   std::vector<WindowLabel> out;
@@ -40,6 +42,7 @@ std::vector<WindowLabel> Labeler::label(const std::vector<MatchedOp>& matched) c
     lbl.degradation = acc.ratio_sum / static_cast<double>(acc.n);
     lbl.label = bin_of(lbl.degradation);
     lbl.n_ops = acc.n;
+    lbl.n_failed = acc.n_failed;
     out.push_back(lbl);
   }
   return out;

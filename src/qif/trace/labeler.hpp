@@ -29,6 +29,7 @@ struct WindowLabel {
   double degradation = 1.0;        ///< Level_degrade for this window
   int label = 0;                   ///< bin index: 0 .. bin_thresholds.size()
   std::size_t n_ops = 0;           ///< matched ops contributing
+  std::size_t n_failed = 0;        ///< matched ops that surfaced EIO (faults)
 };
 
 class Labeler {

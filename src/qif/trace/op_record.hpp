@@ -30,6 +30,11 @@ struct OpRecord {
   sim::SimTime end = 0;
   /// Servers this op touched: OST ids for data ops; kMdtTarget for metadata.
   std::vector<std::int32_t> targets;
+  // Fault-injection outcome (all zero/false on healthy runs; populated only
+  // when the client timeout/retry machinery is enabled).
+  std::int32_t retries = 0;   ///< RPC attempts re-issued after a timeout
+  std::int32_t timeouts = 0;  ///< deadline expiries observed by this op
+  bool failed = false;        ///< retries exhausted — op surfaced EIO
 
   [[nodiscard]] sim::SimDuration duration() const { return end - start; }
 };

@@ -78,6 +78,68 @@ TEST(DxtExport, RejectsTrailingGarbageOnLine) {
   EXPECT_THROW(read_dxt(bad), std::runtime_error);
 }
 
+/// Pins the reader diagnostics' exact line/column format.  These strings
+/// are contract: fuzz-found rejections must stay locatable.
+template <typename Fn>
+std::string error_message(Fn fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "<no exception>";
+}
+
+TEST(DxtExport, ErrorsNameLineAndColumn) {
+  // Fields are 1-based columns: job rank op_index type offset bytes start
+  // end targets...; the header comments still count as lines.
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("# DXT qif 1\n0 x 0 read 0 8 1000 2000 1\n");
+              (void)read_dxt(ss);
+            }),
+            "malformed DXT rank cell: 'x' at line 2, column 2");
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("0 0 0 frobnicate 0 8 0 1 1\n");
+              (void)read_dxt(ss);
+            }),
+            "unknown op type in DXT dump: 'frobnicate' at line 1, column 4");
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("0 0\n");
+              (void)read_dxt(ss);
+            }),
+            "missing DXT op_index field at line 1, column 3");
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("0 0 0 read 0 8 0 1 2 x\n");
+              (void)read_dxt(ss);
+            }),
+            "malformed DXT target cell: 'x' at line 1, column 10");
+}
+
+TEST(DatasetCsv, ErrorsNameLineAndColumn) {
+  const std::string header = "window_index,label,degradation,s0.f0,s0.f1\n";
+  // Cells are 1-based columns; the header is line 1.
+  EXPECT_EQ(error_message([&] {
+              std::stringstream ss(header + "1,0,1.0,2.0,3.0\n2,0,1.0,2.0,nope\n");
+              (void)read_dataset_csv(ss);
+            }),
+            "malformed CSV feature cell: 'nope' at line 3, column 5");
+  EXPECT_EQ(error_message([&] {
+              std::stringstream ss(header + "banana,0,1.0,2.0,3.0\n");
+              (void)read_dataset_csv(ss);
+            }),
+            "malformed CSV window_index cell: 'banana' at line 2, column 1");
+  EXPECT_EQ(error_message([&] {
+              std::stringstream ss(header + "1,0\n");
+              (void)read_dataset_csv(ss);
+            }),
+            "truncated CSV row at line 2, column 3");
+  EXPECT_EQ(error_message([&] {
+              std::stringstream ss(header + "1,0,,2.0,3.0\n");
+              (void)read_dataset_csv(ss);
+            }),
+            "empty CSV degradation cell at line 2, column 3");
+}
+
 Dataset tiny_dataset() {
   Dataset ds(2, 3);
   for (int i = 0; i < 4; ++i) {

@@ -58,6 +58,31 @@ TEST(MetricSchema, NamesAreUnique) {
   EXPECT_EQ(names.size(), static_cast<std::size_t>(schema.dim()));
 }
 
+TEST(MetricSchema, FaultVariantAppendsClientFaultBlock) {
+  const MetricSchema healthy;
+  const MetricSchema faulted(/*with_fault_features=*/true);
+  EXPECT_FALSE(healthy.with_fault_features());
+  EXPECT_TRUE(faulted.with_fault_features());
+  EXPECT_EQ(healthy.dim(), MetricSchema::kPerServerDim);
+  EXPECT_EQ(faulted.dim(), MetricSchema::kPerServerDimFaults);
+  EXPECT_EQ(faulted.dim(), healthy.dim() + MetricSchema::kFaultFeatures);
+  // The fault block sits right after the 10 client features and belongs to
+  // the client group; the server block follows unchanged.
+  EXPECT_EQ(faulted.at(MetricSchema::kClientFeatures).name, "cli_retries");
+  EXPECT_EQ(faulted.at(MetricSchema::kClientFeatures + 1).name, "cli_timeouts");
+  EXPECT_EQ(faulted.at(MetricSchema::kClientFeatures + 2).name, "cli_failed_ops");
+  for (int k = 0; k < MetricSchema::kFaultFeatures; ++k) {
+    EXPECT_EQ(faulted.at(MetricSchema::kClientFeatures + k).group, FeatureGroup::kClient);
+  }
+  EXPECT_EQ(faulted.at(MetricSchema::kClientFeatures + 3).group, FeatureGroup::kIoSpeed);
+  // The first 10 names are identical, and the layout hashes differ so a
+  // 40-wide .qds can never be misread as a 37-wide one.
+  for (int i = 0; i < MetricSchema::kClientFeatures; ++i) {
+    EXPECT_EQ(healthy.at(i).name, faulted.at(i).name);
+  }
+  EXPECT_NE(healthy.layout_hash(), faulted.layout_hash());
+}
+
 TEST(ClientMonitor, AggregatesPerWindowAndServer) {
   ClientMonitor mon(/*job=*/0, sim::kSecond, /*n_servers=*/3, /*mdt=*/2);
   mon.observe(data_op(pfs::OpType::kRead, 1 << 20, 0, 10 * sim::kMillisecond, {0}));

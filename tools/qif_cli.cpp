@@ -4,11 +4,15 @@
 //       List the canonical workload names.
 //
 //   qif run <target> [--noise W] [--instances N] [--scale S] [--seed K]
+//           [--faults SPEC]
 //       Run one scenario (solo, or under N looping copies of W) and print
-//       completion time plus the per-op-type latency breakdown.
+//       completion time plus the per-op-type latency breakdown.  --faults
+//       injects a fault plan (e.g. "slow:ost=0,start=2,dur=10,factor=4")
+//       into every run and reports retry/timeout/failure counts.
 //
 //   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
-//                [--bins 2|2,5] [--seed K] [--jobs N] --out data.{csv,qds}
+//                [--bins 2|2,5] [--seed K] [--jobs N] [--faults SPEC]
+//                --out data.{csv,qds}
 //       Build a labelled training dataset; the --out extension picks the
 //       format (.qds = native binary, anything else = interop CSV).
 //       --jobs N fans the campaign's scenario simulations across N worker
@@ -93,9 +97,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: qif <command> [options]\n"
                "  workloads                          list workload names\n"
-               "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]\n"
+               "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]"
+               " [--faults SPEC]\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
-               " --out F.{csv,qds}\n"
+               " [--faults SPEC] --out F.{csv,qds}\n"
                "  train --data F.{csv,qds} --out model.txt [--classes C] [--epochs E]"
                " [--jobs N]\n"
                "  eval --data F.{csv,qds} --model model.txt\n"
@@ -131,6 +136,20 @@ int cmd_workloads() {
   return 0;
 }
 
+/// Sums the fault-path counters a run left in its trace and prints them.
+void print_fault_summary(const char* tag, const trace::TraceLog& trace) {
+  long long retries = 0;
+  long long timeouts = 0;
+  long long failed = 0;
+  for (const trace::OpRecord& rec : trace.records()) {
+    retries += rec.retries;
+    timeouts += rec.timeouts;
+    failed += rec.failed ? 1 : 0;
+  }
+  std::printf("%s faults: %lld retries, %lld timeouts, %lld failed ops\n", tag,
+              retries, timeouts, failed);
+}
+
 int cmd_run(const Args& args) {
   if (args.positional.empty()) return usage();
   const std::string target = args.positional[0];
@@ -147,12 +166,15 @@ int cmd_run(const Args& args) {
   cfg.target.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.target.scale = args.get_double("scale", 1.0);
   cfg.monitors = false;
+  const std::string faults_spec = args.get("faults", "");
+  if (!faults_spec.empty()) cfg.faults = pfs::faults::parse_fault_plan(faults_spec);
 
   const auto solo = core::run_scenario(cfg);
   std::printf("solo: %.2f s timed phase (%.2f s total, %llu events)\n",
               sim::to_seconds(solo.target_body_duration()),
               sim::to_seconds(solo.target_completion),
               static_cast<unsigned long long>(solo.events_executed));
+  if (!cfg.faults.empty()) print_fault_summary("solo", solo.trace);
 
   const std::string noise = args.get("noise", "");
   if (noise.empty()) return 0;
@@ -171,6 +193,7 @@ int cmd_run(const Args& args) {
               sim::to_seconds(mixed.target_body_duration()),
               static_cast<double>(mixed.target_body_duration()) /
                   static_cast<double>(solo.target_body_duration()));
+  if (!cfg.faults.empty()) print_fault_summary("noisy", mixed.trace);
 
   const auto matched = trace::TraceMatcher::match(solo.trace, mixed.trace, 0);
   std::map<pfs::OpType, std::pair<sim::RunningStats, sim::RunningStats>> by_type;
@@ -200,6 +223,8 @@ int cmd_campaign(const Args& args) {
   opts.verbose = true;
   if (args.get("bins", "2") == "2,5") opts.bin_thresholds = {2.0, 5.0};
   opts.runner = exec::campaign_runner(args.get_int("jobs", 1));
+  const std::string faults_spec = args.get("faults", "");
+  if (!faults_spec.empty()) opts.faults = pfs::faults::parse_fault_plan(faults_spec);
 
   monitor::Dataset ds;
   if (family == "io500") {
