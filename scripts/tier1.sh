@@ -16,7 +16,7 @@ echo "=== tier-1: exec/campaign/scheduler tests under TSan ==="
 cmake -B build-tsan -S . -DQIF_SANITIZE=thread
 cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
   test_sim_simulation test_sim_links test_export test_data_alloc \
-  test_campaign_faults test_pfs_faults test_sim_property
+  test_campaign_faults test_pfs_faults test_sim_property test_streaming
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
 # Data-plane: parallel campaign shards block-append into one FeatureTable,
@@ -25,6 +25,9 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 ./build-tsan/tests/test_data_alloc
 ./build-tsan/tests/test_ml_gemm --gtest_filter='Gemm.Parallel*'
 ./build-tsan/tests/test_ml_trainer --gtest_filter='Trainer.ResultIsBitIdenticalAcrossJobCounts'
+# Chunked trainer: batches stream out of mmap'ed shards while the GEMM
+# pool fans out — the shard access path must stay race-free.
+./build-tsan/tests/test_streaming --gtest_filter='ChunkedTraining.*'
 # The event engine itself is single-threaded, but campaign workers each run
 # a private Simulation on pool threads — the slab/heap must stay free of
 # cross-engine shared state.
@@ -37,10 +40,14 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 ./build-tsan/tests/test_sim_property
 
 echo "=== tier-1: .qds corruption fuzz under ASan ==="
+# test_qds_fuzz covers the buffered reader, the mmap path (QdsMmapFuzz),
+# the .qdm manifest/shard files (QdmFuzz), and the qlz codec (QlzFuzz);
+# test_streaming exercises the mmap'ed shard lifecycle end to end.
 cmake -B build-asan -S . -DQIF_SANITIZE=address
-cmake --build build-asan -j --target test_qds_fuzz test_export
+cmake --build build-asan -j --target test_qds_fuzz test_export test_streaming
 ./build-asan/tests/test_qds_fuzz
 ./build-asan/tests/test_export
+./build-asan/tests/test_streaming
 
 echo "=== tier-1: benchmark smoke ==="
 ./scripts/bench_sim.sh --smoke

@@ -8,9 +8,15 @@ namespace qif::core {
 
 ml::TrainResult TrainingServer::fit(const monitor::TableView& train_ds) {
   if (train_ds.empty()) throw std::invalid_argument("cannot train on an empty dataset");
+  const monitor::ViewRows rows(train_ds);
+  return fit_rows(rows);
+}
+
+ml::TrainResult TrainingServer::fit_rows(const monitor::RowAccess& rows) {
+  if (rows.empty()) throw std::invalid_argument("cannot train on an empty dataset");
   ml::KernelNetConfig net_cfg;
-  net_cfg.per_server_dim = train_ds.dim();
-  net_cfg.n_servers = train_ds.n_servers();
+  net_cfg.per_server_dim = rows.dim();
+  net_cfg.n_servers = rows.n_servers();
   net_cfg.n_classes = config_.n_classes;
   net_cfg.kernel_hidden = config_.kernel_hidden;
   net_cfg.head_hidden = config_.head_hidden;
@@ -20,11 +26,15 @@ ml::TrainResult TrainingServer::fit(const monitor::TableView& train_ds) {
   ml::TrainConfig tc = config_.train;
   tc.seed = sim::Rng::derive_seed(config_.seed, "train");
   const ml::Trainer trainer(tc);
-  return trainer.train(net_, stdz_, train_ds);
+  return trainer.train_rows(net_, stdz_, rows);
 }
 
 ml::ConfusionMatrix TrainingServer::evaluate(const monitor::TableView& test_ds) const {
   return ml::Trainer::evaluate(net_, stdz_, test_ds);
+}
+
+ml::ConfusionMatrix TrainingServer::evaluate_rows(const monitor::RowAccess& rows) const {
+  return ml::Trainer::evaluate_rows(net_, stdz_, rows);
 }
 
 int TrainingServer::predict(std::vector<double> features) const {

@@ -34,8 +34,17 @@ class TrainingServer {
   /// FeatureTable converts implicitly).
   ml::TrainResult fit(const monitor::TableView& train_ds);
 
+  /// Streaming variant: trains from any RowAccess source (e.g. a
+  /// monitor::ShardedDataset) with chunked ingestion.  Same seeds, same
+  /// algorithm — the model bytes are bit-identical to fit() on the
+  /// equivalent in-RAM view.
+  ml::TrainResult fit_rows(const monitor::RowAccess& rows);
+
   /// Confusion matrix of the current model on a held-out set.
   [[nodiscard]] ml::ConfusionMatrix evaluate(const monitor::TableView& test_ds) const;
+
+  /// Streaming evaluation over a RowAccess source (chunked gathers).
+  [[nodiscard]] ml::ConfusionMatrix evaluate_rows(const monitor::RowAccess& rows) const;
 
   /// Class prediction for one window's flattened features.
   [[nodiscard]] int predict(std::vector<double> features) const;

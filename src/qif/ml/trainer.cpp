@@ -10,24 +10,27 @@
 namespace qif::ml {
 namespace {
 
-/// Gathers the idx[lo..hi) rows of the view into `out` (resized in place),
-/// standardizing on the fly: table block -> batch buffer is the only copy
-/// on the training path.
-void gather_batch_into(const monitor::TableView& ds, const Standardizer& stdz,
+/// Gathers source rows fit_idx[idx[lo..hi)] into `xb`/`yb` (resized in
+/// place), standardizing on the fly: source row -> batch buffer is the
+/// only copy on the training path.  `fit_idx` maps the shuffled epoch
+/// positions to source rows, exactly like the old view-of-indices did.
+void gather_batch_into(const monitor::RowAccess& rows, const Standardizer& stdz,
+                       const std::vector<std::size_t>& fit_idx,
                        const std::vector<std::size_t>& idx, std::size_t lo, std::size_t hi,
                        Matrix& xb, std::vector<int>& yb) {
-  const std::size_t width = ds.width();
+  const std::size_t width = rows.width();
   xb.resize(hi - lo, width);
   yb.resize(hi - lo);
   const bool standardize = stdz.fitted();
   for (std::size_t k = lo; k < hi; ++k) {
-    const double* src = ds.row(idx[k]);
+    const std::size_t src_row = fit_idx[idx[k]];
+    const double* src = rows.row(src_row);
     if (standardize) {
       stdz.transform_into(src, width, xb.row(k - lo));
     } else {
       std::copy(src, src + width, xb.row(k - lo));
     }
-    yb[k - lo] = ds.label(idx[k]);
+    yb[k - lo] = rows.label(src_row);
   }
 }
 
@@ -45,29 +48,40 @@ struct PoolGuard {
 
 TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
                            const monitor::TableView& train_ds) const {
+  const monitor::ViewRows rows(train_ds);
+  return train_rows(net, stdz, rows);
+}
+
+TrainResult Trainer::train_rows(KernelNet& net, Standardizer& stdz,
+                                const monitor::RowAccess& rows) const {
   TrainResult result;
-  if (train_ds.empty()) return result;
+  if (rows.empty()) return result;
 
-  // Validation carve-out for early stopping.
-  auto [fit_ds, val_ds] =
-      split_dataset(train_ds, config_.validation_fraction,
-                    sim::Rng::derive_seed(config_.seed, "val-split"));
-  if (fit_ds.empty()) fit_ds = train_ds;  // tiny datasets: validate on train
+  // Validation carve-out for early stopping.  split_rows uses the same
+  // RNG stream and ordering as split_dataset did here, so the fit/val
+  // membership is unchanged.
+  auto [fit_idx, val_idx] = split_rows(rows.size(), config_.validation_fraction,
+                                       sim::Rng::derive_seed(config_.seed, "val-split"));
+  if (fit_idx.empty()) {
+    // Tiny datasets: train (and validate) on everything.
+    fit_idx.resize(rows.size());
+    for (std::size_t i = 0; i < fit_idx.size(); ++i) fit_idx[i] = i;
+  }
 
-  stdz.fit(fit_ds);
-  // Validation is standardized once; training batches standardize lazily
-  // out of the table, so the old dataset-sized `x` matrix is gone.
-  Matrix xv;
-  std::vector<int> yv;
-  gather_standardized(val_ds.empty() ? fit_ds : val_ds, &stdz, xv, yv);
+  stdz.fit(rows, fit_idx);
+  // Training batches standardize lazily out of the source, and validation
+  // predicts in fixed-size chunks below — nothing dataset-sized (not even
+  // a val-sized activation matrix) is ever built, which is what keeps the
+  // streaming path inside its RSS budget.
+  const std::vector<std::size_t>& vidx = val_idx.empty() ? fit_idx : val_idx;
 
   const int n_classes = net.config().n_classes;
   const std::vector<double> weights =
-      config_.class_weighted ? inverse_frequency_weights(fit_ds, n_classes)
+      config_.class_weighted ? inverse_frequency_weights(rows, fit_idx, n_classes)
                              : std::vector<double>{};
 
   sim::Rng rng(sim::Rng::derive_seed(config_.seed, "shuffle"));
-  std::vector<std::size_t> idx(fit_ds.size());
+  std::vector<std::size_t> idx(fit_idx.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
 
   // GEMM fan-out: the row-block partitioning makes results bit-identical
@@ -79,6 +93,9 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
   std::vector<double> best_weights;  // binary snapshot of the best epoch
   Matrix xb;                         // persistent minibatch buffers
   std::vector<int> yb;
+  Matrix xv;                         // persistent validation-chunk buffers
+  std::vector<int> yv;
+  std::vector<std::size_t> vidx_chunk;
   double best_f1 = -1.0;
   int best_epoch = 0;
   int since_best = 0;
@@ -96,7 +113,7 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
     for (std::size_t lo = 0; lo < idx.size(); lo += static_cast<std::size_t>(config_.batch_size)) {
       const std::size_t hi =
           std::min(idx.size(), lo + static_cast<std::size_t>(config_.batch_size));
-      gather_batch_into(fit_ds, stdz, idx, lo, hi, xb, yb);
+      gather_batch_into(rows, stdz, fit_idx, idx, lo, hi, xb, yb);
       const Matrix& logits = net.forward(xb);
       auto [loss, dlogits] = SoftmaxXent::loss_and_grad(logits, yb, weights);
       net.backward(dlogits);
@@ -105,9 +122,19 @@ TrainResult Trainer::train(KernelNet& net, Standardizer& stdz,
       ++batches;
     }
 
-    // Validation macro-F1.
+    // Validation macro-F1, chunked like evaluate_rows: each row's
+    // prediction is independent of the batching, so the F1 (and thus the
+    // best-epoch choice and the saved weights) is identical to the old
+    // whole-matrix predict — only the peak memory changes.
     ConfusionMatrix cm(n_classes);
-    cm.add_all(yv, net.predict(xv));
+    constexpr std::size_t kValChunk = 4096;
+    for (std::size_t lo = 0; lo < vidx.size(); lo += kValChunk) {
+      const std::size_t hi = std::min(vidx.size(), lo + kValChunk);
+      vidx_chunk.assign(vidx.begin() + static_cast<std::ptrdiff_t>(lo),
+                        vidx.begin() + static_cast<std::ptrdiff_t>(hi));
+      gather_standardized(rows, vidx_chunk, &stdz, xv, yv);
+      cm.add_all(yv, net.predict(xv));
+    }
     const double val_f1 = cm.macro_f1();
     result.history.push_back(
         EpochStats{epoch, loss_sum / static_cast<double>(std::max<std::size_t>(batches, 1)),
@@ -141,6 +168,24 @@ ConfusionMatrix Trainer::evaluate(const KernelNet& net, const Standardizer& stdz
   std::vector<int> y;
   gather_standardized(test, &stdz, x, y);
   cm.add_all(y, net.predict(x));
+  return cm;
+}
+
+ConfusionMatrix Trainer::evaluate_rows(const KernelNet& net, const Standardizer& stdz,
+                                       const monitor::RowAccess& rows) {
+  ConfusionMatrix cm(net.config().n_classes);
+  constexpr std::size_t kChunk = 1024;  // bounds the gather, not the math:
+  // per-row predictions are independent of the chunking.
+  Matrix x;
+  std::vector<int> y;
+  std::vector<std::size_t> idx;
+  for (std::size_t lo = 0; lo < rows.size(); lo += kChunk) {
+    const std::size_t hi = std::min(rows.size(), lo + kChunk);
+    idx.resize(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) idx[i - lo] = i;
+    gather_standardized(rows, idx, &stdz, x, y);
+    cm.add_all(y, net.predict(x));
+  }
   return cm;
 }
 

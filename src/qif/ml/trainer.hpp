@@ -48,12 +48,30 @@ class Trainer {
   /// binary in-memory snapshots).  Minibatches are gathered row by row
   /// straight out of the view's backing FeatureTable into the persistent
   /// batch buffer, standardization fused in — no dataset-sized temporary
-  /// is ever built.
+  /// is ever built.  A thin wrapper over train_rows, so in-RAM and
+  /// streaming training share one code path.
   TrainResult train(KernelNet& net, Standardizer& stdz, const monitor::TableView& train) const;
+
+  /// Streaming-ingestion core: identical algorithm, RNG streams, and
+  /// iteration order over any RowAccess source — an in-RAM view, a subset,
+  /// or a sharded on-disk dataset.  Standardization statistics and epoch
+  /// minibatches are computed row by row (at most batch-size rows are
+  /// resident at once beyond the validation gather), so a dataset far
+  /// larger than RAM trains within the source's paging budget, and the
+  /// resulting model bytes are bit-identical to the in-RAM path at the
+  /// same seed.
+  TrainResult train_rows(KernelNet& net, Standardizer& stdz,
+                         const monitor::RowAccess& rows) const;
 
   /// Evaluates a trained net on a view, returning its confusion matrix.
   static ConfusionMatrix evaluate(const KernelNet& net, const Standardizer& stdz,
                                   const monitor::TableView& test);
+
+  /// Streaming evaluation: predicts in fixed-size chunks (per-row results
+  /// do not depend on the batch partitioning, so the confusion matrix
+  /// matches the all-at-once gather exactly).
+  static ConfusionMatrix evaluate_rows(const KernelNet& net, const Standardizer& stdz,
+                                       const monitor::RowAccess& rows);
 
  private:
   TrainConfig config_;

@@ -14,14 +14,19 @@ void ClientMonitor::observe(const trace::OpRecord& rec) {
   // Ops are bucketed by *start* time, matching the labeler, so a window's
   // features and its label describe the same set of requests.
   const std::int64_t w = rec.start / window_;
-  auto it = windows_.find(w);
-  if (it == windows_.end()) {
-    it = windows_.emplace(w, std::vector<ClientWindow>(static_cast<std::size_t>(n_servers_)))
-             .first;
+  if (w != cached_window_ || cached_cells_ == nullptr) {
+    auto it = windows_.find(w);
+    if (it == windows_.end()) {
+      it = windows_.emplace(w, std::vector<ClientWindow>(static_cast<std::size_t>(n_servers_)))
+               .first;
+    }
+    cached_window_ = w;
+    cached_cells_ = &it->second;
   }
-  auto& cells = it->second;
+  auto& cells = *cached_cells_;
 
-  std::vector<int> servers;
+  std::vector<int>& servers = scratch_targets_;
+  servers.clear();
   servers.reserve(rec.targets.size());
   for (std::int32_t t : rec.targets) {
     const int s = t == trace::kMdtTarget ? mdt_server_index_ : t;
@@ -59,10 +64,15 @@ void ClientMonitor::observe(const trace::OpRecord& rec) {
   }
 }
 
+const std::vector<ClientWindow>* ClientMonitor::window_cells(
+    std::int64_t window_index) const {
+  const auto it = windows_.find(window_index);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
 const ClientWindow* ClientMonitor::cell(std::int64_t window_index, int server) const {
-  auto it = windows_.find(window_index);
-  if (it == windows_.end()) return nullptr;
-  return &it->second[static_cast<std::size_t>(server)];
+  const std::vector<ClientWindow>* cells = window_cells(window_index);
+  return cells == nullptr ? nullptr : &(*cells)[static_cast<std::size_t>(server)];
 }
 
 std::vector<std::int64_t> ClientMonitor::window_indices() const {
@@ -75,32 +85,39 @@ std::vector<std::int64_t> ClientMonitor::window_indices() const {
   return out;
 }
 
+void ClientMonitor::fill_features_from(const ClientWindow& c, sim::SimDuration window,
+                                       double* out) {
+  const double win_s = sim::to_seconds(window);
+  const auto total_bytes = static_cast<double>(c.bytes_total());
+  out[0] = static_cast<double>(c.n_read);
+  out[1] = static_cast<double>(c.n_write);
+  out[2] = static_cast<double>(c.n_meta);
+  out[3] = static_cast<double>(c.n_total());
+  out[4] = static_cast<double>(c.bytes_read);
+  out[5] = static_cast<double>(c.bytes_write);
+  out[6] = total_bytes;
+  out[7] = c.io_time_s;
+  out[8] = c.io_time_s > 0 ? total_bytes / c.io_time_s : 0.0;  // throughput
+  out[9] = static_cast<double>(c.n_total()) / win_s;           // IOPS
+}
+
+void ClientMonitor::fill_fault_features_from(const ClientWindow& c, double* out) {
+  out[0] = static_cast<double>(c.retries);
+  out[1] = static_cast<double>(c.timeouts);
+  out[2] = static_cast<double>(c.failed_ops);
+}
+
 void ClientMonitor::fill_features(std::int64_t window_index, int server, double* out) const {
   const ClientWindow* c = cell(window_index, server);
   const ClientWindow empty;
-  if (c == nullptr) c = &empty;
-  const double win_s = sim::to_seconds(window_);
-  const auto total_bytes = static_cast<double>(c->bytes_total());
-  out[0] = static_cast<double>(c->n_read);
-  out[1] = static_cast<double>(c->n_write);
-  out[2] = static_cast<double>(c->n_meta);
-  out[3] = static_cast<double>(c->n_total());
-  out[4] = static_cast<double>(c->bytes_read);
-  out[5] = static_cast<double>(c->bytes_write);
-  out[6] = total_bytes;
-  out[7] = c->io_time_s;
-  out[8] = c->io_time_s > 0 ? total_bytes / c->io_time_s : 0.0;  // throughput
-  out[9] = static_cast<double>(c->n_total()) / win_s;            // IOPS
+  fill_features_from(c == nullptr ? empty : *c, window_, out);
 }
 
 void ClientMonitor::fill_fault_features(std::int64_t window_index, int server,
                                         double* out) const {
   const ClientWindow* c = cell(window_index, server);
   const ClientWindow empty;
-  if (c == nullptr) c = &empty;
-  out[0] = static_cast<double>(c->retries);
-  out[1] = static_cast<double>(c->timeouts);
-  out[2] = static_cast<double>(c->failed_ops);
+  fill_fault_features_from(c == nullptr ? empty : *c, out);
 }
 
 }  // namespace qif::monitor

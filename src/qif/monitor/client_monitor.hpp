@@ -57,6 +57,18 @@ class ClientMonitor {
   /// MetricSchema::kFaultFeatures doubles.
   void fill_fault_features(std::int64_t window_index, int server, double* out) const;
 
+  /// Cell-based fill variants for the assembly hot path: the assembler
+  /// resolves a window's cell row once and fills every server from it,
+  /// instead of paying one map lookup per (window, server).
+  static void fill_features_from(const ClientWindow& c, sim::SimDuration window,
+                                 double* out);
+  static void fill_fault_features_from(const ClientWindow& c, double* out);
+
+  /// All per-server cells of one window (n_servers entries), or nullptr
+  /// when the window saw no ops.
+  [[nodiscard]] const std::vector<ClientWindow>* window_cells(
+      std::int64_t window_index) const;
+
   [[nodiscard]] const ClientWindow* cell(std::int64_t window_index, int server) const;
   [[nodiscard]] std::vector<std::int64_t> window_indices() const;
   [[nodiscard]] sim::SimDuration window() const { return window_; }
@@ -71,6 +83,13 @@ class ClientMonitor {
   std::int64_t ops_observed_ = 0;
   // window index -> per-server cells
   std::map<std::int64_t, std::vector<ClientWindow>> windows_;
+  // Hot-path state for observe(): ops cluster heavily by window, so the
+  // current window's cell row is cached (map nodes are stable, so the
+  // pointer survives later inserts), and the per-op resolved-target list
+  // reuses one scratch buffer instead of allocating per op.
+  std::int64_t cached_window_ = -1;
+  std::vector<ClientWindow>* cached_cells_ = nullptr;
+  std::vector<int> scratch_targets_;
 };
 
 }  // namespace qif::monitor

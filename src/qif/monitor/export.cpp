@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "qif/monitor/qlz.hpp"
 #include "qif/monitor/schema.hpp"
 
 namespace qif::monitor {
@@ -245,7 +246,12 @@ Dataset read_dataset_csv(std::istream& is) {
 namespace {
 
 constexpr char kQdsMagic[8] = {'q', 'i', 'f', '.', 'q', 'd', 's', '\n'};
-constexpr std::uint32_t kQdsVersion = 1;
+constexpr std::uint32_t kQdsVersionLegacy = 1;
+constexpr std::uint32_t kQdsVersionBlocks = 2;
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+constexpr std::size_t kQdsV2HeaderSize = 48;
+constexpr std::size_t kQdsBlockHeaderSize = 32;
+constexpr std::uint32_t kQdsFlagCompressed = 1u;
 
 /// Stream checksum: FNV-1a folded 8 bytes at a time (one xor-multiply per
 /// word instead of per byte), byte-wise over the tail.  Word-wise so the
@@ -272,15 +278,6 @@ void write_raw(std::ostream& os, const void* data, std::size_t n, std::uint64_t&
   hash = fnv1a(data, n, hash);
 }
 
-void read_raw(std::istream& is, void* data, std::size_t n, std::uint64_t& hash,
-              const char* what) {
-  is.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(is.gcount()) != n) {
-    throw std::runtime_error(std::string("truncated .qds dataset (") + what + ")");
-  }
-  hash = fnv1a(data, n, hash);
-}
-
 /// Schema hash stamped into headers: the canonical MetricSchema hash when
 /// the per-server width matches the healthy (37) or fault-injected (40)
 /// layout, 0 (unchecked) for custom widths such as the flat-net ablation's
@@ -293,16 +290,226 @@ std::uint64_t header_schema_hash(int dim) {
   return 0;
 }
 
-}  // namespace
-
-bool is_qds_magic(const char* bytes, std::size_t n) {
-  return n >= sizeof(kQdsMagic) && std::memcmp(bytes, kQdsMagic, sizeof(kQdsMagic)) == 0;
+template <typename T>
+[[nodiscard]] T load_at(const char* data, std::size_t offset) {
+  T v;
+  std::memcpy(&v, data + offset, sizeof v);
+  return v;
 }
 
-void write_dataset_qds(std::ostream& os, const Dataset& ds) {
+template <typename T>
+void append_value(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// One column block of a validated image: `stored` points into the image,
+/// `raw_bytes` is the decompressed size implied by the file header.
+struct QdsBlockRef {
+  std::uint32_t codec = 0;
+  const char* stored = nullptr;
+  std::size_t stored_bytes = 0;
+  std::size_t raw_bytes = 0;
+};
+
+struct QdsValidated {
+  std::uint32_t version = 0;
+  int n_servers = 0;
+  int dim = 0;
+  std::size_t rows = 0;
+  std::size_t width = 0;
+  bool all_raw = false;
+  QdsBlockRef blocks[4];  // window_index, label, degradation, features
+};
+
+/// Validates a complete in-memory `.qds` image: magic, header sanity,
+/// every checksum, exact size (no truncation, no trailing garbage), block
+/// framing and padding.  This is the single validation pass behind both
+/// the buffered reader and the mmap path, so both reject corruption with
+/// the identical error taxonomy.
+QdsValidated validate_qds_image(const char* data, std::size_t n) {
+  if (!is_qds_magic(data, n)) {
+    throw std::runtime_error("not a .qds dataset (bad magic)");
+  }
+  if (n < 36) throw std::runtime_error("truncated .qds dataset (header)");
+  QdsValidated v;
+  v.version = load_at<std::uint32_t>(data, 8);
+  if (v.version != kQdsVersionLegacy && v.version != kQdsVersionBlocks) {
+    throw std::runtime_error(".qds dataset: unsupported version " +
+                             std::to_string(v.version));
+  }
+  const auto schema_hash = load_at<std::uint64_t>(data, 12);
+  const auto n_servers = load_at<std::int32_t>(data, 20);
+  const auto dim = load_at<std::int32_t>(data, 24);
+  const auto rows = load_at<std::uint64_t>(data, 28);
+  if (n_servers < 0 || dim < 0 || (n_servers == 0) != (dim == 0)) {
+    throw std::runtime_error(".qds dataset: corrupt header shape");
+  }
+  if (schema_hash != 0 && schema_hash != header_schema_hash(dim)) {
+    throw std::runtime_error(".qds dataset: metric-schema hash mismatch");
+  }
+  const auto width = static_cast<std::uint64_t>(n_servers) * static_cast<std::uint64_t>(dim);
+  if ((n_servers == 0 && rows != 0) ||
+      (width != 0 &&
+       rows > std::numeric_limits<std::uint64_t>::max() / width / sizeof(double))) {
+    throw std::runtime_error(".qds dataset: corrupt header row count");
+  }
+  v.n_servers = n_servers;
+  v.dim = dim;
+  v.rows = static_cast<std::size_t>(rows);
+  v.width = static_cast<std::size_t>(width);
+  const std::uint64_t col_bytes[4] = {rows * sizeof(std::int64_t), rows * sizeof(std::int32_t),
+                                      rows * sizeof(double), rows * width * sizeof(double)};
+
+  if (v.version == kQdsVersionLegacy) {
+    // Legacy layout: contiguous columns, one trailing checksum over
+    // everything after the magic.  The exact-size comparison (128-bit so a
+    // hostile rows*width cannot wrap it) rejects truncation AND trailing
+    // garbage before any allocation.
+    unsigned __int128 need = 36 + sizeof(std::uint64_t);
+    for (const std::uint64_t c : col_bytes) need += c;
+    if (static_cast<unsigned __int128>(n) != need) {
+      throw std::runtime_error(static_cast<unsigned __int128>(n) < need
+                                   ? "truncated .qds dataset (declared payload exceeds file)"
+                                   : ".qds dataset: trailing garbage after payload");
+    }
+    // The word-folded FNV is chunk-boundary sensitive and the v1 writer
+    // hashes field by field, then column by column — reproduce exactly
+    // that sequence or every legacy file reads as corrupt.
+    std::uint64_t hash = kFnvBasis;
+    hash = fnv1a(data + 8, 4, hash);    // version
+    hash = fnv1a(data + 12, 8, hash);   // schema hash
+    hash = fnv1a(data + 20, 4, hash);   // n_servers
+    hash = fnv1a(data + 24, 4, hash);   // dim
+    hash = fnv1a(data + 28, 8, hash);   // rows
+    {
+      std::size_t off = 36;
+      for (const std::uint64_t c : col_bytes) {
+        hash = fnv1a(data + off, static_cast<std::size_t>(c), hash);
+        off += static_cast<std::size_t>(c);
+      }
+    }
+    if (hash != load_at<std::uint64_t>(data, n - sizeof(std::uint64_t))) {
+      throw std::runtime_error(".qds dataset: checksum mismatch");
+    }
+    std::size_t offset = 36;
+    for (int k = 0; k < 4; ++k) {
+      const auto bytes = static_cast<std::size_t>(col_bytes[k]);
+      v.blocks[k] = {0, data + offset, bytes, bytes};
+      offset += bytes;
+    }
+    v.all_raw = true;  // raw but misaligned — never zero-copy (see inspect)
+    return v;
+  }
+
+  // Version 2: header checksum, then four self-checksummed blocks.
+  if (n < kQdsV2HeaderSize) throw std::runtime_error("truncated .qds dataset (header)");
+  const auto flags = load_at<std::uint32_t>(data, 36);
+  if ((flags & ~kQdsFlagCompressed) != 0) {
+    throw std::runtime_error(".qds dataset: unknown header flags");
+  }
+  if (fnv1a(data + 8, 32, kFnvBasis) != load_at<std::uint64_t>(data, 40)) {
+    throw std::runtime_error(".qds dataset: header checksum mismatch");
+  }
+  // Pre-allocation guard: with compression a block's raw size legitimately
+  // exceeds the file size, but qlz expands at most ~255x, so a total
+  // declared raw payload beyond 256x the image is a forged header — reject
+  // it before the materializing caller allocates columns.
+  unsigned __int128 total_raw = 0;
+  for (const std::uint64_t c : col_bytes) total_raw += c;
+  if (total_raw > static_cast<unsigned __int128>(n) * 256 + 4096) {
+    throw std::runtime_error("truncated .qds dataset (declared payload exceeds file)");
+  }
+  std::size_t offset = kQdsV2HeaderSize;
+  bool any_compressed = false;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    if (n - offset < kQdsBlockHeaderSize) {
+      throw std::runtime_error("truncated .qds dataset (block header)");
+    }
+    const auto kind = load_at<std::uint32_t>(data, offset);
+    const auto codec = load_at<std::uint32_t>(data, offset + 4);
+    const auto raw_bytes = load_at<std::uint64_t>(data, offset + 8);
+    const auto stored_bytes = load_at<std::uint64_t>(data, offset + 16);
+    const auto checksum = load_at<std::uint64_t>(data, offset + 24);
+    if (kind != k) throw std::runtime_error(".qds dataset: block order mismatch");
+    if (codec > static_cast<std::uint32_t>(QdsCodec::kQlz)) {
+      throw std::runtime_error(".qds dataset: unknown block codec");
+    }
+    if (raw_bytes != col_bytes[k]) {
+      throw std::runtime_error(".qds dataset: block size mismatch");
+    }
+    if (codec == 0 ? stored_bytes != raw_bytes : stored_bytes >= raw_bytes) {
+      throw std::runtime_error(".qds dataset: block size mismatch");
+    }
+    if (stored_bytes > n - offset - kQdsBlockHeaderSize) {
+      throw std::runtime_error("truncated .qds dataset (block payload)");
+    }
+    const char* payload = data + offset + kQdsBlockHeaderSize;
+    std::uint64_t h = fnv1a(data + offset, 24, kFnvBasis);
+    h = fnv1a(payload, static_cast<std::size_t>(stored_bytes), h);
+    if (h != checksum) throw std::runtime_error(".qds dataset: checksum mismatch");
+    const std::size_t pad = (8 - static_cast<std::size_t>(stored_bytes) % 8) % 8;
+    if (pad > n - offset - kQdsBlockHeaderSize - static_cast<std::size_t>(stored_bytes)) {
+      throw std::runtime_error("truncated .qds dataset (block padding)");
+    }
+    for (std::size_t b = 0; b < pad; ++b) {
+      // Pad bytes sit outside the checksummed payload, so a flip there
+      // must still be caught: they are defined to be zero.
+      if (payload[stored_bytes + b] != 0) {
+        throw std::runtime_error(".qds dataset: nonzero block padding");
+      }
+    }
+    if (codec != 0) any_compressed = true;
+    v.blocks[k] = {codec, payload, static_cast<std::size_t>(stored_bytes),
+                   static_cast<std::size_t>(raw_bytes)};
+    offset += kQdsBlockHeaderSize + static_cast<std::size_t>(stored_bytes) + pad;
+  }
+  if (((flags & kQdsFlagCompressed) != 0) != any_compressed) {
+    throw std::runtime_error(".qds dataset: header flags mismatch");
+  }
+  if (offset != n) throw std::runtime_error(".qds dataset: trailing garbage after payload");
+  v.all_raw = !any_compressed;
+  return v;
+}
+
+void materialize_block(const QdsBlockRef& block, void* dst) {
+  if (block.codec == 0) {
+    std::memcpy(dst, block.stored, block.raw_bytes);
+  } else {
+    qlz_decompress(block.stored, block.stored_bytes, dst, block.raw_bytes);
+  }
+}
+
+template <typename T>
+[[nodiscard]] bool aligned_for(const char* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0;
+}
+
+/// Reads the rest of the stream into a string: sized read when seekable,
+/// rdbuf drain otherwise.
+std::string slurp_stream(std::istream& is) {
+  if (const auto cur = is.tellg(); cur != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(cur);
+    if (is && end != std::istream::pos_type(-1) && end >= cur) {
+      std::string out(static_cast<std::size_t>(end - cur), '\0');
+      is.read(out.data(), static_cast<std::streamsize>(out.size()));
+      if (static_cast<std::size_t>(is.gcount()) != out.size()) {
+        throw std::runtime_error("truncated .qds dataset (stream read)");
+      }
+      return out;
+    }
+    is.clear();
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_dataset_qds_v1(std::ostream& os, const Dataset& ds) {
   os.write(kQdsMagic, sizeof(kQdsMagic));
-  std::uint64_t hash = 14695981039346656037ull;
-  const std::uint32_t version = kQdsVersion;
+  std::uint64_t hash = kFnvBasis;
+  const std::uint32_t version = kQdsVersionLegacy;
   const std::uint64_t schema_hash = header_schema_hash(ds.dim());
   const std::int32_t n_servers = ds.n_servers();
   const std::int32_t dim = ds.dim();
@@ -312,103 +519,154 @@ void write_dataset_qds(std::ostream& os, const Dataset& ds) {
   write_raw(os, &n_servers, sizeof(n_servers), hash);
   write_raw(os, &dim, sizeof(dim), hash);
   write_raw(os, &rows, sizeof(rows), hash);
-  write_raw(os, ds.window_index_column().data(), ds.size() * sizeof(std::int64_t), hash);
-  write_raw(os, ds.label_column().data(), ds.size() * sizeof(std::int32_t), hash);
-  write_raw(os, ds.degradation_column().data(), ds.size() * sizeof(double), hash);
-  write_raw(os, ds.feature_block().data(), ds.feature_block().size() * sizeof(double), hash);
+  write_raw(os, ds.window_index_data(), ds.size() * sizeof(std::int64_t), hash);
+  write_raw(os, ds.label_data(), ds.size() * sizeof(std::int32_t), hash);
+  write_raw(os, ds.degradation_data(), ds.size() * sizeof(double), hash);
+  write_raw(os, ds.feature_data(), ds.size() * ds.width() * sizeof(double), hash);
   os.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+}
+
+/// Appends one v2 block (header + payload + zero padding), compressing
+/// when requested AND strictly smaller.
+void append_block_v2(std::string& out, std::uint32_t kind, const void* raw,
+                     std::size_t raw_bytes, QdsCodec want, bool& any_compressed) {
+  std::vector<char> compressed;
+  std::uint32_t codec = 0;
+  const char* stored = static_cast<const char*>(raw);
+  std::size_t stored_bytes = raw_bytes;
+  if (want == QdsCodec::kQlz && raw_bytes >= 64) {
+    compressed.resize(raw_bytes - 1);  // capacity < raw: only keep a strict win
+    if (const std::size_t c = qlz_compress(raw, raw_bytes, compressed.data(),
+                                           compressed.size())) {
+      codec = static_cast<std::uint32_t>(QdsCodec::kQlz);
+      stored = compressed.data();
+      stored_bytes = c;
+      any_compressed = true;
+    }
+  }
+  char header[24];
+  std::memcpy(header, &kind, sizeof kind);
+  std::memcpy(header + 4, &codec, sizeof codec);
+  const std::uint64_t raw64 = raw_bytes;
+  const std::uint64_t stored64 = stored_bytes;
+  std::memcpy(header + 8, &raw64, sizeof raw64);
+  std::memcpy(header + 16, &stored64, sizeof stored64);
+  std::uint64_t checksum = fnv1a(header, sizeof header, kFnvBasis);
+  checksum = fnv1a(stored, stored_bytes, checksum);
+  out.append(header, sizeof header);
+  append_value(out, checksum);
+  out.append(stored, stored_bytes);
+  out.append((8 - stored_bytes % 8) % 8, '\0');
+}
+
+}  // namespace
+
+bool is_qds_magic(const char* bytes, std::size_t n) {
+  return n >= sizeof(kQdsMagic) && std::memcmp(bytes, kQdsMagic, sizeof(kQdsMagic)) == 0;
+}
+
+std::uint64_t qds_image_checksum(const void* data, std::size_t n) {
+  return fnv1a(data, n, kFnvBasis);
+}
+
+void write_dataset_qds(std::ostream& os, const Dataset& ds, const QdsWriteOptions& options) {
+  static_assert(sizeof(int) == sizeof(std::int32_t), "label column is stored as i32");
+  if (options.version == kQdsVersionLegacy) {
+    write_dataset_qds_v1(os, ds);
+    if (!os) throw std::runtime_error("failed writing .qds dataset");
+    return;
+  }
+  if (options.version != kQdsVersionBlocks) {
+    throw std::runtime_error(".qds dataset: unsupported version " +
+                             std::to_string(options.version));
+  }
+  const std::size_t rows = ds.size();
+  std::string blocks;
+  blocks.reserve(rows * (sizeof(std::int64_t) + sizeof(std::int32_t) + sizeof(double) +
+                         ds.width() * sizeof(double)) +
+                 4 * kQdsBlockHeaderSize);
+  bool any_compressed = false;
+  append_block_v2(blocks, 0, ds.window_index_data(), rows * sizeof(std::int64_t),
+                  options.codec, any_compressed);
+  append_block_v2(blocks, 1, ds.label_data(), rows * sizeof(std::int32_t), options.codec,
+                  any_compressed);
+  append_block_v2(blocks, 2, ds.degradation_data(), rows * sizeof(double), options.codec,
+                  any_compressed);
+  append_block_v2(blocks, 3, ds.feature_data(), rows * ds.width() * sizeof(double),
+                  options.codec, any_compressed);
+
+  std::string header(kQdsMagic, sizeof(kQdsMagic));
+  append_value(header, kQdsVersionBlocks);
+  append_value(header, header_schema_hash(ds.dim()));
+  append_value(header, static_cast<std::int32_t>(ds.n_servers()));
+  append_value(header, static_cast<std::int32_t>(ds.dim()));
+  append_value(header, static_cast<std::uint64_t>(rows));
+  append_value(header, any_compressed ? kQdsFlagCompressed : 0u);
+  append_value(header, fnv1a(header.data() + 8, 32, kFnvBasis));
+
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(blocks.data(), static_cast<std::streamsize>(blocks.size()));
   if (!os) throw std::runtime_error("failed writing .qds dataset");
 }
 
-Dataset read_dataset_qds(std::istream& is) {
-  char magic[sizeof(kQdsMagic)] = {};
-  is.read(magic, sizeof(magic));
-  if (static_cast<std::size_t>(is.gcount()) != sizeof(magic) ||
-      !is_qds_magic(magic, sizeof(magic))) {
-    throw std::runtime_error("not a .qds dataset (bad magic)");
+QdsImageView inspect_dataset_qds(const char* data, std::size_t n) {
+  const QdsValidated v = validate_qds_image(data, n);
+  QdsImageView view;
+  view.version = v.version;
+  view.n_servers = v.n_servers;
+  view.dim = v.dim;
+  view.rows = v.rows;
+  // Zero-copy needs raw v2 blocks (v1 columns are raw too, but the 36-byte
+  // header leaves them misaligned) and an 8-aligned base — true for any
+  // mmap, not necessarily for an arbitrary heap buffer.
+  view.zero_copy = v.version == kQdsVersionBlocks && v.all_raw &&
+                   aligned_for<std::int64_t>(v.blocks[0].stored) &&
+                   aligned_for<std::int32_t>(v.blocks[1].stored) &&
+                   aligned_for<double>(v.blocks[2].stored) &&
+                   aligned_for<double>(v.blocks[3].stored);
+  if (view.zero_copy) {
+    view.window_index = reinterpret_cast<const std::int64_t*>(v.blocks[0].stored);
+    view.label = reinterpret_cast<const std::int32_t*>(v.blocks[1].stored);
+    view.degradation = reinterpret_cast<const double*>(v.blocks[2].stored);
+    view.features = reinterpret_cast<const double*>(v.blocks[3].stored);
   }
-  std::uint64_t hash = 14695981039346656037ull;
-  std::uint32_t version = 0;
-  std::uint64_t schema_hash = 0;
-  std::int32_t n_servers = 0;
-  std::int32_t dim = 0;
-  std::uint64_t rows = 0;
-  read_raw(is, &version, sizeof(version), hash, "version");
-  if (version != kQdsVersion) {
-    throw std::runtime_error(".qds dataset: unsupported version " + std::to_string(version));
-  }
-  read_raw(is, &schema_hash, sizeof(schema_hash), hash, "schema hash");
-  read_raw(is, &n_servers, sizeof(n_servers), hash, "n_servers");
-  read_raw(is, &dim, sizeof(dim), hash, "dim");
-  read_raw(is, &rows, sizeof(rows), hash, "row count");
-  if (n_servers < 0 || dim < 0 || (n_servers == 0) != (dim == 0)) {
-    throw std::runtime_error(".qds dataset: corrupt header shape");
-  }
-  if (schema_hash != 0 && schema_hash != header_schema_hash(dim)) {
-    throw std::runtime_error(".qds dataset: metric-schema hash mismatch");
-  }
-  const auto width = static_cast<std::uint64_t>(n_servers) * static_cast<std::uint64_t>(dim);
-  if ((n_servers == 0 && rows != 0) ||
-      (width != 0 && rows > std::numeric_limits<std::uint64_t>::max() / width / sizeof(double))) {
-    throw std::runtime_error(".qds dataset: corrupt header row count");
-  }
-  // When the stream is seekable, bound the declared payload against the
-  // real stream size *before* allocating columns: a bit-flipped
-  // n_servers/dim/rows would otherwise drive a multi-gigabyte allocation
-  // (or OOM crash) ahead of the truncation checks.  Exactness also rejects
-  // trailing garbage, which the sequential reads would silently ignore.
-  if (const auto cur = is.tellg(); cur != std::istream::pos_type(-1)) {
-    is.seekg(0, std::ios::end);
-    const auto stream_end = is.tellg();
-    is.seekg(cur);
-    if (!is || stream_end == std::istream::pos_type(-1) || stream_end < cur) {
-      throw std::runtime_error(".qds dataset: stream seek failed");
-    }
-    const auto have = static_cast<std::uint64_t>(stream_end - cur);
-    // 128-bit so a hostile rows * width cannot wrap the comparison.
-    const auto need = static_cast<unsigned __int128>(rows) *
-                          (sizeof(std::int64_t) + sizeof(std::int32_t) + sizeof(double) +
-                           static_cast<unsigned __int128>(width) * sizeof(double)) +
-                      sizeof(std::uint64_t);
-    if (static_cast<unsigned __int128>(have) != need) {
-      throw std::runtime_error(have < need
-                                   ? "truncated .qds dataset (declared payload exceeds file)"
-                                   : ".qds dataset: trailing garbage after payload");
-    }
-  }
+  return view;
+}
 
-  static_assert(sizeof(int) == sizeof(std::int32_t), "label column is stored as i32");
-  std::vector<std::int64_t> windows(rows);
-  std::vector<int> labels(rows);
-  std::vector<double> degradations(rows);
-  std::vector<double> features(rows * width);
-  read_raw(is, windows.data(), rows * sizeof(std::int64_t), hash, "window column");
-  read_raw(is, labels.data(), rows * sizeof(std::int32_t), hash, "label column");
-  read_raw(is, degradations.data(), rows * sizeof(double), hash, "degradation column");
-  read_raw(is, features.data(), features.size() * sizeof(double), hash, "feature block");
-  std::uint64_t stored = 0;
-  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (static_cast<std::size_t>(is.gcount()) != sizeof(stored)) {
-    throw std::runtime_error("truncated .qds dataset (checksum)");
-  }
-  if (stored != hash) throw std::runtime_error(".qds dataset: checksum mismatch");
-  return Dataset::from_columns(n_servers, dim, std::move(windows), std::move(labels),
+Dataset parse_dataset_qds(const char* data, std::size_t n) {
+  const QdsValidated v = validate_qds_image(data, n);
+  std::vector<std::int64_t> windows(v.rows);
+  std::vector<int> labels(v.rows);
+  std::vector<double> degradations(v.rows);
+  std::vector<double> features(v.rows * v.width);
+  materialize_block(v.blocks[0], windows.data());
+  materialize_block(v.blocks[1], labels.data());
+  materialize_block(v.blocks[2], degradations.data());
+  materialize_block(v.blocks[3], features.data());
+  return Dataset::from_columns(v.n_servers, v.dim, std::move(windows), std::move(labels),
                                std::move(degradations), std::move(features));
+}
+
+Dataset read_dataset_qds(std::istream& is) {
+  const std::string image = slurp_stream(is);
+  return parse_dataset_qds(image.data(), image.size());
 }
 
 Dataset read_dataset_auto(std::istream& is) {
   char magic[sizeof(kQdsMagic)] = {};
   is.read(magic, sizeof(magic));
   const auto got = static_cast<std::size_t>(is.gcount());
-  if (got == sizeof(magic) && is_qds_magic(magic, sizeof(magic))) {
-    is.clear();
-    is.seekg(0);
-    if (!is) throw std::runtime_error("dataset stream is not seekable");
-    return read_dataset_qds(is);
+  // A zero-byte or shorter-than-magic stream is neither format: say so
+  // directly instead of letting the CSV parser report a garbage cell.
+  if (got == 0) throw std::runtime_error("empty dataset (no bytes to read)");
+  if (got < sizeof(magic)) {
+    throw std::runtime_error("truncated dataset: " + std::to_string(got) +
+                             " byte(s) is shorter than any dataset header");
   }
   is.clear();
   is.seekg(0);
   if (!is) throw std::runtime_error("dataset stream is not seekable");
+  if (is_qds_magic(magic, sizeof(magic))) return read_dataset_qds(is);
   return read_dataset_csv(is);
 }
 

@@ -10,23 +10,57 @@
 //
 // .qds layout (all integers little-endian on every supported target —
 // values are written in native byte order and the format is not intended
-// as a cross-endian interchange file):
+// as a cross-endian interchange file).  Both versions share the header
+// field offsets; version 2 is the default writer output.
+//
+// Common header:
 //
 //   offset  size  field
 //   0       8     magic "qif.qds\n"
-//   8       4     u32 version (currently 1)
+//   8       4     u32 version (1 or 2)
 //   12      8     u64 metric-schema layout hash (0 when dim is custom)
 //   20      4     i32 n_servers
 //   24      4     i32 dim
 //   28      8     u64 row count N
+//
+// Version 1 (legacy, still read and writable via QdsWriteOptions):
+//
 //   36      8N    i64 window_index column
 //   ...     4N    i32 label column
 //   ...     8N    f64 degradation column
 //   ...     8NW   f64 feature block, row-major, W = n_servers*dim
 //   tail    8     u64 FNV-1a checksum (folded 8 bytes at a time, byte-wise
 //                 tail) over everything after the magic
+//
+// Version 2 (block format — mmap-friendly and optionally compressed):
+//
+//   36      4     u32 flags (bit 0: at least one block is compressed;
+//                 all other bits reserved, must be zero)
+//   40      8     u64 header checksum: FNV-1a over bytes [8, 40)
+//   48      ...   4 column blocks, in order: window_index (i64),
+//                 label (i32), degradation (f64), features (f64)
+//
+// Each block is a 32-byte header followed by an 8-byte-aligned payload:
+//
+//   +0      4     u32 kind (0..3, must match the block's position)
+//   +4      4     u32 codec (0 = raw, 1 = qlz; see qlz.hpp)
+//   +8      8     u64 raw (uncompressed) byte count — must equal the
+//                 size implied by the file header's N and shape
+//   +16     8     u64 stored (on-disk) byte count
+//   +24     8     u64 block checksum: FNV-1a over the 24 header bytes
+//                 above, then the stored payload bytes
+//   +32     ...   payload, zero-padded to the next 8-byte boundary
+//                 (pad bytes are verified zero on read)
+//
+// The 48-byte file header and 32-byte block headers keep every raw
+// payload 8-aligned relative to the file start, so a page-aligned mmap of
+// an uncompressed v2 file can hand out column pointers directly — the
+// zero-copy path behind map_dataset_qds() in qds_file.hpp.  The reader
+// checks the exact file size against the declared blocks, so truncation
+// and trailing garbage are rejected before any allocation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -55,20 +89,69 @@ void write_dataset_csv(std::ostream& os, const Dataset& ds);
 /// longer decays to 0), inconsistent width, or a bad header.
 [[nodiscard]] Dataset read_dataset_csv(std::istream& is);
 
+/// Per-block storage codec for `.qds` version 2.
+enum class QdsCodec : std::uint32_t {
+  kRaw = 0,
+  kQlz = 1,  // LZ4-style block compression, see qlz.hpp
+};
+
+/// Writer knobs for write_dataset_qds.  `codec` is a *request*: each block
+/// is stored raw whenever compression would not make it strictly smaller,
+/// so incompressible feature blocks never pay an expansion penalty.
+/// Version 1 ignores the codec (the legacy layout has no block framing).
+struct QdsWriteOptions {
+  std::uint32_t version = 2;
+  QdsCodec codec = QdsCodec::kRaw;
+};
+
 /// Writes the versioned binary `.qds` dataset (see format table above).
 /// Throws std::runtime_error when the stream fails.
-void write_dataset_qds(std::ostream& os, const Dataset& ds);
+void write_dataset_qds(std::ostream& os, const Dataset& ds,
+                       const QdsWriteOptions& options = {});
 
-/// Reads a `.qds` dataset.  Throws std::runtime_error on bad magic,
-/// unsupported version, schema-hash mismatch, truncation, or a checksum
-/// mismatch.
+/// Reads a `.qds` dataset (either version).  Throws std::runtime_error on
+/// bad magic, unsupported version, schema-hash mismatch, truncation,
+/// trailing garbage, or a checksum mismatch.
 [[nodiscard]] Dataset read_dataset_qds(std::istream& is);
+
+/// Fully-validated view over a complete in-memory `.qds` image.  When the
+/// image is version 2 with every block stored raw (and the base pointer is
+/// suitably aligned, which any mmap is), the column pointers alias the
+/// image directly and `zero_copy` is true; otherwise the pointers are null
+/// and the caller must materialize via parse_dataset_qds.
+struct QdsImageView {
+  std::uint32_t version = 0;
+  int n_servers = 0;
+  int dim = 0;
+  std::size_t rows = 0;
+  bool zero_copy = false;
+  const std::int64_t* window_index = nullptr;
+  const std::int32_t* label = nullptr;
+  const double* degradation = nullptr;
+  const double* features = nullptr;
+};
+
+/// Validates every byte of an in-memory `.qds` image (header, shape,
+/// per-block checksums, padding, exact size) and reports whether it can be
+/// consumed in place.  Throws std::runtime_error with the same taxonomy as
+/// read_dataset_qds — this *is* the reader's validation pass.
+[[nodiscard]] QdsImageView inspect_dataset_qds(const char* data, std::size_t n);
+
+/// Materializes an owned Dataset from a complete in-memory `.qds` image
+/// (decompressing blocks as needed).  Same validation as inspect.
+[[nodiscard]] Dataset parse_dataset_qds(const char* data, std::size_t n);
 
 /// True when the 8 bytes at `bytes` are the `.qds` magic.
 [[nodiscard]] bool is_qds_magic(const char* bytes, std::size_t n);
 
+/// Whole-buffer checksum in the format's hash (word-folded FNV-1a).  Used
+/// by the `.qdm` manifest to pin each shard file's exact bytes.
+[[nodiscard]] std::uint64_t qds_image_checksum(const void* data, std::size_t n);
+
 /// Sniffs the stream's leading bytes and dispatches to the `.qds` or CSV
-/// reader.  Requires a seekable stream (files, stringstreams).
+/// reader.  Requires a seekable stream (files, stringstreams).  An empty
+/// or shorter-than-magic stream throws a dedicated "empty/truncated
+/// dataset" error instead of falling through to the CSV parser.
 [[nodiscard]] Dataset read_dataset_auto(std::istream& is);
 
 }  // namespace qif::monitor

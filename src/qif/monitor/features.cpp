@@ -2,11 +2,20 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace qif::monitor {
 
+void FeatureTable::require_owned(const char* what) const {
+  if (borrowed_) {
+    throw std::logic_error(std::string("FeatureTable::") + what +
+                           ": table borrows external (mmap) storage and is read-only");
+  }
+}
+
 void FeatureTable::set_shape(int n_servers, int dim) {
   if (n_servers == n_servers_ && dim == dim_) return;
+  require_owned("set_shape");
   if (!empty()) {
     throw std::invalid_argument("FeatureTable::set_shape: table already has rows");
   }
@@ -28,6 +37,7 @@ void FeatureTable::reshape(int n_servers, int dim) {
 }
 
 void FeatureTable::reserve(std::size_t rows) {
+  require_owned("reserve");
   features_.reserve(rows * width());
   window_index_.reserve(rows);
   label_.reserve(rows);
@@ -35,6 +45,14 @@ void FeatureTable::reserve(std::size_t rows) {
 }
 
 void FeatureTable::clear() {
+  // Clearing a borrowed table releases the borrow: it becomes an empty
+  // owned table with the same shape.
+  borrowed_ = false;
+  borrowed_rows_ = 0;
+  b_window_index_ = nullptr;
+  b_label_ = nullptr;
+  b_degradation_ = nullptr;
+  b_features_ = nullptr;
   features_.clear();
   window_index_.clear();
   label_.clear();
@@ -42,6 +60,7 @@ void FeatureTable::clear() {
 }
 
 double* FeatureTable::append_row(std::int64_t window_index, int label, double degradation) {
+  require_owned("append_row");
   if (width() == 0) {
     throw std::invalid_argument("FeatureTable::append_row: shape not set");
   }
@@ -59,6 +78,7 @@ void FeatureTable::append_row(std::int64_t window_index, int label, double degra
 }
 
 void FeatureTable::append(const FeatureTable& other) {
+  require_owned("append");
   // The assert this check replaces vanished in release builds and let a
   // mismatched shard silently corrupt the row geometry.
   if (n_servers_ != 0 && other.n_servers_ != 0 &&
@@ -66,12 +86,16 @@ void FeatureTable::append(const FeatureTable& other) {
     throw std::invalid_argument("FeatureTable::append: shape mismatch");
   }
   if (n_servers_ == 0) set_shape(other.n_servers_, other.dim_);
-  features_.insert(features_.end(), other.features_.begin(), other.features_.end());
-  window_index_.insert(window_index_.end(), other.window_index_.begin(),
-                       other.window_index_.end());
-  label_.insert(label_.end(), other.label_.begin(), other.label_.end());
-  degradation_.insert(degradation_.end(), other.degradation_.begin(),
-                      other.degradation_.end());
+  // Read through the data pointers so a borrowed (mmap-backed) source
+  // appends without materializing first — the `qif dataset merge` path.
+  const std::size_t n = other.size();
+  features_.insert(features_.end(), other.feature_data(),
+                   other.feature_data() + n * other.width());
+  window_index_.insert(window_index_.end(), other.window_index_data(),
+                       other.window_index_data() + n);
+  label_.insert(label_.end(), other.label_data(), other.label_data() + n);
+  degradation_.insert(degradation_.end(), other.degradation_data(),
+                      other.degradation_data() + n);
 }
 
 FeatureTable FeatureTable::from_columns(int n_servers, int dim,
@@ -93,17 +117,41 @@ FeatureTable FeatureTable::from_columns(int n_servers, int dim,
   return out;
 }
 
+FeatureTable FeatureTable::from_borrowed(int n_servers, int dim, std::size_t rows,
+                                         const std::int64_t* window_index,
+                                         const std::int32_t* label,
+                                         const double* degradation,
+                                         const double* features) {
+  static_assert(sizeof(int) == sizeof(std::int32_t), "label column is borrowed as i32");
+  FeatureTable out;
+  out.set_shape(n_servers, dim);
+  if (out.width() == 0 && rows != 0) {
+    throw std::invalid_argument("FeatureTable::from_borrowed: rows without a shape");
+  }
+  out.borrowed_ = true;
+  out.borrowed_rows_ = rows;
+  out.b_window_index_ = window_index;
+  out.b_label_ = reinterpret_cast<const int*>(label);
+  out.b_degradation_ = degradation;
+  out.b_features_ = features;
+  return out;
+}
+
 std::size_t FeatureTable::find_window_sorted(std::int64_t w) const {
-  const auto it = std::lower_bound(window_index_.begin(), window_index_.end(), w);
-  if (it == window_index_.end() || *it != w) return npos;
-  return static_cast<std::size_t>(it - window_index_.begin());
+  const std::int64_t* first = window_index_data();
+  const std::int64_t* last = first + size();
+  const auto* it = std::lower_bound(first, last, w);
+  if (it == last || *it != w) return npos;
+  return static_cast<std::size_t>(it - first);
 }
 
 std::vector<std::size_t> FeatureTable::class_histogram() const {
+  const int* labels = label_data();
+  const std::size_t n = size();
   int max_label = 0;
-  for (const int l : label_) max_label = std::max(max_label, l);
+  for (std::size_t i = 0; i < n; ++i) max_label = std::max(max_label, labels[i]);
   std::vector<std::size_t> hist(static_cast<std::size_t>(max_label) + 1, 0);
-  for (const int l : label_) hist[static_cast<std::size_t>(l)] += 1;
+  for (std::size_t i = 0; i < n; ++i) hist[static_cast<std::size_t>(labels[i])] += 1;
   return hist;
 }
 
@@ -126,18 +174,49 @@ FeatureTable TableView::materialize() const {
   return out;
 }
 
+std::vector<std::size_t> RowAccess::class_histogram() const {
+  const std::size_t n = size();
+  int max_label = 0;
+  for (std::size_t i = 0; i < n; ++i) max_label = std::max(max_label, label(i));
+  std::vector<std::size_t> hist(static_cast<std::size_t>(max_label) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) hist[static_cast<std::size_t>(label(i))] += 1;
+  return hist;
+}
+
+FeatureTable RowAccess::materialize() const {
+  FeatureTable out;
+  if (n_servers() == 0) return out;
+  out.set_shape(n_servers(), dim());
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.append_row(window_index(i), label(i), degradation(i), row(i));
+  }
+  return out;
+}
+
 void FeatureAssembler::fill_window(std::int64_t window_index, double* out) const {
+  // Hot path for campaign assembly: resolve each monitor's cell row for
+  // this window once, then fill every server from it — instead of one map
+  // lookup per (window, server) per slice.  Every slot in the vector is
+  // written by a fill helper (client + optional fault + server slices
+  // cover dim() exactly), so no zero pre-fill is needed.
   const int d = dim();
+  const std::vector<ClientWindow>* ccells = client_.window_cells(window_index);
+  const std::vector<ServerWindow>* scells = server_.window_cells(window_index);
+  const ClientWindow empty_client;
+  const sim::SimDuration win = client_.window();
   for (int s = 0; s < n_servers_; ++s) {
     double* vec = out + static_cast<std::size_t>(s) * d;
-    std::fill(vec, vec + d, 0.0);
-    client_.fill_features(window_index, s, vec);
+    const ClientWindow& c =
+        ccells == nullptr ? empty_client : (*ccells)[static_cast<std::size_t>(s)];
+    ClientMonitor::fill_features_from(c, win, vec);
     double* rest = vec + MetricSchema::kClientFeatures;
     if (with_fault_features_) {
-      client_.fill_fault_features(window_index, s, rest);
+      ClientMonitor::fill_fault_features_from(c, rest);
       rest += MetricSchema::kFaultFeatures;
     }
-    server_.fill_features(window_index, s, rest);
+    ServerMonitor::fill_features_from(
+        scells == nullptr ? nullptr : &(*scells)[static_cast<std::size_t>(s)], rest);
   }
 }
 

@@ -27,6 +27,15 @@ namespace qif::monitor {
 /// columns.  The shape (n_servers, dim) is fixed once rows exist; all
 /// mutation goes through append_row/append, which grow every column in
 /// lockstep so the parallel-array invariant cannot be broken from outside.
+///
+/// A table either *owns* its columns (the default) or *borrows* them from
+/// an external image via from_borrowed() — the zero-copy mmap path, where
+/// the columns live inside a mapped `.qds` file.  A borrowed table is
+/// read-only: every mutating member throws std::logic_error, as do the
+/// vector-returning column accessors (use the *_data() pointers, which
+/// work for both storage modes).  The borrower must keep the backing image
+/// alive for the table's lifetime (MappedDataset in qds_file.hpp pairs the
+/// two).
 class FeatureTable {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -40,8 +49,12 @@ class FeatureTable {
   [[nodiscard]] std::size_t width() const {
     return static_cast<std::size_t>(n_servers_) * static_cast<std::size_t>(dim_);
   }
-  [[nodiscard]] std::size_t size() const { return window_index_.size(); }
-  [[nodiscard]] bool empty() const { return window_index_.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    return borrowed_ ? borrowed_rows_ : window_index_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// True when the columns alias external storage (see from_borrowed).
+  [[nodiscard]] bool borrowed() const { return borrowed_; }
 
   /// Sets the shape.  Throws std::invalid_argument when rows already exist
   /// with a different shape, or when exactly one of n_servers/dim is zero.
@@ -54,21 +67,55 @@ class FeatureTable {
   void reserve(std::size_t rows);
   void clear();
 
-  // Column access (parallel arrays, all of length size()).
-  [[nodiscard]] const std::vector<double>& feature_block() const { return features_; }
-  [[nodiscard]] std::vector<double>& mutable_feature_block() { return features_; }
+  // Column access as vectors (owned tables only — throws std::logic_error
+  // on a borrowed table; prefer the *_data() pointers below).
+  [[nodiscard]] const std::vector<double>& feature_block() const {
+    require_owned("feature_block");
+    return features_;
+  }
+  [[nodiscard]] std::vector<double>& mutable_feature_block() {
+    require_owned("mutable_feature_block");
+    return features_;
+  }
   [[nodiscard]] const std::vector<std::int64_t>& window_index_column() const {
+    require_owned("window_index_column");
     return window_index_;
   }
-  [[nodiscard]] const std::vector<int>& label_column() const { return label_; }
-  [[nodiscard]] const std::vector<double>& degradation_column() const { return degradation_; }
+  [[nodiscard]] const std::vector<int>& label_column() const {
+    require_owned("label_column");
+    return label_;
+  }
+  [[nodiscard]] const std::vector<double>& degradation_column() const {
+    require_owned("degradation_column");
+    return degradation_;
+  }
+
+  // Column access as raw pointers (length size(); valid for owned and
+  // borrowed storage alike — the canonical way to read columns).
+  [[nodiscard]] const double* feature_data() const {
+    return borrowed_ ? b_features_ : features_.data();
+  }
+  [[nodiscard]] const std::int64_t* window_index_data() const {
+    return borrowed_ ? b_window_index_ : window_index_.data();
+  }
+  [[nodiscard]] const int* label_data() const {
+    return borrowed_ ? b_label_ : label_.data();
+  }
+  [[nodiscard]] const double* degradation_data() const {
+    return borrowed_ ? b_degradation_ : degradation_.data();
+  }
 
   // Row access.
-  [[nodiscard]] const double* row(std::size_t i) const { return features_.data() + i * width(); }
-  [[nodiscard]] double* row(std::size_t i) { return features_.data() + i * width(); }
-  [[nodiscard]] std::int64_t window_index(std::size_t i) const { return window_index_[i]; }
-  [[nodiscard]] int label(std::size_t i) const { return label_[i]; }
-  [[nodiscard]] double degradation(std::size_t i) const { return degradation_[i]; }
+  [[nodiscard]] const double* row(std::size_t i) const { return feature_data() + i * width(); }
+  [[nodiscard]] double* row(std::size_t i) {
+    require_owned("row (mutable)");
+    return features_.data() + i * width();
+  }
+  [[nodiscard]] std::int64_t window_index(std::size_t i) const {
+    return window_index_data()[i];
+  }
+  [[nodiscard]] int label(std::size_t i) const { return label_data()[i]; }
+  [[nodiscard]] double degradation(std::size_t i) const { return degradation_data()[i]; }
   /// One row's features copied out (interop convenience; the hot paths
   /// read row() in place).
   [[nodiscard]] std::vector<double> row_vector(std::size_t i) const {
@@ -95,6 +142,17 @@ class FeatureTable {
                                                  std::vector<double> degradation,
                                                  std::vector<double> features);
 
+  /// Wraps external column storage without copying (the mmap zero-copy
+  /// path).  The caller owns the backing memory and must keep it alive
+  /// and unchanged for the table's lifetime; `features` must hold
+  /// rows * n_servers * dim doubles and the other columns `rows` entries.
+  /// The resulting table is read-only (see class comment).
+  [[nodiscard]] static FeatureTable from_borrowed(int n_servers, int dim, std::size_t rows,
+                                                  const std::int64_t* window_index,
+                                                  const std::int32_t* label,
+                                                  const double* degradation,
+                                                  const double* features);
+
   /// Index of the row carrying `w`, assuming window_index_column() is
   /// ascending (true for monitor-assembled tables); npos when absent.
   [[nodiscard]] std::size_t find_window_sorted(std::int64_t w) const;
@@ -103,12 +161,21 @@ class FeatureTable {
   [[nodiscard]] std::vector<std::size_t> class_histogram() const;
 
  private:
+  void require_owned(const char* what) const;
+
   int n_servers_ = 0;
   int dim_ = 0;
   std::vector<double> features_;          ///< size() * width(), row-major
   std::vector<std::int64_t> window_index_;
   std::vector<int> label_;
   std::vector<double> degradation_;
+  // Borrowed (zero-copy) storage; the vectors above stay empty.
+  bool borrowed_ = false;
+  std::size_t borrowed_rows_ = 0;
+  const std::int64_t* b_window_index_ = nullptr;
+  const int* b_label_ = nullptr;
+  const double* b_degradation_ = nullptr;
+  const double* b_features_ = nullptr;
 };
 
 /// The historical name: every layer that consumed monitor::Dataset now
@@ -163,6 +230,85 @@ class TableView {
  private:
   const FeatureTable* table_ = nullptr;
   bool identity_ = false;
+  std::vector<std::size_t> rows_;
+};
+
+/// Random access to dataset rows without committing to a storage layout —
+/// the streaming-ingestion seam.  An in-RAM TableView (ViewRows), a subset
+/// of another source (SubsetRows), and a sharded on-disk dataset
+/// (ShardedDataset in qds_file.hpp) all implement it, so the trainer's
+/// chunked path runs identically over all three.  row(i) returns a pointer
+/// that stays valid only until the next row() call on the same source
+/// (shard-backed sources may drop pages between calls); callers consume a
+/// row before fetching the next.
+class RowAccess {
+ public:
+  virtual ~RowAccess() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual int n_servers() const = 0;
+  [[nodiscard]] virtual int dim() const = 0;
+  [[nodiscard]] virtual const double* row(std::size_t i) const = 0;
+  [[nodiscard]] virtual std::int64_t window_index(std::size_t i) const = 0;
+  [[nodiscard]] virtual int label(std::size_t i) const = 0;
+  [[nodiscard]] virtual double degradation(std::size_t i) const = 0;
+
+  [[nodiscard]] std::size_t width() const {
+    return static_cast<std::size_t>(n_servers()) * static_cast<std::size_t>(dim());
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// Sample count per class (histogram sized to the max label + 1).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+  /// Copies every row into a standalone table (source order preserved).
+  [[nodiscard]] FeatureTable materialize() const;
+};
+
+/// RowAccess over a TableView.  Keeps a reference — the view (and its
+/// table) must outlive the adapter.
+class ViewRows final : public RowAccess {
+ public:
+  explicit ViewRows(const TableView& view) : view_(&view) {}
+
+  [[nodiscard]] std::size_t size() const override { return view_->size(); }
+  [[nodiscard]] int n_servers() const override { return view_->n_servers(); }
+  [[nodiscard]] int dim() const override { return view_->dim(); }
+  [[nodiscard]] const double* row(std::size_t i) const override { return view_->row(i); }
+  [[nodiscard]] std::int64_t window_index(std::size_t i) const override {
+    return view_->window_index(i);
+  }
+  [[nodiscard]] int label(std::size_t i) const override { return view_->label(i); }
+  [[nodiscard]] double degradation(std::size_t i) const override {
+    return view_->degradation(i);
+  }
+
+ private:
+  const TableView* view_;
+};
+
+/// RowAccess over an index subset of another RowAccess (what split_rows
+/// produces for streaming sources).  Keeps a reference to the base.
+class SubsetRows final : public RowAccess {
+ public:
+  SubsetRows(const RowAccess& base, std::vector<std::size_t> rows)
+      : base_(&base), rows_(std::move(rows)) {}
+
+  [[nodiscard]] std::size_t size() const override { return rows_.size(); }
+  [[nodiscard]] int n_servers() const override { return base_->n_servers(); }
+  [[nodiscard]] int dim() const override { return base_->dim(); }
+  [[nodiscard]] const double* row(std::size_t i) const override {
+    return base_->row(rows_[i]);
+  }
+  [[nodiscard]] std::int64_t window_index(std::size_t i) const override {
+    return base_->window_index(rows_[i]);
+  }
+  [[nodiscard]] int label(std::size_t i) const override { return base_->label(rows_[i]); }
+  [[nodiscard]] double degradation(std::size_t i) const override {
+    return base_->degradation(rows_[i]);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& rows() const { return rows_; }
+
+ private:
+  const RowAccess* base_;
   std::vector<std::size_t> rows_;
 };
 

@@ -1,0 +1,410 @@
+#include "qif/monitor/qds_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace qif::monitor {
+namespace {
+
+[[noreturn]] void fail_file(const std::string& path, const char* what) {
+  throw std::runtime_error(path + ": " + what + " (" + std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail_file(path, "cannot open");
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_file(path, "cannot stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ != 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail_file(path, "cannot mmap");
+    }
+    data_ = static_cast<const char*>(p);
+  }
+  ::close(fd);  // the mapping keeps the file alive
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+    path_ = std::move(other.path_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::drop_pages() const {
+  if (data_ == nullptr) return;
+  // Best-effort: a failing madvise only means the pages stay resident.
+  (void)::madvise(const_cast<char*>(data_), size_, MADV_DONTNEED);
+}
+
+MappedDataset map_dataset_qds(const std::string& path) {
+  auto file = std::make_shared<MappedFile>(path);
+  const QdsImageView view = inspect_dataset_qds(file->data(), file->size());
+  MappedDataset out;
+  if (view.zero_copy) {
+    out.table = FeatureTable::from_borrowed(view.n_servers, view.dim, view.rows,
+                                            view.window_index, view.label,
+                                            view.degradation, view.features);
+    out.zero_copy = true;
+    out.file = std::move(file);
+  } else {
+    // v1 or compressed: materialize from the mapping, then let it unmap.
+    out.table = parse_dataset_qds(file->data(), file->size());
+  }
+  return out;
+}
+
+namespace {
+
+constexpr char kQdmMagicLine[] = "qif.qdm 1";
+
+[[noreturn]] void fail_manifest(const char* what) {
+  throw std::runtime_error(std::string(".qdm manifest: ") + what);
+}
+
+template <typename Int>
+Int parse_manifest_int(std::string_view token, const char* what) {
+  Int value{};
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail_manifest(what);
+  }
+  return value;
+}
+
+/// Splits a line on single spaces; empty tokens (doubled/leading/trailing
+/// spaces) are kept so malformed spacing is rejected, not normalized.
+std::vector<std::string_view> split_line(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t sp = line.find(' ', begin);
+    if (sp == std::string_view::npos) {
+      out.push_back(line.substr(begin));
+      return out;
+    }
+    out.push_back(line.substr(begin, sp - begin));
+    begin = sp + 1;
+  }
+}
+
+}  // namespace
+
+bool is_qdm_magic(const char* bytes, std::size_t n) {
+  // "qif.qdm " — enough to distinguish from .qds and CSV in 8 bytes.
+  return n >= 8 && std::memcmp(bytes, "qif.qdm ", 8) == 0;
+}
+
+namespace {
+
+/// Parses exactly 16 lowercase hex digits (the manifest's checksum field).
+std::uint64_t parse_manifest_hex(std::string_view token) {
+  if (token.size() != 16) fail_manifest("malformed shard checksum");
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                         value, 16);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail_manifest("malformed shard checksum");
+  }
+  // from_chars already rejects uppercase and signs for unsigned parses;
+  // the explicit alphabet check pins the grammar to exactly [0-9a-f]{16}.
+  for (const char c : token) {
+    if ((c < '0' || c > '9') && (c < 'a' || c > 'f')) {
+      fail_manifest("malformed shard checksum");
+    }
+  }
+  return value;
+}
+
+std::string format_manifest_hex(std::uint64_t value) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+Manifest read_manifest(std::istream& is) {
+  // Slurped so the trailing newline is checkable: getline would silently
+  // accept a final line with its terminator truncated away.
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = std::move(buf).str();
+  if (text.empty() || text.back() != '\n') {
+    fail_manifest("truncated (missing final newline)");
+  }
+  std::vector<std::string_view> lines;
+  std::size_t begin = 0;
+  const std::string_view all(text);
+  while (begin < all.size()) {
+    const std::size_t nl = all.find('\n', begin);
+    lines.push_back(all.substr(begin, nl - begin));
+    begin = nl + 1;
+  }
+  if (lines.empty() || lines[0] != kQdmMagicLine) fail_manifest("bad magic line");
+  if (lines.size() < 2) fail_manifest("truncated (missing shape line)");
+  const auto shape = split_line(lines[1]);
+  if (shape.size() != 4 || shape[0] != "shape") fail_manifest("malformed shape line");
+  Manifest m;
+  m.n_servers = parse_manifest_int<int>(shape[1], "malformed n_servers");
+  m.dim = parse_manifest_int<int>(shape[2], "malformed dim");
+  m.rows = parse_manifest_int<std::size_t>(shape[3], "malformed row count");
+  if (m.n_servers < 0 || m.dim < 0 || (m.n_servers == 0) != (m.dim == 0)) {
+    fail_manifest("invalid shape");
+  }
+  bool saw_end = false;
+  std::size_t total = 0;
+  for (std::size_t k = 2; k < lines.size(); ++k) {
+    if (saw_end) fail_manifest("trailing garbage after end line");
+    if (lines[k] == "end") {
+      saw_end = true;
+      continue;
+    }
+    const auto tokens = split_line(lines[k]);
+    if (tokens.size() != 4 || tokens[0] != "shard") fail_manifest("malformed shard line");
+    ShardInfo shard;
+    shard.rows = parse_manifest_int<std::size_t>(tokens[1], "malformed shard row count");
+    shard.checksum = parse_manifest_hex(tokens[2]);
+    shard.file = std::string(tokens[3]);
+    if (shard.file.empty()) fail_manifest("empty shard file name");
+    if (shard.file.front() == '/' || shard.file.find("..") != std::string::npos) {
+      fail_manifest("shard file name must be a plain relative path");
+    }
+    total += shard.rows;
+    if (total < shard.rows || total > m.rows) {
+      fail_manifest("shard row counts exceed declared total");
+    }
+    m.shards.push_back(std::move(shard));
+  }
+  if (!saw_end) fail_manifest("truncated (missing end line)");
+  if (total != m.rows) fail_manifest("shard row counts do not sum to declared total");
+  return m;
+}
+
+Manifest read_manifest_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error(path + ": cannot open manifest");
+  return read_manifest(is);
+}
+
+void write_manifest(std::ostream& os, const Manifest& m) {
+  os << kQdmMagicLine << '\n';
+  os << "shape " << m.n_servers << ' ' << m.dim << ' ' << m.rows << '\n';
+  for (const ShardInfo& shard : m.shards) {
+    if (shard.file.find(' ') != std::string::npos) {
+      fail_manifest("shard file name contains a space");
+    }
+    os << "shard " << shard.rows << ' ' << format_manifest_hex(shard.checksum) << ' '
+       << shard.file << '\n';
+  }
+  os << "end\n";
+  if (!os) fail_manifest("write failed");
+}
+
+void write_manifest_file(const std::string& path, const Manifest& m) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error(path + ": cannot create manifest");
+  write_manifest(os, m);
+}
+
+std::string write_sharded_dataset(const std::string& prefix, const TableView& ds,
+                                  std::size_t rows_per_shard,
+                                  const QdsWriteOptions& options) {
+  if (rows_per_shard == 0) {
+    throw std::invalid_argument("write_sharded_dataset: rows_per_shard must be positive");
+  }
+  const std::string stem =
+      std::filesystem::path(prefix).filename().string();  // manifest stores basenames
+  if (stem.empty() || stem.find(' ') != std::string::npos) {
+    throw std::invalid_argument("write_sharded_dataset: bad prefix");
+  }
+  Manifest m;
+  m.n_servers = ds.n_servers();
+  m.dim = ds.dim();
+  m.rows = ds.size();
+  const std::size_t n_shards = (ds.size() + rows_per_shard - 1) / rows_per_shard;
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    const std::size_t lo = k * rows_per_shard;
+    const std::size_t hi = std::min(lo + rows_per_shard, ds.size());
+    Dataset chunk(ds.n_servers(), ds.dim());
+    chunk.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      chunk.append_row(ds.window_index(i), ds.label(i), ds.degradation(i), ds.row(i));
+    }
+    std::string num = std::to_string(k);
+    if (num.size() < 3) num.insert(0, 3 - num.size(), '0');
+    const std::string name = stem + "." + num + ".qds";
+    // Serialize in memory first: the manifest pins each shard's exact
+    // bytes, so the checksum must cover what actually hits the disk.
+    std::ostringstream image;
+    write_dataset_qds(image, chunk, options);
+    const std::string bytes = std::move(image).str();
+    std::ofstream os(prefix + "." + num + ".qds", std::ios::binary);
+    if (!os) throw std::runtime_error(prefix + "." + num + ".qds: cannot create shard");
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os) throw std::runtime_error(prefix + "." + num + ".qds: shard write failed");
+    m.shards.push_back({hi - lo, name, qds_image_checksum(bytes.data(), bytes.size())});
+  }
+  const std::string manifest_path = prefix + ".qdm";
+  write_manifest_file(manifest_path, m);
+  return manifest_path;
+}
+
+ShardedDataset ShardedDataset::open(const std::string& manifest_path,
+                                    std::size_t memory_budget_bytes) {
+  const Manifest m = read_manifest_file(manifest_path);
+  const std::filesystem::path dir = std::filesystem::path(manifest_path).parent_path();
+  ShardedDataset out;
+  out.n_servers_ = m.n_servers;
+  out.dim_ = m.dim;
+  out.rows_ = m.rows;
+  out.memory_budget_bytes_ = memory_budget_bytes;
+  out.shards_.reserve(m.shards.size());
+  out.offsets_.reserve(m.shards.size() + 1);
+  std::size_t offset = 0;
+  for (const ShardInfo& info : m.shards) {
+    // Map first, then pin the file's exact bytes against the manifest's
+    // checksum BEFORE interpreting them: a corrupted name or swapped file
+    // could otherwise alias to a different valid shard of the same shape.
+    auto file = std::make_shared<MappedFile>((dir / info.file).string());
+    if (qds_image_checksum(file->data(), file->size()) != info.checksum) {
+      throw std::runtime_error(info.file + ": shard bytes disagree with manifest checksum");
+    }
+    MappedDataset shard;
+    const QdsImageView view = inspect_dataset_qds(file->data(), file->size());
+    if (view.zero_copy) {
+      shard.table = FeatureTable::from_borrowed(view.n_servers, view.dim, view.rows,
+                                                view.window_index, view.label,
+                                                view.degradation, view.features);
+      shard.zero_copy = true;
+      shard.file = std::move(file);
+    } else {
+      shard.table = parse_dataset_qds(file->data(), file->size());
+    }
+    if (shard.table.n_servers() != m.n_servers || shard.table.dim() != m.dim) {
+      throw std::runtime_error(info.file + ": shard shape disagrees with manifest");
+    }
+    if (shard.table.size() != info.rows) {
+      throw std::runtime_error(info.file + ": shard row count disagrees with manifest");
+    }
+    // Checksum + block validation just faulted in this whole shard; under
+    // a budget, release the pages now so opening an N-shard dataset costs
+    // one shard of RSS, not the whole file.
+    if (memory_budget_bytes != 0) shard.drop_pages();
+    out.offsets_.push_back(offset);
+    offset += info.rows;
+    out.shards_.push_back(std::move(shard));
+  }
+  out.offsets_.push_back(offset);
+  return out;
+}
+
+std::size_t ShardedDataset::shard_for(std::size_t i) const {
+  if (offsets_[last_shard_] <= i && i < offsets_[last_shard_ + 1]) return last_shard_;
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), i);
+  last_shard_ = static_cast<std::size_t>(it - offsets_.begin()) - 1;
+  return last_shard_;
+}
+
+void ShardedDataset::charge(const void* addr, std::size_t slot) const {
+  if (memory_budget_bytes_ == 0) return;
+  // Page-granular accounting: an access faults whole pages, so byte
+  // counting would let a shuffled epoch (one page per random row) make
+  // most of the file resident before the counter reaches the budget.
+  // Charging per distinct page is exact for sequential sweeps and the
+  // right order of magnitude for random access.  The feature column and
+  // the meta columns dedupe through separate slots — a gather loop
+  // alternates row(i)/label(i), which would defeat a single last-page.
+  constexpr std::uintptr_t kPageShift = 12;
+  const auto page = reinterpret_cast<std::uintptr_t>(addr) >> kPageShift;
+  if (page == last_page_[slot]) return;
+  last_page_[slot] = page;
+  const std::size_t row_bytes = width() * sizeof(double);
+  touched_bytes_ += std::max<std::size_t>(row_bytes, std::size_t{1} << kPageShift);
+  if (touched_bytes_ >= memory_budget_bytes_) {
+    drop_pages();
+    touched_bytes_ = 0;
+  }
+}
+
+const double* ShardedDataset::row(std::size_t i) const {
+  const std::size_t k = shard_for(i);
+  const double* r = shards_[k].table.row(i - offsets_[k]);
+  charge(r, 0);
+  return r;
+}
+
+std::int64_t ShardedDataset::window_index(std::size_t i) const {
+  const std::size_t k = shard_for(i);
+  const std::int64_t* p = shards_[k].table.window_index_data() + (i - offsets_[k]);
+  charge(p, 1);
+  return *p;
+}
+
+int ShardedDataset::label(std::size_t i) const {
+  const std::size_t k = shard_for(i);
+  const int* p = shards_[k].table.label_data() + (i - offsets_[k]);
+  charge(p, 1);
+  return *p;
+}
+
+double ShardedDataset::degradation(std::size_t i) const {
+  const std::size_t k = shard_for(i);
+  const double* p = shards_[k].table.degradation_data() + (i - offsets_[k]);
+  charge(p, 1);
+  return *p;
+}
+
+bool ShardedDataset::zero_copy() const {
+  return std::all_of(shards_.begin(), shards_.end(),
+                     [](const MappedDataset& s) { return s.zero_copy; });
+}
+
+void ShardedDataset::drop_pages() const {
+  for (const MappedDataset& shard : shards_) shard.drop_pages();
+}
+
+}  // namespace qif::monitor

@@ -1,0 +1,184 @@
+// File-backed `.qds` access: memory-mapped single files and sharded
+// multi-file datasets behind a manifest.
+//
+// Mmap lifecycle: map_dataset_qds() opens and maps the whole file
+// read-only, validates every byte (the same validation pass as the
+// buffered reader — header, per-block checksums, padding, exact size),
+// then either *borrows* the column payloads in place (version-2 images
+// whose blocks are all raw — their payloads are 8-aligned by
+// construction) or materializes an owned table (version-1 or compressed
+// images).  The returned MappedDataset pairs the table with a
+// shared_ptr<MappedFile> keepalive, so the mapping cannot outlive its
+// consumers; dropping the MappedDataset unmaps.
+//
+// Manifest (`.qdm`) schema — strict line-oriented text:
+//
+//   qif.qdm 1
+//   shape <n_servers> <dim> <total_rows>
+//   shard <rows> <fnv64-hex> <filename>
+//   ...
+//   end
+//
+// <fnv64-hex> is the shard file's whole-image checksum (16 lowercase hex
+// digits of qds_image_checksum), verified against the mapped bytes on
+// open — without it, a corrupted file name could alias to a DIFFERENT
+// valid shard of the same shape and serve the wrong rows silently.
+// Shard filenames are relative to the manifest's directory and may not
+// contain whitespace.  The trailing `end` line (and required final
+// newline) make truncation detectable; the shard row counts must sum to
+// <total_rows>; every shard header is re-validated against the manifest
+// shape when opened.  Shard order in the manifest IS the dataset row
+// order (deterministic, like stitch_case_results), so shard → merge
+// round-trips byte-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qif/monitor/export.hpp"
+#include "qif/monitor/features.hpp"
+
+namespace qif::monitor {
+
+/// RAII read-only memory mapping of a whole file (mmap/munmap).  Throws
+/// std::runtime_error when the file cannot be opened, stat'ed, or mapped.
+/// A zero-byte file maps to data() == nullptr, size() == 0.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  [[nodiscard]] const char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Tells the kernel the resident pages are no longer needed
+  /// (madvise(MADV_DONTNEED) — on a read-only file mapping this discards
+  /// clean pages, so they re-fault from disk on next touch).  The data
+  /// stays valid; this only bounds RSS.
+  void drop_pages() const;
+
+ private:
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A dataset loaded from one `.qds` file via mmap.  `zero_copy` reports
+/// whether the table borrows the mapping in place (v2, all blocks raw) or
+/// was materialized (v1 / compressed).  The table must not outlive `file`;
+/// keep the whole struct together.
+struct MappedDataset {
+  FeatureTable table;
+  bool zero_copy = false;
+  std::shared_ptr<MappedFile> file;  ///< null when the table owns its columns
+
+  void drop_pages() const {
+    if (file != nullptr) file->drop_pages();
+  }
+};
+
+/// Maps and validates one `.qds` file (see file comment for the
+/// lifecycle).  Throws std::runtime_error on I/O failure or any corruption
+/// — identical taxonomy to read_dataset_qds.
+[[nodiscard]] MappedDataset map_dataset_qds(const std::string& path);
+
+/// One manifest entry: a shard's row count, its file name (relative to
+/// the manifest's directory), and its whole-file checksum.
+struct ShardInfo {
+  std::size_t rows = 0;
+  std::string file;
+  std::uint64_t checksum = 0;  ///< qds_image_checksum of the shard file
+};
+
+/// Parsed `.qdm` manifest.
+struct Manifest {
+  int n_servers = 0;
+  int dim = 0;
+  std::size_t rows = 0;
+  std::vector<ShardInfo> shards;
+};
+
+/// True when the leading bytes are the `.qdm` manifest magic ("qif.qdm ").
+[[nodiscard]] bool is_qdm_magic(const char* bytes, std::size_t n);
+
+/// Strict manifest parser: bad magic, malformed lines, a missing `end`,
+/// duplicate/unknown keywords, or row counts that do not sum to the
+/// declared total all throw std::runtime_error.
+[[nodiscard]] Manifest read_manifest(std::istream& is);
+[[nodiscard]] Manifest read_manifest_file(const std::string& path);
+
+void write_manifest(std::ostream& os, const Manifest& m);
+void write_manifest_file(const std::string& path, const Manifest& m);
+
+/// Splits `ds` into shards of `rows_per_shard` rows (the last shard takes
+/// the remainder), written as `<prefix>.NNN.qds` next to a `<prefix>.qdm`
+/// manifest.  Row order is preserved exactly.  Returns the manifest path.
+std::string write_sharded_dataset(const std::string& prefix, const TableView& ds,
+                                  std::size_t rows_per_shard,
+                                  const QdsWriteOptions& options = {});
+
+/// A sharded dataset opened for streaming access: every shard is mapped
+/// (zero-copy when its file allows) and rows are addressed globally in
+/// manifest order.  Implements RowAccess, so the chunked trainer consumes
+/// it directly.
+///
+/// `memory_budget_bytes` (0 = unlimited) bounds the resident set: row()
+/// accounting tracks bytes touched through the mappings, and when the
+/// running total passes the budget the file-backed pages are dropped
+/// (madvise(MADV_DONTNEED)) and the counter resets.  Pages re-fault on
+/// next touch, trading I/O for a bounded RSS — the knob that lets a 10M-
+/// window dataset train in a fixed footprint.
+class ShardedDataset final : public RowAccess {
+ public:
+  [[nodiscard]] static ShardedDataset open(const std::string& manifest_path,
+                                           std::size_t memory_budget_bytes = 0);
+
+  [[nodiscard]] std::size_t size() const override { return rows_; }
+  [[nodiscard]] int n_servers() const override { return n_servers_; }
+  [[nodiscard]] int dim() const override { return dim_; }
+  [[nodiscard]] const double* row(std::size_t i) const override;
+  [[nodiscard]] std::int64_t window_index(std::size_t i) const override;
+  [[nodiscard]] int label(std::size_t i) const override;
+  [[nodiscard]] double degradation(std::size_t i) const override;
+
+  [[nodiscard]] std::size_t n_shards() const { return shards_.size(); }
+  [[nodiscard]] const FeatureTable& shard(std::size_t k) const { return shards_[k].table; }
+  /// Global row index of shard k's first row.
+  [[nodiscard]] std::size_t shard_offset(std::size_t k) const { return offsets_[k]; }
+  /// True when every shard is consumed zero-copy from its mapping.
+  [[nodiscard]] bool zero_copy() const;
+
+  /// Drops file-backed pages of every mapped shard (see class comment).
+  void drop_pages() const;
+
+ private:
+  /// Shard index holding global row i (cached: epoch sweeps are mostly
+  /// sequential, so the common case is a single comparison).
+  [[nodiscard]] std::size_t shard_for(std::size_t i) const;
+  /// Budget accounting for an access about to be read at `addr`: counts
+  /// distinct pages touched (see the implementation comment).  `slot` 0 is
+  /// the feature column, 1 the meta columns — separate last-page caches so
+  /// interleaved row()/label() reads still dedupe.
+  void charge(const void* addr, std::size_t slot) const;
+
+  int n_servers_ = 0;
+  int dim_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<MappedDataset> shards_;
+  std::vector<std::size_t> offsets_;  ///< per-shard first global row, plus total
+  std::size_t memory_budget_bytes_ = 0;
+  mutable std::size_t last_shard_ = 0;
+  mutable std::size_t touched_bytes_ = 0;
+  mutable std::uintptr_t last_page_[2] = {0, 0};  ///< dedupes same-page charges
+};
+
+}  // namespace qif::monitor

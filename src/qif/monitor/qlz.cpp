@@ -1,0 +1,184 @@
+#include "qif/monitor/qlz.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace qif::monitor {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr int kHashBits = 13;
+constexpr std::size_t kMaxOffset = 0xffff;
+
+[[nodiscard]] std::uint32_t load32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+[[nodiscard]] std::uint32_t hash32(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("qlz: ") + what);
+}
+
+/// Emits one sequence: `lit_n` literals from `lit`, then (unless this is
+/// the terminal literals-only sequence, `match_n == 0`) a match of
+/// `match_n >= kMinMatch` bytes at back-`offset`.  Returns false when the
+/// output capacity would be exceeded.
+bool emit_sequence(const unsigned char* lit, std::size_t lit_n, std::size_t offset,
+                   std::size_t match_n, unsigned char* dst, std::size_t dst_cap,
+                   std::size_t& out) {
+  const std::size_t lit_token = lit_n < 15 ? lit_n : 15;
+  const std::size_t match_extra = match_n == 0 ? 0 : match_n - kMinMatch;
+  const std::size_t match_token = match_n == 0 ? 0 : (match_extra < 15 ? match_extra : 15);
+  // Worst-case byte count for this sequence: token + length extensions +
+  // literals + offset.
+  std::size_t need = 1 + lit_n + (lit_n >= 15 ? 1 + (lit_n - 15) / 255 : 0);
+  if (match_n != 0) need += 2 + (match_extra >= 15 ? 1 + (match_extra - 15) / 255 : 0);
+  if (out + need > dst_cap) return false;
+
+  dst[out++] = static_cast<unsigned char>((lit_token << 4) | match_token);
+  if (lit_token == 15) {
+    std::size_t rest = lit_n - 15;
+    while (rest >= 255) {
+      dst[out++] = 255;
+      rest -= 255;
+    }
+    dst[out++] = static_cast<unsigned char>(rest);
+  }
+  std::memcpy(dst + out, lit, lit_n);
+  out += lit_n;
+  if (match_n == 0) return true;
+  dst[out++] = static_cast<unsigned char>(offset & 0xff);
+  dst[out++] = static_cast<unsigned char>((offset >> 8) & 0xff);
+  if (match_token == 15) {
+    std::size_t rest = match_extra - 15;
+    while (rest >= 255) {
+      dst[out++] = 255;
+      rest -= 255;
+    }
+    dst[out++] = static_cast<unsigned char>(rest);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t qlz_max_compressed_size(std::size_t n) {
+  // One terminal literals-only sequence: token + ceil((n-15)/255)+1
+  // extension bytes + the literals themselves.
+  return n + n / 255 + 16;
+}
+
+std::size_t qlz_compress(const void* src_v, std::size_t n, void* dst_v,
+                         std::size_t dst_cap) {
+  const auto* src = static_cast<const unsigned char*>(src_v);
+  auto* dst = static_cast<unsigned char*>(dst_v);
+  std::size_t out = 0;
+
+  if (n < kMinMatch + 1) {
+    return emit_sequence(src, n, 0, 0, dst, dst_cap, out) ? out : 0;
+  }
+
+  // Greedy single-probe hash chain over 4-byte windows.  Positions near
+  // the end are never match anchors: the last kMinMatch bytes must be
+  // emitted as literals so the decompressor's terminal-sequence rule holds.
+  std::uint32_t table[1u << kHashBits];
+  std::memset(table, 0, sizeof table);  // 0 = "empty" (position 0 never probed first)
+
+  const std::size_t last_anchor = n - kMinMatch;  // exclusive upper bound for matches
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  while (pos < last_anchor) {
+    const std::uint32_t h = hash32(load32(src + pos));
+    const std::size_t cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand != 0 && pos - cand <= kMaxOffset && load32(src + cand) == load32(src + pos)) {
+      // Extend the match, stopping short of the mandatory literal tail
+      // (the final kMinMatch bytes must be emitted as literals).
+      const std::size_t limit = last_anchor - pos;
+      std::size_t len = kMinMatch;
+      while (len < limit && src[cand + len] == src[pos + len]) ++len;
+      if (len <= limit && len >= kMinMatch) {
+        if (!emit_sequence(src + lit_start, pos - lit_start, pos - cand, len, dst,
+                           dst_cap, out)) {
+          return 0;
+        }
+        pos += len;
+        lit_start = pos;
+        continue;
+      }
+    }
+    ++pos;
+  }
+  // Terminal literals-only sequence (always at least kMinMatch bytes).
+  if (!emit_sequence(src + lit_start, n - lit_start, 0, 0, dst, dst_cap, out)) return 0;
+  return out;
+}
+
+void qlz_decompress(const void* src_v, std::size_t n, void* dst_v, std::size_t raw_n) {
+  const auto* src = static_cast<const unsigned char*>(src_v);
+  auto* dst = static_cast<unsigned char*>(dst_v);
+  std::size_t in = 0;
+  std::size_t out = 0;
+
+  if (raw_n == 0) {
+    if (n != 1 || src[0] != 0) fail("empty stream must be a single zero token");
+    return;
+  }
+
+  while (true) {
+    if (in >= n) fail("truncated stream: missing token");
+    const unsigned token = src[in++];
+    // Literals.
+    std::size_t lit = token >> 4;
+    if (lit == 15) {
+      unsigned char ext;
+      do {
+        if (in >= n) fail("truncated literal length");
+        ext = src[in++];
+        lit += ext;
+        if (lit > raw_n) fail("literal run exceeds declared size");
+      } while (ext == 255);
+    }
+    if (in + lit > n) fail("literal run exceeds stream");
+    if (out + lit > raw_n) fail("output overrun on literals");
+    std::memcpy(dst + out, src + in, lit);
+    in += lit;
+    out += lit;
+
+    if (in == n) {
+      // Terminal sequence: literals only, must land exactly on raw_n.
+      if ((token & 0x0f) != 0) fail("terminal sequence declares a match");
+      if (out != raw_n) fail("stream ends before declared size");
+      return;
+    }
+
+    // Match.
+    if (in + 2 > n) fail("truncated match offset");
+    const std::size_t offset = src[in] | (static_cast<std::size_t>(src[in + 1]) << 8);
+    in += 2;
+    if (offset == 0 || offset > out) fail("match offset out of range");
+    std::size_t match = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15) {
+      unsigned char ext;
+      do {
+        if (in >= n) fail("truncated match length");
+        ext = src[in++];
+        match += ext;
+        if (match > raw_n) fail("match run exceeds declared size");
+      } while (ext == 255);
+    }
+    if (out + match > raw_n) fail("output overrun on match");
+    // Byte-by-byte copy: overlapping matches (offset < match) replicate.
+    for (std::size_t k = 0; k < match; ++k) {
+      dst[out + k] = dst[out + k - offset];
+    }
+    out += match;
+  }
+}
+
+}  // namespace qif::monitor

@@ -1,0 +1,40 @@
+// qlz — a tiny LZ4-style block codec for `.qds` column blocks.
+//
+// Byte-oriented LZ77 with the classic LZ4 sequence framing: a token byte
+// (high nibble = literal count, low nibble = match length - 4, 15 = "more
+// length bytes follow"), the literals, a 16-bit little-endian back offset,
+// then any extra match-length bytes.  The final sequence is literals-only.
+// No entropy stage, so both directions run at memory speed — the point is
+// cheap on-disk shrinkage of highly repetitive monitor columns (zero runs,
+// repeated window strides), not maximum ratio.
+//
+// The decompressor is written for hostile input: every read and write is
+// bounds-checked against the declared sizes and any violation throws
+// std::runtime_error.  It is fuzzed directly (random bytes) and through
+// the `.qds` corruption harness under AddressSanitizer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qif::monitor {
+
+/// Worst-case compressed size for `n` input bytes (incompressible data
+/// plus framing overhead).
+[[nodiscard]] std::size_t qlz_max_compressed_size(std::size_t n);
+
+/// Compresses `src[0..n)` into `dst` (capacity `dst_cap`).  Returns the
+/// compressed size, or 0 when the output would not fit in `dst_cap` —
+/// callers use a `dst_cap` smaller than `n` to mean "store raw unless
+/// compression actually wins".
+[[nodiscard]] std::size_t qlz_compress(const void* src, std::size_t n, void* dst,
+                                       std::size_t dst_cap);
+
+/// Decompresses exactly `raw_n` bytes out of `src[0..n)` into `dst`.
+/// Throws std::runtime_error on any malformed stream: truncated sequence,
+/// offset past the start, or output over/underrun.  Never reads or writes
+/// out of bounds.
+void qlz_decompress(const void* src, std::size_t n, void* dst, std::size_t raw_n);
+
+}  // namespace qif::monitor

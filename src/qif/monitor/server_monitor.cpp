@@ -29,16 +29,20 @@ void ServerMonitor::on_tick(std::uint64_t tick) {
   // which belongs to window (k-1) / samples_per_window.
   const std::int64_t w =
       static_cast<std::int64_t>(tick - 1) / samples_per_window_;
-  auto it = windows_.find(w);
-  if (it == windows_.end()) {
-    it = windows_.emplace(w, std::vector<ServerWindow>(
-                                 static_cast<std::size_t>(cluster_.n_servers())))
-             .first;
+  if (w != cached_window_ || cached_cells_ == nullptr) {
+    auto it = windows_.find(w);
+    if (it == windows_.end()) {
+      it = windows_.emplace(w, std::vector<ServerWindow>(
+                                   static_cast<std::size_t>(cluster_.n_servers())))
+               .first;
+    }
+    cached_window_ = w;
+    cached_cells_ = &it->second;
   }
   for (int s = 0; s < cluster_.n_servers(); ++s) {
     const auto cur = cluster_.server_counters(s);
     auto& prev = prev_counters_[static_cast<std::size_t>(s)];
-    auto& agg = it->second[static_cast<std::size_t>(s)].metrics;
+    auto& agg = (*cached_cells_)[static_cast<std::size_t>(s)].metrics;
     for (int m = 0; m < MetricSchema::kRawServerMetrics; ++m) {
       double delta = static_cast<double>(cur[static_cast<std::size_t>(m)] -
                                          prev[static_cast<std::size_t>(m)]);
@@ -52,10 +56,15 @@ void ServerMonitor::on_tick(std::uint64_t tick) {
   }
 }
 
+const std::vector<ServerWindow>* ServerMonitor::window_cells(
+    std::int64_t window_index) const {
+  const auto it = windows_.find(window_index);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
 const ServerWindow* ServerMonitor::window_data(std::int64_t window_index, int server) const {
-  auto it = windows_.find(window_index);
-  if (it == windows_.end()) return nullptr;
-  return &it->second[static_cast<std::size_t>(server)];
+  const std::vector<ServerWindow>* cells = window_cells(window_index);
+  return cells == nullptr ? nullptr : &(*cells)[static_cast<std::size_t>(server)];
 }
 
 std::vector<std::int64_t> ServerMonitor::window_indices() const {
@@ -69,7 +78,10 @@ std::vector<std::int64_t> ServerMonitor::window_indices() const {
 }
 
 void ServerMonitor::fill_features(std::int64_t window_index, int server, double* out) const {
-  const ServerWindow* sw = window_data(window_index, server);
+  fill_features_from(window_data(window_index, server), out);
+}
+
+void ServerMonitor::fill_features_from(const ServerWindow* sw, double* out) {
   for (int m = 0; m < MetricSchema::kRawServerMetrics; ++m) {
     const int base = m * MetricSchema::kAggregatesPerMetric;
     if (sw == nullptr) {

@@ -43,6 +43,16 @@ class ServerMonitor {
   /// Unknown windows yield zeros (server was idle / run ended first).
   void fill_features(std::int64_t window_index, int server, double* out) const;
 
+  /// Cell-based fill for the assembly hot path: resolve the window's cell
+  /// row once via window_cells(), then fill each server from its cell.
+  /// `sw == nullptr` writes zeros (idle window).
+  static void fill_features_from(const ServerWindow* sw, double* out);
+
+  /// All per-server aggregates of one window, or nullptr when no sample
+  /// landed in that window.
+  [[nodiscard]] const std::vector<ServerWindow>* window_cells(
+      std::int64_t window_index) const;
+
   [[nodiscard]] const ServerWindow* window_data(std::int64_t window_index, int server) const;
   [[nodiscard]] std::vector<std::int64_t> window_indices() const;
   [[nodiscard]] sim::SimDuration window() const { return window_; }
@@ -65,6 +75,11 @@ class ServerMonitor {
   std::vector<std::array<double, MetricSchema::kRawServerMetrics>> last_sample_;
   // window index -> per-server aggregates
   std::map<std::int64_t, std::vector<ServerWindow>> windows_;
+  // Hot-path cache for on_tick(): consecutive ticks land in the same
+  // window, so the current row is resolved once per window instead of one
+  // map lookup per tick (map nodes are pointer-stable across inserts).
+  std::int64_t cached_window_ = -1;
+  std::vector<ServerWindow>* cached_cells_ = nullptr;
 };
 
 }  // namespace qif::monitor

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "qif/monitor/export.hpp"
+#include "qif/sim/rng.hpp"
 
 namespace qif::monitor {
 namespace {
@@ -309,6 +310,78 @@ TEST(DatasetQds, RejectsChecksumMismatch) {
   full[full.size() / 2] = static_cast<char>(full[full.size() / 2] ^ 0x01);
   std::stringstream corrupted(full);
   EXPECT_THROW(read_dataset_qds(corrupted), std::runtime_error);
+}
+
+TEST(DatasetQds, LegacyV1WriterStillRoundTrips) {
+  // Version 1 stays writable (for downgrades) and readable forever.
+  const Dataset ds = tiny_dataset();
+  QdsWriteOptions opts;
+  opts.version = 1;
+  std::stringstream ss;
+  write_dataset_qds(ss, ds, opts);
+  const Dataset loaded = read_dataset_qds(ss);
+  expect_equal_datasets(loaded, ds);
+}
+
+TEST(DatasetQds, CompressedRoundTripPreservesEveryValue) {
+  Dataset ds(2, MetricSchema::kPerServerDim);
+  sim::Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    double* f = ds.append_row(i, i % 3, 0.25 * i);
+    // Half the columns constant so compression actually engages.
+    for (std::size_t j = 0; j < ds.width(); ++j) {
+      f[j] = (j % 2 == 0) ? 1.0 : rng.uniform(-10.0, 10.0);
+    }
+  }
+  QdsWriteOptions opts;
+  opts.codec = QdsCodec::kQlz;
+  std::stringstream plain;
+  std::stringstream packed;
+  write_dataset_qds(plain, ds);
+  write_dataset_qds(packed, ds, opts);
+  EXPECT_LT(packed.str().size(), plain.str().size());
+  const Dataset loaded = read_dataset_qds(packed);
+  expect_equal_datasets(loaded, ds);
+}
+
+TEST(DatasetQds, InspectReportsZeroCopyOnlyForRawV2) {
+  const Dataset ds = tiny_dataset();
+  std::stringstream v2;
+  write_dataset_qds(v2, ds);
+  const std::string img = v2.str();
+  EXPECT_TRUE(inspect_dataset_qds(img.data(), img.size()).zero_copy);
+
+  QdsWriteOptions v1_opts;
+  v1_opts.version = 1;
+  std::stringstream v1;
+  write_dataset_qds(v1, ds, v1_opts);
+  const std::string img1 = v1.str();
+  EXPECT_FALSE(inspect_dataset_qds(img1.data(), img1.size()).zero_copy);
+}
+
+TEST(DatasetAuto, EmptyAndShorterThanMagicStreamsNameTheProblem) {
+  // Satellite pin: a zero-byte file must say "empty", and a sub-magic
+  // prefix must say "truncated" — not a generic read failure.
+  {
+    std::stringstream empty;
+    try {
+      (void)read_dataset_auto(empty);
+      FAIL() << "empty stream loaded";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("empty dataset"), std::string::npos)
+          << e.what();
+    }
+  }
+  for (std::size_t n = 1; n < 8; ++n) {
+    std::stringstream shorty(std::string(n, 'q'));
+    try {
+      (void)read_dataset_auto(shorty);
+      FAIL() << "sub-magic stream of " << n << " bytes loaded";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated dataset"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST(DatasetAuto, DispatchesOnLeadingBytes) {

@@ -2,6 +2,7 @@
 // trainer, and the classification metrics.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -190,6 +191,67 @@ TEST(SplitDataset, Seed42MembershipGolden) {
   // Views are zero-copy: both index into the original table.
   EXPECT_EQ(train.table(), &ds);
   EXPECT_EQ(test.table(), &ds);
+}
+
+TEST(SplitDataset, DegenerateFractionsReturnValidViews) {
+  // Bugfix pins.  A fraction above 1 used to underflow the train size
+  // (n - n_test with n_test > n); a negative or NaN fraction used to
+  // llround to a huge/garbage n_test.  All of them must now return a pair
+  // of valid, disjoint, exhaustive views.
+  const auto ds = synthetic_dataset(10, 21);
+  struct Case {
+    double fraction;
+    std::size_t want_test;
+  };
+  const Case cases[] = {
+      {1.5, 10},                                        // clamped to "all test"
+      {2.0, 10},
+      {-0.25, 0},                                       // no test rows
+      {std::numeric_limits<double>::quiet_NaN(), 0},    // treated as 0
+      {0.0, 0},
+  };
+  for (const Case& c : cases) {
+    auto [train, test] = split_dataset(ds, c.fraction, 3);
+    EXPECT_EQ(test.size(), c.want_test) << "fraction " << c.fraction;
+    EXPECT_EQ(train.size() + test.size(), ds.size()) << "fraction " << c.fraction;
+    // Every row accounted for exactly once.
+    std::set<std::int64_t> seen;
+    for (std::size_t i = 0; i < train.size(); ++i) seen.insert(train.window_index(i));
+    for (std::size_t i = 0; i < test.size(); ++i) seen.insert(test.window_index(i));
+    EXPECT_EQ(seen.size(), ds.size()) << "fraction " << c.fraction;
+  }
+}
+
+TEST(SplitDataset, SingleRowAndZeroTestAreUsableViews) {
+  // n_test == 0: the test view must be a valid (empty) view, not UB.
+  const auto ds = synthetic_dataset(7, 22);
+  auto [train, test] = split_dataset(ds, 0.01, 4);  // llround(0.07) == 0
+  EXPECT_EQ(test.size(), 0u);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_TRUE(test.empty());
+  EXPECT_EQ(test.class_histogram().size(), 1u);  // callable on the empty view
+
+  const auto one = synthetic_dataset(1, 23);
+  auto [t1, e1] = split_dataset(one, 0.99, 4);  // keep-one-train rule
+  EXPECT_EQ(t1.size(), 1u);
+  EXPECT_EQ(e1.size(), 0u);
+  EXPECT_EQ(t1.row(0), one.row(0));  // zero-copy view of the single row
+}
+
+TEST(SplitRows, MatchesSplitDatasetMembership) {
+  // The index core and the view wrapper must stay the same split forever
+  // (the streaming trainer relies on it for bit-identity).
+  const auto ds = synthetic_dataset(57, 24);
+  auto [train_view, test_view] = split_dataset(ds, 0.2, 42);
+  auto [train_idx, test_idx] = split_rows(ds.size(), 0.2, 42);
+  ASSERT_EQ(train_idx.size(), train_view.size());
+  ASSERT_EQ(test_idx.size(), test_view.size());
+  for (std::size_t i = 0; i < train_idx.size(); ++i) {
+    EXPECT_EQ(train_idx[i], train_view.base_row(i)) << i;
+  }
+  for (std::size_t i = 0; i < test_idx.size(); ++i) {
+    EXPECT_EQ(test_idx[i], test_view.base_row(i)) << i;
+  }
 }
 
 TEST(InverseFrequencyWeights, BalancesClasses) {

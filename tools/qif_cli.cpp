@@ -12,27 +12,40 @@
 //
 //   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
 //                [--bins 2|2,5] [--seed K] [--jobs N] [--faults SPEC]
-//                --out data.{csv,qds}
+//                [--compress] --out data.{csv,qds}
 //       Build a labelled training dataset; the --out extension picks the
 //       format (.qds = native binary, anything else = interop CSV).
 //       --jobs N fans the campaign's scenario simulations across N worker
-//       threads (output is bit-identical to --jobs 1).
+//       threads (output is bit-identical to --jobs 1).  --compress writes
+//       the .qds column blocks LZ-compressed.
 //
-//   qif train --data data.{csv,qds} --out model.txt [--classes C]
-//             [--epochs E] [--jobs N]
+//   qif train --data data.{csv,qds,qdm} --out model.txt [--classes C]
+//             [--epochs E] [--jobs N] [--memory-budget MB]
 //       Train the kernel-based model on a dataset (80/20 split) and save
 //       the bundle; prints the held-out confusion matrix.  --jobs N
 //       partitions the training GEMMs across N worker threads (the model
-//       is bit-identical to --jobs 1).
+//       is bit-identical to --jobs 1).  A .qdm manifest streams its shards
+//       through the chunked ingestion path (same model bytes as in-RAM);
+//       --memory-budget caps resident shard pages in MiB.
 //
-//   qif eval --data data.{csv,qds} --model model.txt
+//   qif eval --data data.{csv,qds,qdm} --model model.txt
 //       Evaluate a saved bundle on a dataset.
 //
 //   qif dataset info <file>
 //   qif dataset head <file> [--rows N]
-//   qif dataset convert <in> <out>
+//   qif dataset convert <in> <out> [--compress]
 //       Inspect or convert dataset files; formats are sniffed on read
-//       (.qds magic vs CSV) and picked by extension on write.
+//       (.qds / .qdm magic vs CSV) and picked by extension on write.
+//       Single .qds files are memory-mapped (zero-copy for uncompressed
+//       version-2 images).
+//
+//   qif dataset shard <in> <out-prefix> [--rows-per-shard R | --shards N]
+//                     [--compress]
+//   qif dataset merge <in.qdm> <out>
+//       Split a dataset into <prefix>.NNN.qds shards behind a
+//       <prefix>.qdm manifest (deterministic row order), or stitch a
+//       manifest back into one file.  shard -> merge round-trips the
+//       dataset exactly.
 //
 //   qif dump-trace <target> [--scale S] [--seed K] --out trace.txt
 //       Run the target solo and dump its DXT-style op trace.
@@ -54,6 +67,7 @@
 #include "qif/exec/parallel_runner.hpp"
 #include "qif/ml/preprocess.hpp"
 #include "qif/monitor/export.hpp"
+#include "qif/monitor/qds_file.hpp"
 #include "qif/sim/stats.hpp"
 #include "qif/trace/matcher.hpp"
 #include "qif/workloads/registry.hpp"
@@ -80,11 +94,16 @@ struct Args {
   }
 };
 
+/// Options that take no value (presence == true).
+bool is_flag_option(const std::string& name) { return name == "compress"; }
+
 Args parse(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+    if (a.rfind("--", 0) == 0 && is_flag_option(a.substr(2))) {
+      args.options[a.substr(2)] = "1";
+    } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[a.substr(2)] = argv[++i];
     } else {
       args.positional.push_back(a);
@@ -100,11 +119,14 @@ int usage() {
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]"
                " [--faults SPEC]\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
-               " [--faults SPEC] --out F.{csv,qds}\n"
-               "  train --data F.{csv,qds} --out model.txt [--classes C] [--epochs E]"
-               " [--jobs N]\n"
-               "  eval --data F.{csv,qds} --model model.txt\n"
-               "  dataset info|head|convert <file> [out] [--rows N]\n"
+               " [--faults SPEC] [--compress] --out F.{csv,qds}\n"
+               "  train --data F.{csv,qds,qdm} --out model.txt [--classes C] [--epochs E]"
+               " [--jobs N] [--memory-budget MB]\n"
+               "  eval --data F.{csv,qds,qdm} --model model.txt\n"
+               "  dataset info|head|convert <file> [out] [--rows N] [--compress]\n"
+               "  dataset shard <in> <out-prefix> [--rows-per-shard R | --shards N]"
+               " [--compress]\n"
+               "  dataset merge <in.qdm> <out>\n"
                "  dump-trace <target> [--scale S] [--seed K] --out F.txt\n");
   return 2;
 }
@@ -116,19 +138,56 @@ monitor::Dataset load_dataset(const std::string& path) {
   return monitor::read_dataset_auto(in);
 }
 
+/// Sniffs the leading bytes of `path` against a magic predicate.  An
+/// empty or shorter-than-magic file is simply "not this format" here; the
+/// actual loaders produce the precise error.
+bool sniff_magic(const std::string& path, bool (*pred)(const char*, std::size_t)) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  return pred(magic, static_cast<std::size_t>(in.gcount()));
+}
+
+bool is_manifest_file(const std::string& path) {
+  return sniff_magic(path, monitor::is_qdm_magic);
+}
+
+bool is_qds_file(const std::string& path) {
+  return sniff_magic(path, monitor::is_qds_magic);
+}
+
 bool has_qds_extension(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".qds") == 0;
 }
 
+monitor::QdsWriteOptions qds_options(const Args& args) {
+  monitor::QdsWriteOptions opts;
+  if (args.options.count("compress") != 0) opts.codec = monitor::QdsCodec::kQlz;
+  return opts;
+}
+
 /// Writes a dataset; the extension picks the format (.qds binary, else CSV).
-void save_dataset(const std::string& path, const monitor::Dataset& ds) {
+void save_dataset(const std::string& path, const monitor::Dataset& ds,
+                  const monitor::QdsWriteOptions& opts = {}) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
   if (has_qds_extension(path)) {
-    monitor::write_dataset_qds(out, ds);
+    monitor::write_dataset_qds(out, ds, opts);
   } else {
     monitor::write_dataset_csv(out, ds);
   }
+}
+
+/// Loads any dataset source into an owned table: a .qdm manifest is
+/// stitched from its shards, everything else goes through the sniffing
+/// reader.  (The mmap fast path is used where the rows are consumed in
+/// place — info/train/eval — not here, where a copy is the product.)
+monitor::Dataset materialize_any(const std::string& path) {
+  if (is_manifest_file(path)) {
+    return monitor::ShardedDataset::open(path).materialize();
+  }
+  return load_dataset(path);
 }
 
 int cmd_workloads() {
@@ -237,7 +296,7 @@ int cmd_campaign(const Args& args) {
     std::fprintf(stderr, "unknown campaign family: %s\n", family.c_str());
     return 1;
   }
-  save_dataset(args.get("out", ""), ds);
+  save_dataset(args.get("out", ""), ds, qds_options(args));
   const auto hist = ds.class_histogram();
   std::printf("wrote %zu windows to %s (classes:", ds.size(), args.get("out", "").c_str());
   for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
@@ -247,17 +306,49 @@ int cmd_campaign(const Args& args) {
 
 int cmd_train(const Args& args) {
   if (args.options.count("data") == 0 || args.options.count("out") == 0) return usage();
-  const monitor::Dataset ds = load_dataset(args.get("data", ""));
-  auto [train, test] = ml::split_dataset(ds, 0.2, 17);
+  const std::string data = args.get("data", "");
   core::TrainingServerConfig cfg;
   cfg.n_classes = args.get_int("classes", 2);
   cfg.train.max_epochs = args.get_int("epochs", cfg.train.max_epochs);
   cfg.train.jobs = args.get_int("jobs", 1);
   core::TrainingServer server(cfg);
-  const ml::TrainResult tr = server.fit(train);
-  std::printf("trained on %zu windows (best epoch %d, val macro-F1 %.3f)\n", train.size(),
+
+  ml::TrainResult tr;
+  std::size_t n_train = 0;
+  ml::ConfusionMatrix cm(cfg.n_classes);
+  if (is_manifest_file(data)) {
+    // Streaming path: shards stay on disk (mmap'ed, optionally under a
+    // resident-page budget) and the chunked trainer reads rows in place.
+    // split_rows + SubsetRows reproduce split_dataset's membership, so
+    // the model bytes match the in-RAM path bit for bit.
+    const std::size_t budget_mib =
+        static_cast<std::size_t>(std::max(args.get_int("memory-budget", 0), 0));
+    const monitor::ShardedDataset ds =
+        monitor::ShardedDataset::open(data, budget_mib << 20);
+    auto [train_idx, test_idx] = ml::split_rows(ds.size(), 0.2, 17);
+    const monitor::SubsetRows train(ds, std::move(train_idx));
+    const monitor::SubsetRows test(ds, std::move(test_idx));
+    n_train = train.size();
+    tr = server.fit_rows(train);
+    cm = server.evaluate_rows(test);
+  } else if (is_qds_file(data)) {
+    // Single .qds files are mmap'ed; uncompressed version-2 images train
+    // straight out of the page cache with zero copies.
+    const monitor::MappedDataset mapped = monitor::map_dataset_qds(data);
+    auto [train, test] = ml::split_dataset(mapped.table, 0.2, 17);
+    n_train = train.size();
+    tr = server.fit(train);
+    cm = server.evaluate(test);
+  } else {
+    const monitor::Dataset ds = load_dataset(data);
+    auto [train, test] = ml::split_dataset(ds, 0.2, 17);
+    n_train = train.size();
+    tr = server.fit(train);
+    cm = server.evaluate(test);
+  }
+  std::printf("trained on %zu windows (best epoch %d, val macro-F1 %.3f)\n", n_train,
               tr.best_epoch, tr.best_val_macro_f1);
-  std::printf("%s", server.evaluate(test).to_string().c_str());
+  std::printf("%s", cm.to_string().c_str());
   std::ofstream out(args.get("out", ""));
   server.save(out);
   std::printf("model saved to %s\n", args.get("out", "").c_str());
@@ -271,11 +362,42 @@ int cmd_eval(const Args& args) {
     std::fprintf(stderr, "cannot open %s\n", args.get("model", "").c_str());
     return 1;
   }
-  const monitor::Dataset ds = load_dataset(args.get("data", ""));
+  const std::string data = args.get("data", "");
   core::TrainingServer server(core::TrainingServerConfig{});
   server.load(min);
-  std::printf("%s", server.evaluate(ds).to_string().c_str());
+  ml::ConfusionMatrix cm(server.config().n_classes);
+  if (is_manifest_file(data)) {
+    const monitor::ShardedDataset ds = monitor::ShardedDataset::open(data);
+    cm = server.evaluate_rows(ds);
+  } else if (is_qds_file(data)) {
+    const monitor::MappedDataset mapped = monitor::map_dataset_qds(data);
+    cm = server.evaluate(mapped.table);
+  } else {
+    const monitor::Dataset ds = load_dataset(data);
+    cm = server.evaluate(ds);
+  }
+  std::printf("%s", cm.to_string().c_str());
   return 0;
+}
+
+/// `dataset info` body over any row source (in-RAM, mmap'ed, or sharded).
+void print_dataset_info(const std::string& path, const monitor::RowAccess& ds,
+                        const char* storage_note) {
+  const auto hist = ds.class_histogram();
+  std::printf("%s: %zu windows, %d servers x %d features (row width %zu)%s\n",
+              path.c_str(), ds.size(), ds.n_servers(), ds.dim(), ds.width(),
+              storage_note);
+  std::printf("classes:");
+  for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
+  std::printf("\n");
+  if (!ds.empty()) {
+    double deg_sum = 0.0;
+    for (std::size_t i = 0; i < ds.size(); ++i) deg_sum += ds.degradation(i);
+    std::printf("windows %lld..%lld, mean degradation %.3f\n",
+                static_cast<long long>(ds.window_index(0)),
+                static_cast<long long>(ds.window_index(ds.size() - 1)),
+                deg_sum / static_cast<double>(ds.size()));
+  }
 }
 
 int cmd_dataset(const Args& args) {
@@ -283,26 +405,28 @@ int cmd_dataset(const Args& args) {
   const std::string& verb = args.positional[0];
   const std::string& path = args.positional[1];
   if (verb == "info") {
-    const monitor::Dataset ds = load_dataset(path);
-    const auto hist = ds.class_histogram();
-    std::printf("%s: %zu windows, %d servers x %d features (row width %zu)\n",
-                path.c_str(), ds.size(), ds.n_servers(), ds.dim(), ds.width());
-    std::printf("classes:");
-    for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
-    std::printf("\n");
-    if (!ds.empty()) {
-      double deg_sum = 0.0;
-      for (std::size_t i = 0; i < ds.size(); ++i) deg_sum += ds.degradation(i);
-      std::printf("windows %lld..%lld, mean degradation %.3f\n",
-                  static_cast<long long>(ds.window_index(0)),
-                  static_cast<long long>(ds.window_index(ds.size() - 1)),
-                  deg_sum / static_cast<double>(ds.size()));
+    if (is_manifest_file(path)) {
+      const monitor::ShardedDataset ds = monitor::ShardedDataset::open(path);
+      char note[64];
+      std::snprintf(note, sizeof(note), " [%zu shards%s]", ds.n_shards(),
+                    ds.zero_copy() ? ", mmap zero-copy" : "");
+      print_dataset_info(path, ds, note);
+    } else if (is_qds_file(path)) {
+      const monitor::MappedDataset mapped = monitor::map_dataset_qds(path);
+      const monitor::TableView view(mapped.table);
+      const monitor::ViewRows rows(view);
+      print_dataset_info(path, rows, mapped.zero_copy ? " [mmap zero-copy]" : " [mmap]");
+    } else {
+      const monitor::Dataset ds = load_dataset(path);
+      const monitor::TableView view(ds);
+      const monitor::ViewRows rows(view);
+      print_dataset_info(path, rows, "");
     }
     return 0;
   }
   if (verb == "head") {
-    const monitor::Dataset ds = load_dataset(path);
     const auto rows = static_cast<std::size_t>(args.get_int("rows", 5));
+    const monitor::Dataset ds = materialize_any(path);
     std::ostringstream os;
     // Reuse the CSV writer on a head-sized copy so the column headers are
     // printed too.
@@ -318,10 +442,38 @@ int cmd_dataset(const Args& args) {
   if (verb == "convert") {
     if (args.positional.size() < 3) return usage();
     const std::string& out_path = args.positional[2];
-    const monitor::Dataset ds = load_dataset(path);
-    save_dataset(out_path, ds);
+    const monitor::Dataset ds = materialize_any(path);
+    save_dataset(out_path, ds, qds_options(args));
     std::printf("wrote %zu windows to %s (%s)\n", ds.size(), out_path.c_str(),
                 has_qds_extension(out_path) ? "binary .qds" : "CSV");
+    return 0;
+  }
+  if (verb == "shard") {
+    if (args.positional.size() < 3) return usage();
+    const std::string& prefix = args.positional[2];
+    const monitor::Dataset ds = materialize_any(path);
+    if (ds.empty()) throw std::runtime_error("refusing to shard an empty dataset");
+    std::size_t rows_per_shard = 0;
+    if (args.options.count("shards") != 0) {
+      const auto n_shards = static_cast<std::size_t>(std::max(args.get_int("shards", 1), 1));
+      rows_per_shard = (ds.size() + n_shards - 1) / n_shards;
+    } else {
+      rows_per_shard =
+          static_cast<std::size_t>(std::max(args.get_int("rows-per-shard", 65536), 1));
+    }
+    const std::string manifest =
+        monitor::write_sharded_dataset(prefix, ds, rows_per_shard, qds_options(args));
+    const std::size_t n_shards = (ds.size() + rows_per_shard - 1) / rows_per_shard;
+    std::printf("wrote %zu windows to %zu shard(s) behind %s\n", ds.size(), n_shards,
+                manifest.c_str());
+    return 0;
+  }
+  if (verb == "merge") {
+    if (args.positional.size() < 3) return usage();
+    const std::string& out_path = args.positional[2];
+    const monitor::Dataset ds = monitor::ShardedDataset::open(path).materialize();
+    save_dataset(out_path, ds, qds_options(args));
+    std::printf("merged %zu windows into %s\n", ds.size(), out_path.c_str());
     return 0;
   }
   return usage();
