@@ -16,7 +16,8 @@ echo "=== tier-1: exec/campaign/scheduler tests under TSan ==="
 cmake -B build-tsan -S . -DQIF_SANITIZE=thread
 cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
   test_sim_simulation test_sim_links test_export test_data_alloc \
-  test_campaign_faults test_pfs_faults test_sim_property test_streaming
+  test_campaign_faults test_pfs_faults test_sim_property test_streaming \
+  test_sim_lanes
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
 # Data-plane: parallel campaign shards block-append into one FeatureTable,
@@ -38,6 +39,11 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 ./build-tsan/tests/test_campaign_faults
 ./build-tsan/tests/test_pfs_faults
 ./build-tsan/tests/test_sim_property
+# Parallel event lanes: N engines on worker threads synchronized by
+# barrier windows, cross-lane messages through per-(src,dst) outboxes —
+# the whole lane data plane must be race-free under TSan while the tests
+# assert bit-identity against the lanes=1 sequential reference.
+./build-tsan/tests/test_sim_lanes
 
 echo "=== tier-1: .qds corruption fuzz under ASan ==="
 # test_qds_fuzz covers the buffered reader, the mmap path (QdsMmapFuzz),
@@ -50,6 +56,9 @@ cmake --build build-asan -j --target test_qds_fuzz test_export test_streaming
 ./build-asan/tests/test_streaming
 
 echo "=== tier-1: benchmark smoke ==="
+# Includes the lane smoke: `qif run --lanes 4` must print the same trace
+# fingerprint as `--lanes 1` (the lane engine's bit-identity contract,
+# asserted end to end through the CLI).
 ./scripts/bench_sim.sh --smoke
 
 echo "tier-1 OK"

@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "qif/exec/thread_pool.hpp"
 
@@ -11,7 +13,7 @@ namespace qif::exec {
 ParallelCampaignRunner::ParallelCampaignRunner(core::CampaignConfig config, int jobs)
     : config_(std::move(config)), jobs_(jobs < 1 ? 1 : jobs) {}
 
-core::CampaignResult ParallelCampaignRunner::run() const {
+core::CampaignResult ParallelCampaignRunner::run(const CaseSink& sink) const {
   ThreadPool pool(jobs_);
 
   // Phase 1: every unique baseline, concurrently.  Each slot is written by
@@ -28,10 +30,25 @@ core::CampaignResult ParallelCampaignRunner::run() const {
 
   // Phase 2: fan the cases out.  run_campaign_case captures its own
   // errors, so a throwing scenario fails that case, not the campaign.
+  // Each finished case is handed to the sink as soon as its whole ordered
+  // prefix is done: done[] marks completions, and whichever worker
+  // completes the case at the cursor drains the run of consecutive
+  // finished cases under the mutex (so sink calls are serialized and in
+  // declaration order while later cases keep simulating).
   std::vector<core::CaseResult> cases(config_.cases.size());
+  std::vector<char> done(config_.cases.size(), 0);
+  std::size_t next_to_emit = 0;
+  std::mutex emit_mutex;
   pool.for_each_index(config_.cases.size(), [&](std::size_t i) {
     const core::CaseSpec& cs = config_.cases[i];
     cases[i] = core::run_campaign_case(config_, cs, *baseline_by_seed.at(cs.seed));
+    if (!sink) return;
+    const std::lock_guard<std::mutex> lock(emit_mutex);
+    done[i] = 1;
+    while (next_to_emit < done.size() && done[next_to_emit] != 0) {
+      sink(next_to_emit, cases[next_to_emit]);
+      ++next_to_emit;
+    }
   });
 
   // Phase 3: stitch shards and outcomes back in declaration order — the

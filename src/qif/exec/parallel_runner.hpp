@@ -9,10 +9,22 @@
 // seed — no shared state crosses task boundaries.
 #pragma once
 
+#include <cstddef>
+#include <functional>
+
 #include "qif/core/campaign.hpp"
 #include "qif/core/datasets.hpp"
 
 namespace qif::exec {
+
+/// Ordered streaming hook: invoked once per case, in case-declaration
+/// order, as soon as that case AND every earlier case have finished (so a
+/// long campaign's results can hit disk incrementally instead of
+/// accumulating until the final stitch).  Calls are serialized — at most
+/// one sink invocation runs at a time — but they execute on pool worker
+/// threads, concurrently with later cases still simulating; the sink must
+/// not touch campaign state beyond the result it is handed.
+using CaseSink = std::function<void(std::size_t index, const core::CaseResult&)>;
 
 class ParallelCampaignRunner {
  public:
@@ -22,8 +34,10 @@ class ParallelCampaignRunner {
 
   /// Runs the whole campaign.  Failed cases are reported per-case via
   /// CaseOutcome::error; their shards are skipped, exactly as in the
-  /// sequential driver.
-  [[nodiscard]] core::CampaignResult run() const;
+  /// sequential driver.  A non-null `sink` observes every finished case
+  /// in declaration order (see CaseSink); the returned result is the same
+  /// either way.
+  [[nodiscard]] core::CampaignResult run(const CaseSink& sink = {}) const;
 
   [[nodiscard]] int jobs() const { return jobs_; }
   [[nodiscard]] const core::CampaignConfig& config() const { return config_; }

@@ -250,21 +250,65 @@ void write_manifest_file(const std::string& path, const Manifest& m) {
   write_manifest(os, m);
 }
 
+ShardStreamWriter::ShardStreamWriter(std::string prefix, QdsWriteOptions options)
+    : prefix_(std::move(prefix)),
+      stem_(std::filesystem::path(prefix_).filename().string()),  // manifest
+                                                                  // stores basenames
+      options_(options) {
+  if (stem_.empty() || stem_.find(' ') != std::string::npos) {
+    throw std::invalid_argument("ShardStreamWriter: bad prefix");
+  }
+}
+
+void ShardStreamWriter::add(const TableView& chunk) {
+  if (finished_) throw std::logic_error("ShardStreamWriter: add() after finish()");
+  if (chunk.empty()) return;
+  if (manifest_.rows == 0) {
+    manifest_.n_servers = chunk.n_servers();
+    manifest_.dim = chunk.dim();
+  } else if (chunk.n_servers() != manifest_.n_servers || chunk.dim() != manifest_.dim) {
+    throw std::invalid_argument("ShardStreamWriter: chunk shape mismatch");
+  }
+  std::string num = std::to_string(manifest_.shards.size());
+  if (num.size() < 3) num.insert(0, 3 - num.size(), '0');
+  const std::string path = prefix_ + "." + num + ".qds";
+  // Serialize in memory first: the manifest pins each shard's exact
+  // bytes, so the checksum must cover what actually hits the disk.
+  std::ostringstream image;
+  if (chunk.identity()) {
+    write_dataset_qds(image, *chunk.table(), options_);
+  } else {
+    write_dataset_qds(image, chunk.materialize(), options_);
+  }
+  const std::string bytes = std::move(image).str();
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error(path + ": cannot create shard");
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error(path + ": shard write failed");
+  manifest_.shards.push_back(
+      {chunk.size(), stem_ + "." + num + ".qds",
+       qds_image_checksum(bytes.data(), bytes.size())});
+  manifest_.rows += chunk.size();
+}
+
+std::string ShardStreamWriter::finish() {
+  if (finished_) throw std::logic_error("ShardStreamWriter: finish() twice");
+  if (manifest_.rows == 0) {
+    throw std::runtime_error("ShardStreamWriter: no rows streamed — nothing to seal");
+  }
+  finished_ = true;
+  const std::string manifest_path = prefix_ + ".qdm";
+  write_manifest_file(manifest_path, manifest_);
+  return manifest_path;
+}
+
 std::string write_sharded_dataset(const std::string& prefix, const TableView& ds,
                                   std::size_t rows_per_shard,
                                   const QdsWriteOptions& options) {
   if (rows_per_shard == 0) {
     throw std::invalid_argument("write_sharded_dataset: rows_per_shard must be positive");
   }
-  const std::string stem =
-      std::filesystem::path(prefix).filename().string();  // manifest stores basenames
-  if (stem.empty() || stem.find(' ') != std::string::npos) {
-    throw std::invalid_argument("write_sharded_dataset: bad prefix");
-  }
-  Manifest m;
-  m.n_servers = ds.n_servers();
-  m.dim = ds.dim();
-  m.rows = ds.size();
+  ShardStreamWriter writer(prefix, options);
   const std::size_t n_shards = (ds.size() + rows_per_shard - 1) / rows_per_shard;
   for (std::size_t k = 0; k < n_shards; ++k) {
     const std::size_t lo = k * rows_per_shard;
@@ -274,23 +318,9 @@ std::string write_sharded_dataset(const std::string& prefix, const TableView& ds
     for (std::size_t i = lo; i < hi; ++i) {
       chunk.append_row(ds.window_index(i), ds.label(i), ds.degradation(i), ds.row(i));
     }
-    std::string num = std::to_string(k);
-    if (num.size() < 3) num.insert(0, 3 - num.size(), '0');
-    const std::string name = stem + "." + num + ".qds";
-    // Serialize in memory first: the manifest pins each shard's exact
-    // bytes, so the checksum must cover what actually hits the disk.
-    std::ostringstream image;
-    write_dataset_qds(image, chunk, options);
-    const std::string bytes = std::move(image).str();
-    std::ofstream os(prefix + "." + num + ".qds", std::ios::binary);
-    if (!os) throw std::runtime_error(prefix + "." + num + ".qds: cannot create shard");
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!os) throw std::runtime_error(prefix + "." + num + ".qds: shard write failed");
-    m.shards.push_back({hi - lo, name, qds_image_checksum(bytes.data(), bytes.size())});
+    writer.add(chunk);
   }
-  const std::string manifest_path = prefix + ".qdm";
-  write_manifest_file(manifest_path, m);
-  return manifest_path;
+  return writer.finish();
 }
 
 ShardedDataset ShardedDataset::open(const std::string& manifest_path,

@@ -126,6 +126,40 @@ std::string write_sharded_dataset(const std::string& prefix, const TableView& ds
                                   std::size_t rows_per_shard,
                                   const QdsWriteOptions& options = {});
 
+/// Incremental producer of a sharded dataset: add() streams each chunk to
+/// disk as `<prefix>.NNN.qds` the moment it arrives (a long campaign's
+/// windows hit disk case by case instead of accumulating in RAM), and
+/// finish() seals the `<prefix>.qdm` manifest.  Chunk arrival order IS the
+/// dataset row order, so streaming the per-case shards of a campaign in
+/// declaration order produces a dataset byte-identical to the in-RAM
+/// stitch (write_sharded_dataset is this class driven by one loop).
+///
+/// Empty chunks are skipped (they would add manifest entries without
+/// rows); all non-empty chunks must share one shape.  finish() with zero
+/// total rows throws — a manifest needs a concrete shape.  add() after
+/// finish(), or finish() twice, is a logic error and throws.
+class ShardStreamWriter {
+ public:
+  explicit ShardStreamWriter(std::string prefix, QdsWriteOptions options = {});
+
+  /// Writes `chunk` as the next shard file.  Throws on shape mismatch or
+  /// I/O failure.
+  void add(const TableView& chunk);
+
+  /// Writes the manifest and returns its path.
+  std::string finish();
+
+  [[nodiscard]] std::size_t rows() const { return manifest_.rows; }
+  [[nodiscard]] std::size_t n_shards() const { return manifest_.shards.size(); }
+
+ private:
+  std::string prefix_;
+  std::string stem_;  ///< manifest stores shard basenames
+  QdsWriteOptions options_;
+  Manifest manifest_;
+  bool finished_ = false;
+};
+
 /// A sharded dataset opened for streaming access: every shard is mapped
 /// (zero-copy when its file allows) and rows are addressed globally in
 /// manifest order.  Implements RowAccess, so the chunked trainer consumes

@@ -10,7 +10,8 @@
 namespace qif::pfs {
 
 PfsClient::PfsClient(Cluster& cluster, NodeId node, Rank rank, std::int32_t job)
-    : cluster_(cluster), node_(node), rank_(rank), job_(job),
+    : cluster_(cluster), sim_(cluster.sim_for_node(node)), node_(node), rank_(rank),
+      job_(job),
       params_(cluster.config().client),
       retry_rng_(sim::Rng::derive_seed(
           cluster.config().seed, "client-retry/n" + std::to_string(node) + "/r" +
@@ -28,7 +29,7 @@ void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t
   rec.offset = offset;
   rec.bytes = bytes;
   rec.start = start;
-  rec.end = cluster_.sim().now();
+  rec.end = sim_.now();
   rec.targets = std::move(targets);
   if (faults != nullptr) {
     rec.retries = faults->retries;
@@ -38,7 +39,7 @@ void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t
     total_timeouts_ += faults->timeouts;
     total_failed_ += faults->failed ? 1 : 0;
   }
-  cluster_.trace_log().record(std::move(rec));
+  cluster_.record_client_op(node_, std::move(rec));
 }
 
 // ---------------------------------------------------------------------------
@@ -50,7 +51,12 @@ void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t
 // re-issues, up to rpc_max_retries re-issues, after which the op fails with
 // EIO.  Responses from superseded attempts are recognised by attempt number
 // and dropped — at-least-once semantics, like a real RPC resend (server
-// work is idempotent here).  With rpc_deadline == 0 none of this exists:
+// work is idempotent here).  Each attempt carries its own copy of the serve
+// closure: the server side of an in-flight attempt then touches no state the
+// client side ever writes, which is what lets the attempt cross an event-lane
+// boundary — a straggler arriving after the op settles simply re-executes
+// idempotent server work, as a real resent RPC would.  With rpc_deadline ==
+// 0 none of this exists:
 // the RPC goes straight to the fabric, scheduling no timer and drawing no
 // randomness, so healthy runs replay the exact pre-fault event sequence.
 // ---------------------------------------------------------------------------
@@ -77,14 +83,13 @@ void PfsClient::rpc_faultable(int server_port, std::int64_t request_payload,
 
 void PfsClient::issue_attempt(std::shared_ptr<RetryOp> op) {
   const int my_attempt = ++op->attempt;
-  op->timer = cluster_.sim().schedule_after(params_.rpc_deadline, [this, op, my_attempt] {
+  op->timer = sim_.schedule_after(params_.rpc_deadline, [this, op, my_attempt] {
     if (op->done || op->attempt != my_attempt) return;  // superseded meanwhile
     op->timer = sim::kInvalidEvent;
     if (op->stats) ++op->stats->timeouts;
     if (op->attempt > params_.rpc_max_retries) {
       // Retries exhausted: surface EIO.  Late responses are ignored by the
-      // done flag; the serve closure is released so straggler requests
-      // still in flight pass through the server without re-doing work.
+      // done flag; stragglers still in flight re-run their own serve copy.
       op->done = true;
       if (op->stats) op->stats->failed = true;
       auto cb = std::move(op->cb);
@@ -98,7 +103,7 @@ void PfsClient::issue_attempt(std::shared_ptr<RetryOp> op) {
     if (params_.retry_jitter > 0) {
       wait *= 1.0 + params_.retry_jitter * retry_rng_.next_double();
     }
-    cluster_.sim().schedule_after(
+    sim_.schedule_after(
         std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(wait)), [this, op] {
           // A late response may have completed the op during the backoff.
           if (!op->done) issue_attempt(op);
@@ -106,18 +111,15 @@ void PfsClient::issue_attempt(std::shared_ptr<RetryOp> op) {
   });
   cluster_.net().rpc(
       node_, op->server_port, op->request_payload, op->response_payload,
-      [op](std::function<void()> done) {
-        if (op->serve) {
-          op->serve(done);  // copy: a later attempt may need it again
-        } else {
-          done();  // op already settled; let the straggler drain
-        }
-      },
+      // Value copy per attempt: the server side must not read RetryOp fields
+      // the client side writes (settling clears op->serve), or a cross-lane
+      // straggler would race the settle.
+      [serve = op->serve](std::function<void()> done) { serve(std::move(done)); },
       [this, op, my_attempt] {
         if (op->done || op->attempt != my_attempt) return;  // stale response
         op->done = true;
         if (op->timer != sim::kInvalidEvent) {
-          cluster_.sim().cancel(op->timer);
+          sim_.cancel(op->timer);
           op->timer = sim::kInvalidEvent;
         }
         auto cb = std::move(op->cb);
@@ -132,7 +134,7 @@ void PfsClient::issue_attempt(std::shared_ptr<RetryOp> op) {
 
 void PfsClient::create(const std::string& path, int stripe_count, OpenCallback cb,
                        int stripe_hint) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   // The MDS reply payload travels back through the RPC; a shared slot
   // carries it from the serve closure to the completion closure.
   auto result = std::make_shared<MetaResult>();
@@ -159,7 +161,7 @@ void PfsClient::create(const std::string& path, int stripe_count, OpenCallback c
 }
 
 void PfsClient::open(const std::string& path, OpenCallback cb) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   auto result = std::make_shared<MetaResult>();
   auto stats = make_fault_stats();
   rpc_faultable(
@@ -180,7 +182,7 @@ void PfsClient::open(const std::string& path, OpenCallback cb) {
 }
 
 void PfsClient::stat(const std::string& path, StatCallback cb) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   auto result = std::make_shared<MetaResult>();
   auto stats = make_fault_stats();
   rpc_faultable(
@@ -200,7 +202,7 @@ void PfsClient::stat(const std::string& path, StatCallback cb) {
 }
 
 void PfsClient::close(const FileHandle& fh, DataCallback cb) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   auto stats = make_fault_stats();
   // Flush-on-close: a small file's dirty bytes are committed to the OST
   // synchronously before the namespace close, so the close op's latency
@@ -257,7 +259,7 @@ void PfsClient::note_small_write(const FileHandle& fh, std::int64_t offset, std:
 }
 
 void PfsClient::unlink(const std::string& path, DataCallback cb) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   auto stats = make_fault_stats();
   rpc_faultable(
       cluster_.mds_port(), 256, 256,
@@ -272,7 +274,7 @@ void PfsClient::unlink(const std::string& path, DataCallback cb) {
 }
 
 void PfsClient::mkdir(const std::string& path, DataCallback cb) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   auto stats = make_fault_stats();
   rpc_faultable(
       cluster_.mds_port(), 256, 256,
@@ -302,11 +304,11 @@ void PfsClient::write(const FileHandle& fh, std::int64_t offset, std::int64_t le
 
 void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset,
                         std::int64_t len, DataCallback cb) {
-  const sim::SimTime start = cluster_.sim().now();
+  const sim::SimTime start = sim_.now();
   if (!fh.valid() || len <= 0) {
     // Degenerate op: still emits a record so op indices stay aligned with
     // the workload's issue sequence.
-    cluster_.sim().schedule_after(sim::kMicrosecond, [this, is_write, fh, offset, start,
+    sim_.schedule_after(sim::kMicrosecond, [this, is_write, fh, offset, start,
                                                       cb = std::move(cb)] {
       emit(is_write ? OpType::kWrite : OpType::kRead, fh.file, offset, 0, start, {});
       cb();
@@ -348,7 +350,7 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
                  targets = std::move(targets), cb = std::move(cb)]() {
     // A failed op never reached the server coherently; don't grow the file.
     if (is_write && !(stats && stats->failed)) {
-      cluster_.mdt().note_size(fh.file, offset + len);
+      cluster_.post_note_size(node_, fh.file, offset + len);
     }
     emit(is_write ? OpType::kWrite : OpType::kRead, fh.file, offset, len, start, targets,
          stats.get());

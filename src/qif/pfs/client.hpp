@@ -85,6 +85,10 @@ class PfsClient {
   void write(const FileHandle& fh, std::int64_t offset, std::int64_t len, DataCallback cb);
 
   [[nodiscard]] Cluster& cluster() { return cluster_; }
+  /// The engine this client's node runs on — the single engine in classic
+  /// mode, the node's data lane in lane mode.  Workload code must schedule
+  /// its think-time/phase events here, never on another lane's engine.
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] Rank rank() const { return rank_; }
   [[nodiscard]] std::int32_t job() const { return job_; }
@@ -148,6 +152,7 @@ class PfsClient {
   }
 
   Cluster& cluster_;
+  sim::Simulation& sim_;  ///< the engine owning this client's node
   NodeId node_;
   Rank rank_;
   std::int32_t job_;

@@ -212,37 +212,67 @@ FaultInjector::FaultInjector(Cluster& cluster, FaultPlan plan, std::uint64_t see
       throw std::invalid_argument("fault plan: loss probability must be in [0,1]");
     }
   }
-  // Only wire the gate into the fabric when the plan can actually drop
+  // Only wire gates into the fabric when the plan can actually drop
   // messages; otherwise the fabric keeps its gate-free (and branch-light)
-  // healthy path.
+  // healthy path.  One gate per resource, each with its own RNG stream
+  // keyed by the resource's stable name, checking the plan against its own
+  // engine's clock — no shared mutable state between resources, so the
+  // drop sequence each resource sees is partition-independent.
   if (!plan_.rpc_loss.empty()) {
-    cluster_.net().set_loss_gate([this] { return should_drop_message(); });
+    cluster_.net().install_loss_gates(
+        [this, seed](const std::string& resource, sim::Simulation& sim) {
+          auto gate = std::make_shared<LossGate>(LossGate{
+              sim::Rng(sim::Rng::derive_seed(seed, "fault-loss/" + resource)), &sim, 0});
+          loss_gates_.push_back(gate);
+          return [this, gate]() {
+            const double p = loss_probability_at(gate->sim->now());
+            if (p <= 0.0) return false;  // no RNG draw outside loss windows
+            const bool drop = gate->rng.chance(p);
+            if (drop) ++gate->dropped;
+            return drop;
+          };
+        });
   }
   schedule_episodes();
 }
 
 void FaultInjector::schedule_episodes() {
-  auto& sim = cluster_.sim();
+  // Each episode's transition events run on the engine owning the faulted
+  // OST, so per-OST state is only ever touched from its own lane.  In lane
+  // mode the transitions are minted under the OST's port context — setup
+  // scheduling, so the keys (and thus the transitions' order against
+  // colliding I/O completions) are partition-independent.  Loss windows
+  // schedule nothing: the gates are pure time checks.
   for (const auto& f : plan_.slow_disks) {
+    auto& sim = cluster_.sim_for_ost(f.ost);
+    if (cluster_.lane_mode()) sim.set_context(cluster_.ctx_of_port(cluster_.oss_port(f.ost)));
     sim.schedule_at(f.start, [this, f] { apply_slow(f.ost, f.factor, true); });
     sim.schedule_at(f.start + f.duration,
                     [this, f] { apply_slow(f.ost, f.factor, false); });
   }
   for (const auto& f : plan_.stalls) {
+    auto& sim = cluster_.sim_for_ost(f.ost);
+    if (cluster_.lane_mode()) sim.set_context(cluster_.ctx_of_port(cluster_.oss_port(f.ost)));
     sim.schedule_at(f.start, [this, f] { apply_stall(f.ost, true); });
     sim.schedule_at(f.start + f.duration, [this, f] { apply_stall(f.ost, false); });
   }
   for (const auto& f : plan_.rpc_loss) {
-    sim.schedule_at(f.start, [this, f] { apply_loss(f.probability, true); });
-    sim.schedule_at(f.start + f.duration,
-                    [this, f] { apply_loss(f.probability, false); });
+    // The gates are pure time checks, but each window's boundaries still go
+    // on the clock as no-op markers: an otherwise idle engine then advances
+    // across the window, so active_loss_probability() and horizon-stepped
+    // scenario loops observe it opening and closing.  Markers mutate
+    // nothing, so they cannot perturb cross-partition identity.
+    auto& sim = cluster_.lane_mode() ? cluster_.lanes()->meta() : cluster_.sim();
+    if (cluster_.lane_mode()) sim.set_context(cluster_.ctx_of_port(cluster_.mds_port()));
+    sim.schedule_at(f.start, [] {});
+    sim.schedule_at(f.start + f.duration, [] {});
   }
 }
 
 void FaultInjector::apply_slow(OstId ost, double factor, bool activate) {
   auto& st = ost_state_[static_cast<std::size_t>(ost)];
   if (activate) {
-    ++activations_;
+    activations_.fetch_add(1, std::memory_order_relaxed);
     st.slow_factors.push_back(factor);
   } else {
     for (auto it = st.slow_factors.begin(); it != st.slow_factors.end(); ++it) {
@@ -262,7 +292,7 @@ void FaultInjector::apply_slow(OstId ost, double factor, bool activate) {
 void FaultInjector::apply_stall(OstId ost, bool activate) {
   auto& st = ost_state_[static_cast<std::size_t>(ost)];
   if (activate) {
-    ++activations_;
+    activations_.fetch_add(1, std::memory_order_relaxed);
     ++st.stall_depth;
   } else if (st.stall_depth > 0) {
     --st.stall_depth;
@@ -270,32 +300,34 @@ void FaultInjector::apply_stall(OstId ost, bool activate) {
   cluster_.ost(ost).disk().set_stalled(st.stall_depth > 0);
 }
 
-void FaultInjector::apply_loss(double probability, bool activate) {
-  if (activate) {
-    ++activations_;
-    active_loss_.push_back(probability);
-  } else {
-    for (auto it = active_loss_.begin(); it != active_loss_.end(); ++it) {
-      if (*it == probability) {
-        active_loss_.erase(it);
-        break;
-      }
-    }
-  }
+sim::SimTime FaultInjector::current_time() const {
+  return cluster_.lane_mode() ? cluster_.lanes()->now() : cluster_.sim().now();
 }
 
-double FaultInjector::active_loss_probability() const {
-  if (active_loss_.empty()) return 0.0;
-  // Independent overlapping windows compose as 1 - prod(1 - p_i).
+double FaultInjector::loss_probability_at(sim::SimTime t) const {
+  // Independent overlapping windows compose as 1 - prod(1 - p_i); a window
+  // is active on [start, start + duration), matching the old event-based
+  // semantics (activation sorts before same-tick sends, deactivation too).
   double keep = 1.0;
-  for (const double p : active_loss_) keep *= 1.0 - p;
+  for (const auto& f : plan_.rpc_loss) {
+    if (t >= f.start && t < f.start + f.duration) keep *= 1.0 - f.probability;
+  }
   return 1.0 - keep;
 }
 
+double FaultInjector::active_loss_probability() const {
+  return loss_probability_at(current_time());
+}
+
+std::uint64_t FaultInjector::messages_dropped() const {
+  std::uint64_t n = messages_dropped_;
+  for (const auto& g : loss_gates_) n += g->dropped;
+  return n;
+}
+
 bool FaultInjector::should_drop_message() {
-  if (active_loss_.empty()) return false;  // no RNG draw outside loss windows
   const double p = active_loss_probability();
-  if (p <= 0.0) return false;
+  if (p <= 0.0) return false;  // no RNG draw outside loss windows
   const bool drop = rng_.chance(p);
   if (drop) ++messages_dropped_;
   return drop;

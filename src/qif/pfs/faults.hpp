@@ -17,7 +17,9 @@
 // draws nothing, and leaves every byte of the simulation unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -95,31 +97,48 @@ struct FaultPlan {
 
 /// Arms a FaultPlan against a cluster: schedules every episode's
 /// activation/deactivation on the simulation clock, maintains the per-OST
-/// fault state (stacked slow factors, stall depth) and serves as the
-/// message-loss gate for the network resources.  One injector per run;
+/// fault state (stacked slow factors, stall depth) and installs the
+/// message-loss gates on the network resources.  One injector per run;
 /// construct after the Cluster, before any workload starts.
+///
+/// Lane discipline: every mutation is confined to the engine that owns the
+/// mutated state.  Slow/stall transitions are scheduled on the owning OST's
+/// lane; message loss is a *per-resource* gate — each fabric resource gets
+/// its own RNG stream (derived from the run seed and the resource's stable
+/// name) and computes the active drop probability as a pure function of the
+/// static plan at its own engine's clock.  A resource's drop sequence thus
+/// depends only on its own traffic, which is what keeps faulted runs
+/// bit-identical across any lane partition (including the sequential one).
 class FaultInjector {
  public:
   /// Validates the plan against the cluster (OST ids, factors,
-  /// probabilities — throws std::invalid_argument), installs the loss gate
-  /// and schedules all episodes.  `seed` feeds the injector's private RNG
-  /// stream (message-loss coin flips).
+  /// probabilities — throws std::invalid_argument), installs the loss
+  /// gates and schedules all episodes.  `seed` feeds the per-resource
+  /// message-loss RNG streams (and the standalone gate's stream).
   FaultInjector(Cluster& cluster, FaultPlan plan, std::uint64_t seed);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Message-loss gate consulted by Pipe/FairLink on every message entry.
-  /// Draws from the RNG only while at least one loss window is active, so
-  /// a plan without active loss perturbs no RNG stream.
+  /// Standalone message-loss gate (kept for direct use and tests; the
+  /// fabric resources use their own per-resource gates).  Draws from the
+  /// RNG only while at least one loss window is active, so a plan without
+  /// active loss perturbs no RNG stream.
   [[nodiscard]] bool should_drop_message();
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// Combined drop probability of the loss windows active at `t`
+  /// (active on [start, start + duration)); pure function of the plan.
+  [[nodiscard]] double loss_probability_at(sim::SimTime t) const;
   /// Combined drop probability of the currently active loss windows.
   [[nodiscard]] double active_loss_probability() const;
-  [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
-  /// Episode activations executed so far (introspection for tests).
-  [[nodiscard]] int activations() const { return activations_; }
+  /// Messages dropped across the standalone gate and every fabric resource.
+  [[nodiscard]] std::uint64_t messages_dropped() const;
+  /// Slow/stall episode activations executed so far (introspection for
+  /// tests; loss windows are pure time checks and schedule no events).
+  [[nodiscard]] int activations() const {
+    return activations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct OstFaultState {
@@ -127,18 +146,27 @@ class FaultInjector {
     int stall_depth = 0;
   };
 
+  /// One fabric resource's gate state; owned jointly by the injector (for
+  /// the drop tally) and the resource's gate closure.  Touched only from
+  /// the resource's own lane while the simulation runs.
+  struct LossGate {
+    sim::Rng rng;
+    sim::Simulation* sim;
+    std::uint64_t dropped = 0;
+  };
+
   void schedule_episodes();
   void apply_slow(OstId ost, double factor, bool activate);
   void apply_stall(OstId ost, bool activate);
-  void apply_loss(double probability, bool activate);
+  [[nodiscard]] sim::SimTime current_time() const;
 
   Cluster& cluster_;
   FaultPlan plan_;
   sim::Rng rng_;
   std::vector<OstFaultState> ost_state_;
-  std::vector<double> active_loss_;
-  std::uint64_t messages_dropped_ = 0;
-  int activations_ = 0;
+  std::vector<std::shared_ptr<LossGate>> loss_gates_;
+  std::uint64_t messages_dropped_ = 0;  ///< standalone gate's own tally
+  std::atomic<int> activations_{0};
 };
 
 }  // namespace faults

@@ -1,0 +1,159 @@
+#include "qif/sim/lanes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace qif::sim {
+
+namespace {
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+}  // namespace
+
+LaneGroup::LaneGroup(int data_lanes, SimDuration lookahead)
+    : n_(data_lanes), lookahead_(lookahead) {
+  assert(data_lanes >= 1 && "need at least one data lane");
+  assert(lookahead > 0 && "conservative synchronization needs lookahead > 0");
+  const auto total = static_cast<std::size_t>(n_) + 1;
+  sims_ = std::vector<Simulation>(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    // Entity-context minting makes the merged event order independent of
+    // the partition (see simulation.hpp).  The default setup context is the
+    // lane index so raw LaneGroup users get distinct origins per lane; the
+    // cluster overrides it per entity while wiring.
+    sims_[i].enable_entity_contexts();
+    sims_[i].set_context(static_cast<std::uint32_t>(i));
+  }
+  outbox_.resize(total);
+  for (auto& row : outbox_) row.resize(total);
+  active_.assign(total, 0);
+  ran_.assign(total, 0);
+  // Lane 0 and the meta lane run on the driver thread; lanes 1.. get a
+  // persistent worker each, parked on the round counter between windows.
+  workers_.reserve(static_cast<std::size_t>(n_ > 1 ? n_ - 1 : 0));
+  for (int i = 1; i < n_; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+LaneGroup::~LaneGroup() {
+  stop_.store(true, std::memory_order_relaxed);
+  round_.fetch_add(1, std::memory_order_release);
+  round_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void LaneGroup::worker_main(int lane) {
+  const auto li = static_cast<std::size_t>(lane);
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t r = round_.load(std::memory_order_acquire);
+    while (r == seen) {
+      round_.wait(r, std::memory_order_acquire);
+      r = round_.load(std::memory_order_acquire);
+    }
+    seen = r;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (active_[li] != 0) {
+      ran_[li] += sims_[li].run_until(bound_);
+    }
+    done_.fetch_add(1, std::memory_order_release);
+    done_.notify_all();
+  }
+}
+
+void LaneGroup::deliver_all() {
+  for (auto& row : outbox_) {
+    for (std::size_t dst = 0; dst < row.size(); ++dst) {
+      auto& box = row[dst];
+      for (LaneMessage& m : box) {
+        sims_[dst].inject(m.key, m.ctx, std::move(m.fn));
+      }
+      box.clear();  // keep capacity — steady-state posting stays alloc-free
+    }
+  }
+}
+
+void LaneGroup::run_window_stage_a() {
+  // Workers exist only for lanes 1..n_-1; skip the wake-up entirely when
+  // none of them has work this window (small clusters spend most windows
+  // in one or two lanes).
+  bool any_worker = false;
+  for (int i = 1; i < n_; ++i) {
+    any_worker |= active_[static_cast<std::size_t>(i)] != 0;
+  }
+  if (any_worker) {
+    done_.store(0, std::memory_order_relaxed);
+    round_.fetch_add(1, std::memory_order_release);
+    round_.notify_all();
+  }
+  if (active_[0] != 0) {
+    ran_[0] += sims_[0].run_until(bound_);
+  }
+  if (any_worker) {
+    const auto expected = static_cast<std::uint32_t>(workers_.size());
+    for (;;) {
+      const std::uint32_t d = done_.load(std::memory_order_acquire);
+      if (d == expected) break;
+      done_.wait(d, std::memory_order_acquire);
+    }
+  }
+}
+
+std::uint64_t LaneGroup::run_until(SimTime until) {
+  const std::uint64_t before = events_executed();
+  for (;;) {
+    deliver_all();
+    SimTime min_nt = kNever;
+    for (const Simulation& s : sims_) min_nt = std::min(min_nt, s.next_event_time());
+    if (min_nt == kNever) break;  // fully drained — clocks stay put
+    if (min_nt > until) {
+      // Stopped by the horizon: advance every lane's clock so back-to-back
+      // run_until calls tile exactly like the sequential engine's.
+      for (Simulation& s : sims_) s.run_until(until);
+      break;
+    }
+    // Conservative window: every message created in [min_nt, bound] arrives
+    // at or after min_nt + lookahead == bound + 1 (except inherited-key
+    // messages, which only target the meta lane and are delivered between
+    // the stages).
+    bound_ = std::min(until == kNever ? kNever : until,
+                      min_nt + lookahead_ - 1);
+    for (int i = 0; i < n_; ++i) {
+      active_[static_cast<std::size_t>(i)] =
+          sims_[static_cast<std::size_t>(i)].next_event_time() <= bound_ ? 1 : 0;
+    }
+    run_window_stage_a();
+    // Stage B: drain stage-A output (the zero-delay meta messages must land
+    // before the meta lane runs their timestamps), then run the meta lane.
+    deliver_all();
+    if (sims_[static_cast<std::size_t>(n_)].next_event_time() <= bound_) {
+      ran_[static_cast<std::size_t>(n_)] +=
+          sims_[static_cast<std::size_t>(n_)].run_until(bound_);
+    }
+  }
+  return events_executed() - before;
+}
+
+SimTime LaneGroup::now() const {
+  SimTime t = 0;
+  for (const Simulation& s : sims_) t = std::max(t, s.now());
+  return t;
+}
+
+std::size_t LaneGroup::pending() const {
+  std::size_t p = 0;
+  for (const Simulation& s : sims_) p += s.pending();
+  for (const auto& row : outbox_) {
+    for (const auto& box : row) p += box.size();
+  }
+  return p;
+}
+
+std::uint64_t LaneGroup::events_executed() const {
+  std::uint64_t e = 0;
+  for (const Simulation& s : sims_) e += s.events_executed();
+  return e;
+}
+
+}  // namespace qif::sim

@@ -1,0 +1,142 @@
+// Conservative multi-lane discrete-event engine (barrier-window LBTS).
+//
+// A LaneGroup partitions one logical simulation across several Simulation
+// engines ("lanes") so a single big scenario can use several cores.  Lanes
+// 0..data_lanes()-1 hold disjoint slices of the cluster (client nodes plus
+// the OSS groups they are partitioned with); one extra *meta* lane holds
+// the metadata server.  Every cross-lane interaction travels as a
+// timestamped LaneMessage carrying a full EventKey plus the destination
+// entity's context, and all engines mint keys under entity contexts
+// (simulation.hpp), so the merged execution order — and therefore every
+// trace, counter, and RNG draw sequence — is deterministic and identical
+// for every lane count; `data_lanes == 1` is the sequential reference (see
+// DESIGN.md "Parallel event lanes" for the exact contract).
+//
+// Synchronization is a conservative barrier window, not null messages:
+//   safe  = min over all lanes of next_event_time() + lookahead
+//   bound = min(safe - 1, caller horizon)
+// where `lookahead` is the fabric link latency — the minimum delay of any
+// cross-lane message *except* the zero-delay parent-keyed kind (below).
+// Each window runs two stages:
+//   stage A: every data lane with work at or before `bound` runs
+//            concurrently to `bound`; outgoing messages accumulate in
+//            per-(src,dst) outboxes owned by the posting thread.
+//   stage B: the driver drains all outboxes, then runs the meta lane to the
+//            same `bound` on its own thread.
+// Any message created at time t in the window has t >= min next_event_time,
+// so its delivery time t + lookahead >= safe > bound: it can only land in a
+// *later* window, which stage-A lanes have not started — no lane ever
+// receives an event in its past.  The one exception is a zero-delay message
+// that inherits its creator's key (Simulation::child_key — the MDS size
+// update a client completion performs synchronously in the sequential
+// engine).  Those always flow data lane -> meta lane, and stage B runs
+// after every data lane has finished the window, so they too are delivered
+// before the receiving engine passes their timestamp.
+//
+// The trade against null-message synchronization: windows cost two barrier
+// rounds each, but the window size adapts to the earliest pending event, so
+// quiet stretches are skipped in one hop and the cost amortizes over every
+// event in a busy window.  Null messages would let a lane run ahead of a
+// quiet peer without a global barrier, but with an all-to-all fabric every
+// lane borders every other, so the null-message graph is dense and its
+// per-edge timestamped traffic costs more than the two barriers — and a
+// global window keeps the deterministic-merge contract trivially auditable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "qif/sim/simulation.hpp"
+
+namespace qif::sim {
+
+/// One cross-lane message: run `fn` in the destination lane as an event
+/// with the carried key, executing under entity context `ctx` (the
+/// destination entity — deliveries re-tag the context at the boundary).
+struct LaneMessage {
+  EventKey key;
+  std::uint32_t ctx;
+  InlineTask fn;
+};
+
+class LaneGroup {
+ public:
+  /// `data_lanes` >= 1 engine lanes plus one meta lane.  `lookahead` is the
+  /// minimum delay of every non-inherited cross-lane message (the fabric
+  /// link latency); it must be > 0.
+  LaneGroup(int data_lanes, SimDuration lookahead);
+  LaneGroup(const LaneGroup&) = delete;
+  LaneGroup& operator=(const LaneGroup&) = delete;
+  ~LaneGroup();
+
+  [[nodiscard]] int data_lanes() const { return n_; }
+  /// Index of the meta lane (== data_lanes()).
+  [[nodiscard]] int meta_lane() const { return n_; }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+
+  /// Lane engines.  Index data_lanes() is the meta lane.
+  [[nodiscard]] Simulation& lane(int i) { return sims_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Simulation& lane(int i) const {
+    return sims_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Simulation& meta() { return sims_[static_cast<std::size_t>(n_)]; }
+
+  /// Posts a cross-lane message.  Must be called either from code executing
+  /// inside lane `src`'s current window (the posting thread owns that
+  /// outbox row until the window barrier) or from the driver thread between
+  /// run_until calls.  `key.when` must be >= safe for fabric messages, or
+  /// carry an inherited child key targeting the meta lane.  `ctx` is the
+  /// entity context the delivered event executes under (the destination
+  /// entity's id).
+  void post(int src, int dst, const EventKey& key, std::uint32_t ctx,
+            InlineTask fn) {
+    outbox_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)]
+        .push_back(LaneMessage{key, ctx, std::move(fn)});
+  }
+
+  /// Runs every lane to `until` in conservative windows.  Events at exactly
+  /// `until` still fire.  Returns the number of events executed across all
+  /// lanes by this call.
+  std::uint64_t run_until(SimTime until);
+
+  /// Frontier clock: the farthest any lane has advanced.  After run_until
+  /// stopped at its horizon this equals the horizon, mirroring the
+  /// sequential engine's tiling contract.
+  [[nodiscard]] SimTime now() const;
+
+  /// Pending events across all lanes plus undelivered cross-lane messages.
+  [[nodiscard]] std::size_t pending() const;
+
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+ private:
+  void deliver_all();
+  void worker_main(int lane);
+  void run_window_stage_a();
+
+  int n_;
+  SimDuration lookahead_;
+  std::vector<Simulation> sims_;  // n_ data lanes + meta at index n_
+  // outbox_[src][dst]: written only by the thread running lane `src` during
+  // a window (or the driver between windows); drained by the driver while
+  // every worker is parked.  clear() keeps capacity, so steady-state
+  // posting never allocates.
+  std::vector<std::vector<std::vector<LaneMessage>>> outbox_;
+
+  // Window barrier.  The driver publishes (bound_, active_) and bumps
+  // round_ (release); workers acquire round_, run their lane if active, and
+  // ack on done_ (release) which the driver acquires — that pair is the
+  // happens-before edge for all lane state and outboxes.
+  std::vector<std::thread> workers_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint64_t> ran_;
+  SimTime bound_ = 0;
+  std::atomic<std::uint64_t> round_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace qif::sim

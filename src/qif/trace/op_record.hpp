@@ -76,4 +76,12 @@ class TraceLog {
   Observer observer_;
 };
 
+/// FNV-1a fingerprint over the full record stream in completion (log)
+/// order, covering every field of every record.  Two runs with equal
+/// fingerprints produced byte-identical op streams — the equality the
+/// lane engine's bit-identity contract is stated in (test_sim_lanes pins
+/// it across lane counts; `qif run --lanes N` prints it so scripts can
+/// assert the same equality end to end).
+[[nodiscard]] std::uint64_t trace_fingerprint(const TraceLog& log);
+
 }  // namespace qif::trace

@@ -102,10 +102,10 @@ void ProgramExecutor::execute(const OpSpec& op) {
 // Small indirections so the executor does not need the full Cluster header
 // in its own header.
 sim::SimTime ProgramExecutor::clientwise_now() const {
-  return client_.cluster().sim().now();
+  return client_.sim().now();
 }
 void ProgramExecutor::clientwise_schedule(sim::SimDuration delay, std::function<void()> fn) {
-  client_.cluster().sim().schedule_after(delay, std::move(fn));
+  client_.sim().schedule_after(delay, std::move(fn));
 }
 
 }  // namespace qif::workloads

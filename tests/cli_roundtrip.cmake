@@ -8,9 +8,18 @@ function(run)
   endif()
 endfunction()
 run(${QIF_CLI} run mdt-easy-write --noise ior-easy-write --instances 4 --scale 0.5)
-run(${QIF_CLI} campaign amrex --richness 0.5 --out data.csv)
+# --stream-out emits per-case .qds shards + a .qdm manifest while the
+# campaign runs, and exits non-zero unless the shards merge back
+# byte-identically to the in-RAM dataset.
+run(${QIF_CLI} campaign amrex --richness 0.5 --stream-out shards --out data.csv)
+if(NOT EXISTS ${WORK_DIR}/shards/amrex.qdm)
+  message(FATAL_ERROR "campaign --stream-out did not seal a manifest")
+endif()
+run(${QIF_CLI} dataset info shards/amrex.qdm)
 run(${QIF_CLI} train --data data.csv --out model.txt --epochs 20)
 run(${QIF_CLI} eval --data data.csv --model model.txt)
+# The streamed manifest feeds the chunked trainer directly.
+run(${QIF_CLI} eval --data shards/amrex.qdm --model model.txt)
 run(${QIF_CLI} dump-trace openpmd --scale 0.5 --out trace.dxt)
 if(NOT EXISTS ${WORK_DIR}/model.txt OR NOT EXISTS ${WORK_DIR}/trace.dxt)
   message(FATAL_ERROR "CLI round trip did not produce its artifacts")

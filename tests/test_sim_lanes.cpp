@@ -1,0 +1,312 @@
+// Parallel event lanes vs the sequential reference.
+//
+// The lane engine's contract is *bit-identity across lane counts*: running
+// a scenario with N data lanes plus a metadata lane must reproduce the
+// lanes=1 run's op-record stream byte for byte — same order, same
+// timestamps, same feature windows, same events_executed — because
+// labelled datasets are built by matching records between runs, and a
+// partition-dependent trace would poison every label.  lanes=1 executes
+// sequentially on the driver thread, so it is the sequential reference for
+// the whole family.  (The classic engine — ScenarioConfig::lanes == 0 —
+// uses a global creation counter for same-instant ties; the lane family
+// orders those by entity instead, so classic is pinned separately by
+// test_sim_golden and is intentionally not compared here.)
+// These tests pin the contract: scenario hashes across lane counts
+// (healthy and faulted), deterministic cross-lane same-tick tie-breaking,
+// exact stall-depth restoration across lane-sync boundaries,
+// random-partition property sweeps, and rejection of invalid partitions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "qif/core/scenario.hpp"
+#include "qif/pfs/cluster.hpp"
+#include "qif/pfs/faults.hpp"
+#include "qif/sim/lanes.hpp"
+#include "qif/sim/rng.hpp"
+#include "qif/sim/simulation.hpp"
+
+namespace qif::core {
+namespace {
+
+// trace::trace_fingerprint — the FNV-1a fold over the full record stream
+// in completion (log) order — is what compares lane runs against the
+// lanes=1 sequential reference here (and what `qif run --lanes N` prints).
+std::uint64_t trace_hash(const trace::TraceLog& log) {
+  return trace::trace_fingerprint(log);
+}
+
+ScenarioConfig lane_scenario(const std::string& target, const std::string& background,
+                             std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.cluster = testbed_cluster_config(seed);
+  cfg.target.workload = target;
+  cfg.target.nodes = {0, 1};
+  cfg.target.procs_per_node = 2;
+  cfg.target.seed = 5;
+  cfg.target.scale = 0.25;
+  cfg.horizon = 300 * sim::kSecond;
+  if (!background.empty()) {
+    InterferenceSpec bg;
+    bg.workload = background;
+    // Nodes 5 and 6 share the last lane block for every lane count up to 3
+    // on the 7-node testbed, so each looping job stays lane-co-located.
+    bg.nodes = {5, 6};
+    bg.instances = 2;
+    bg.scale = 0.25;
+    bg.seed = 99;
+    cfg.interference = bg;
+  }
+  return cfg;
+}
+
+void expect_identical(const ScenarioResult& seq, const ScenarioResult& par,
+                      const std::string& what) {
+  EXPECT_EQ(seq.target_finished, par.target_finished) << what;
+  // Hops are one event in every partition (a same-lane delivery and a
+  // cross-lane injection mint identical keys), so even the raw event count
+  // is partition-independent.
+  EXPECT_EQ(seq.events_executed, par.events_executed) << what;
+  EXPECT_EQ(seq.target_completion, par.target_completion) << what;
+  EXPECT_EQ(seq.target_body_start, par.target_body_start) << what;
+  ASSERT_EQ(seq.trace.size(), par.trace.size()) << what;
+  EXPECT_EQ(trace_hash(seq.trace), trace_hash(par.trace))
+      << what << ": lane trace diverged from sequential";
+  // Feature windows must match cell for cell, bitwise.
+  EXPECT_EQ(seq.n_servers, par.n_servers) << what;
+  EXPECT_EQ(seq.dim, par.dim) << what;
+  ASSERT_EQ(seq.window_features.size(), par.window_features.size()) << what;
+  if (!seq.window_features.empty()) {
+    EXPECT_EQ(seq.window_features.feature_block(), par.window_features.feature_block())
+        << what << ": feature windows diverged";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level bit-identity across lane counts
+// ---------------------------------------------------------------------------
+
+TEST(LaneIdentity, HealthyScenariosMatchSequentialAtEveryLaneCount) {
+  const struct {
+    const char* target;
+    const char* background;
+  } cases[] = {
+      {"ior-easy-write", ""},
+      {"ior-easy-write", "ior-easy-read"},
+      {"mdt-hard-write", "mdt-easy-write"},
+  };
+  for (const auto& c : cases) {
+    ScenarioConfig cfg = lane_scenario(c.target, c.background, 31);
+    cfg.lanes = 1;  // the sequential reference of the lane family
+    const ScenarioResult seq = run_scenario(cfg);
+    ASSERT_TRUE(seq.target_finished);
+    for (const int lanes : {2, 3}) {
+      cfg.lanes = lanes;
+      const ScenarioResult par = run_scenario(cfg);
+      expect_identical(seq, par, std::string(c.target) + " vs " +
+                                     (c.background[0] ? c.background : "(none)") +
+                                     " @ lanes=" + std::to_string(lanes));
+    }
+  }
+}
+
+TEST(LaneIdentity, FaultedScenarioMatchesSequential) {
+  // Slow + stall + loss, all active mid-run so episodes cross many
+  // lane-sync windows; the retry machinery is tightened so the stall
+  // actually drives timeouts and resends across lanes.
+  ScenarioConfig cfg = lane_scenario("ior-easy-write", "ior-easy-read", 17);
+  cfg.cluster.client.rpc_deadline = 300 * sim::kMillisecond;
+  cfg.cluster.client.retry_backoff = 50 * sim::kMillisecond;
+  cfg.cluster.client.rpc_max_retries = 6;
+  cfg.horizon = 120 * sim::kSecond;
+  cfg.faults = pfs::faults::parse_fault_plan(
+      "slow:ost=1,start=2,dur=20,factor=6;"
+      "stall:ost=4,start=5,dur=8;"
+      "drop:p=0.2,start=3,dur=6");
+  cfg.lanes = 1;
+  const ScenarioResult seq = run_scenario(cfg);
+  for (const int lanes : {2, 3}) {
+    cfg.lanes = lanes;
+    const ScenarioResult par = run_scenario(cfg);
+    expect_identical(seq, par, "faulted @ lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST(LaneIdentity, LaneRunsAreDeterministic) {
+  // Two identical lane runs must agree event for event even though worker
+  // threads race wall-clock-wise: determinism may not leak from the
+  // scheduler.  events_executed is only comparable between *lane* runs (the
+  // cross-lane note_size hop becomes an event of its own).
+  ScenarioConfig cfg = lane_scenario("ior-hard-read", "ior-easy-write", 23);
+  cfg.lanes = 3;
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.target_completion, b.target_completion);
+  EXPECT_EQ(trace_hash(a.trace), trace_hash(b.trace));
+}
+
+// ---------------------------------------------------------------------------
+// Random partitions (property sweep)
+// ---------------------------------------------------------------------------
+
+TEST(LaneProperty, RandomTopologiesAndPartitionsMatchSequential) {
+  sim::Rng rng(0xfeedbeefULL);
+  const char* workloads[] = {"ior-easy-write", "ior-easy-read", "mdt-easy-write"};
+  for (int iter = 0; iter < 6; ++iter) {
+    ScenarioConfig cfg;
+    cfg.cluster = testbed_cluster_config(100 + static_cast<std::uint64_t>(iter));
+    cfg.cluster.n_client_nodes = 4 + static_cast<int>(rng.next_u64() % 5);  // 4..8
+    cfg.cluster.n_oss = 3 + static_cast<int>(rng.next_u64() % 3);           // 3..5
+    cfg.target.workload = workloads[rng.next_u64() % 3];
+    cfg.target.nodes = {0};
+    cfg.target.procs_per_node = 1 + static_cast<int>(rng.next_u64() % 2);
+    cfg.target.seed = rng.next_u64();
+    cfg.target.scale = 0.125;
+    cfg.horizon = 120 * sim::kSecond;
+    cfg.monitors = false;
+    cfg.lanes = 1;
+    const ScenarioResult seq = run_scenario(cfg);
+    const int lanes = 2 + static_cast<int>(rng.next_u64() %
+                                           static_cast<std::uint64_t>(cfg.cluster.n_oss - 1));
+    cfg.lanes = lanes;
+    const ScenarioResult par = run_scenario(cfg);
+    EXPECT_EQ(trace_hash(seq.trace), trace_hash(par.trace))
+        << "iter " << iter << ": " << cfg.target.workload << " clients="
+        << cfg.cluster.n_client_nodes << " oss=" << cfg.cluster.n_oss
+        << " lanes=" << lanes;
+    EXPECT_EQ(seq.target_completion, par.target_completion) << "iter " << iter;
+    EXPECT_EQ(seq.events_executed, par.events_executed) << "iter " << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-lane message ordering (engine-level pins)
+// ---------------------------------------------------------------------------
+
+TEST(LaneOrdering, SameTickCrossLaneMessagesDrainInDeterministicKeyOrder) {
+  // Two source lanes post to one destination at the same timestamp with the
+  // same birth time.  The destination must execute them in (birth, origin)
+  // key order — origin carries the source lane in its high bits, so lane 0's
+  // message precedes lane 1's, and messages from one lane keep their post
+  // (FIFO) order via the strictly increasing per-engine sequence number.
+  sim::LaneGroup lanes(3, /*lookahead=*/10);
+  std::vector<int> order;
+  // Both sources sit at now()=0; every message lands at when=50, birth=0.
+  lanes.post(1, 2, sim::EventKey{50, 0, lanes.lane(1).consume_origin(), 0},
+             /*ctx=*/2, [&order] { order.push_back(10); });
+  lanes.post(0, 2, sim::EventKey{50, 0, lanes.lane(0).consume_origin(), 0},
+             /*ctx=*/2, [&order] { order.push_back(1); });
+  lanes.post(0, 2, sim::EventKey{50, 0, lanes.lane(0).consume_origin(), 0},
+             /*ctx=*/2, [&order] { order.push_back(2); });
+  lanes.post(1, 2, sim::EventKey{50, 0, lanes.lane(1).consume_origin(), 0},
+             /*ctx=*/2, [&order] { order.push_back(11); });
+  lanes.run_until(60);
+  // Lane 0's two messages first (lower lane tag), each lane FIFO.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 11}));
+}
+
+TEST(LaneOrdering, ChildKeysInheritTheParentsPositionInTheMergedOrder) {
+  // A zero-delay child (note_size-style) inherits the parent's key with a
+  // bumped sub, so in the merged order it sits directly behind its parent —
+  // in particular *ahead* of a same-tick event minted by a higher-tagged
+  // lane, exactly where the sequential engine's synchronous call would run.
+  sim::LaneGroup lanes(1, /*lookahead=*/10);
+  std::vector<int> order;
+  auto& data = lanes.lane(0);
+  data.schedule_at(50, [&] {
+    order.push_back(1);
+    lanes.post(0, lanes.meta_lane(), data.child_key(), /*ctx=*/1,
+               [&order] { order.push_back(2); });
+  });
+  // The meta lane's own event at the same tick: key {50, 0, lane1-origin, 0}
+  // sorts after the child's inherited {50, 0, lane0-origin, 1}.
+  lanes.meta().schedule_at(50, [&order] { order.push_back(3); });
+  lanes.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Stall episodes across lane-sync boundaries
+// ---------------------------------------------------------------------------
+
+TEST(LaneFaults, StallSpanningSyncBoundariesRestoresDepthExactly) {
+  // A stall whose window spans many lane-sync boundaries (the fabric
+  // lookahead is 60 us; the stall lasts 4 s) must leave the disk unstalled
+  // and the fault multiplier at exactly 1.0 afterwards, with nested
+  // episodes unwinding by depth — in the classic engine (lanes_n == 0) and
+  // in every lane layout.
+  for (const int lanes_n : {0, 1, 2, 3}) {
+    std::optional<sim::Simulation> sim;
+    std::optional<sim::LaneGroup> lanes;
+    std::optional<pfs::Cluster> cluster;
+    pfs::ClusterConfig cfg = testbed_cluster_config(5);
+    if (lanes_n == 0) {
+      sim.emplace();
+      cluster.emplace(*sim, cfg);
+    } else {
+      lanes.emplace(lanes_n, cfg.network.latency);
+      cluster.emplace(*lanes, cfg);
+    }
+    pfs::faults::FaultPlan plan;
+    plan.stalls.push_back({3, sim::kSecond, 4 * sim::kSecond});
+    plan.stalls.push_back({3, 2 * sim::kSecond, sim::kSecond});  // nested
+    plan.slow_disks.push_back({3, sim::kSecond, 2 * sim::kSecond, 5.0});
+    pfs::faults::FaultInjector injector(*cluster, plan, 77);
+    const auto run_to = [&](sim::SimTime t) {
+      if (lanes_n == 0) {
+        sim->run_until(t);
+      } else {
+        lanes->run_until(t);
+      }
+    };
+    run_to(1500 * sim::kMillisecond);
+    EXPECT_TRUE(cluster->ost(3).disk().stalled()) << "lanes=" << lanes_n;
+    EXPECT_DOUBLE_EQ(cluster->ost(3).disk().fault_multiplier(), 5.0);
+    run_to(3500 * sim::kMillisecond);  // inner stall + slow over, outer on
+    EXPECT_TRUE(cluster->ost(3).disk().stalled()) << "lanes=" << lanes_n;
+    EXPECT_EQ(cluster->ost(3).disk().fault_multiplier(), 1.0);
+    run_to(6 * sim::kSecond);
+    EXPECT_FALSE(cluster->ost(3).disk().stalled()) << "lanes=" << lanes_n;
+    EXPECT_EQ(cluster->ost(3).disk().fault_multiplier(), 1.0);
+    EXPECT_EQ(injector.activations(), 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partition validation
+// ---------------------------------------------------------------------------
+
+TEST(LaneValidation, RejectsInvalidPartitions) {
+  {
+    // lanes == 0 is the classic single-engine default — legal, not a lane
+    // run.  Negative counts are meaningless and rejected.
+    ScenarioConfig cfg = lane_scenario("ior-easy-write", "", 3);
+    cfg.lanes = -2;
+    EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+  }
+  {
+    // More lanes than OSS groups: a lane without a server port could never
+    // advance against the lookahead bound, so it is rejected outright.
+    ScenarioConfig cfg = lane_scenario("ior-easy-write", "", 3);
+    cfg.lanes = cfg.cluster.n_oss + 1;
+    EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+  }
+}
+
+TEST(LaneValidation, RejectsJobsSpanningLanes) {
+  // Nodes 0 and 6 land in different lanes of the 7-node testbed for any
+  // lane count >= 2; a job's completion state is lane-local, so the spec
+  // must be rejected, not silently raced.
+  ScenarioConfig cfg = lane_scenario("ior-easy-write", "", 3);
+  cfg.lanes = 2;
+  cfg.target.nodes = {0, 6};
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qif::core

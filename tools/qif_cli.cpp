@@ -4,20 +4,31 @@
 //       List the canonical workload names.
 //
 //   qif run <target> [--noise W] [--instances N] [--scale S] [--seed K]
-//           [--faults SPEC]
+//           [--faults SPEC] [--lanes N] [--topology CxSxT]
 //       Run one scenario (solo, or under N looping copies of W) and print
 //       completion time plus the per-op-type latency breakdown.  --faults
 //       injects a fault plan (e.g. "slow:ost=0,start=2,dur=10,factor=4")
 //       into every run and reports retry/timeout/failure counts.
+//       --topology replaces the 7x3x2 testbed shape with CLIENTS x OSS x
+//       OSTS_PER_OSS (e.g. 1008x16x8 for a 128-OST cluster).  --lanes N
+//       partitions the cluster into N per-OSS-group event lanes plus a
+//       metadata lane (see DESIGN.md "Parallel event lanes"); the printed
+//       trace fingerprint is bit-identical for every N >= 1, which is how
+//       scripts assert the partitioning changed nothing.  N must be at
+//       least 1 and at most the OSS count.
 //
 //   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
 //                [--bins 2|2,5] [--seed K] [--jobs N] [--faults SPEC]
-//                [--compress] --out data.{csv,qds}
+//                [--compress] [--stream-out DIR] --out data.{csv,qds}
 //       Build a labelled training dataset; the --out extension picks the
 //       format (.qds = native binary, anything else = interop CSV).
 //       --jobs N fans the campaign's scenario simulations across N worker
 //       threads (output is bit-identical to --jobs 1).  --compress writes
-//       the .qds column blocks LZ-compressed.
+//       the .qds column blocks LZ-compressed.  --stream-out DIR
+//       additionally streams every case's windows to DIR/<family>.NNN.qds
+//       the moment the case (and its ordered predecessors) finish, seals a
+//       DIR/<family>.qdm manifest, and verifies the shards merge back
+//       byte-identically to the in-RAM dataset.
 //
 //   qif train --data data.{csv,qds,qdm} --out model.txt [--classes C]
 //             [--epochs E] [--jobs N] [--memory-budget MB]
@@ -47,14 +58,17 @@
 //       manifest back into one file.  shard -> merge round-trips the
 //       dataset exactly.
 //
-//   qif dump-trace <target> [--scale S] [--seed K] --out trace.txt
+//   qif dump-trace <target> [--scale S] [--seed K] [--lanes N]
+//                  [--topology CxSxT] --out trace.txt
 //       Run the target solo and dump its DXT-style op trace.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -118,8 +132,14 @@ int usage() {
                "  workloads                          list workload names\n"
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]"
                " [--faults SPEC]\n"
+               "      [--lanes N] [--topology CxSxT]\n"
+               "        --lanes N        run on N parallel event lanes (1 <= N <= OSS"
+               " count;\n"
+               "                         trace fingerprint is identical for every N)\n"
+               "        --topology CxSxT CLIENTS x OSS x OSTS_PER_OSS cluster shape\n"
+               "                         (default 7x3x2 testbed; e.g. 1008x16x8)\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
-               " [--faults SPEC] [--compress] --out F.{csv,qds}\n"
+               " [--faults SPEC] [--compress] [--stream-out DIR] --out F.{csv,qds}\n"
                "  train --data F.{csv,qds,qdm} --out model.txt [--classes C] [--epochs E]"
                " [--jobs N] [--memory-budget MB]\n"
                "  eval --data F.{csv,qds,qdm} --model model.txt\n"
@@ -127,7 +147,8 @@ int usage() {
                "  dataset shard <in> <out-prefix> [--rows-per-shard R | --shards N]"
                " [--compress]\n"
                "  dataset merge <in.qdm> <out>\n"
-               "  dump-trace <target> [--scale S] [--seed K] --out F.txt\n");
+               "  dump-trace <target> [--scale S] [--seed K] [--lanes N]"
+               " [--topology CxSxT] --out F.txt\n");
   return 2;
 }
 
@@ -195,6 +216,42 @@ int cmd_workloads() {
   return 0;
 }
 
+/// Applies the scenario-shaping options shared by `run` and `dump-trace`:
+/// `--topology CxSxT` replaces the testbed cluster shape, and `--lanes N`
+/// selects the parallel lane engine.  `--lanes 0` is rejected here — the
+/// library's lanes == 0 means "classic single engine", which on the CLI is
+/// spelled by omitting the flag, so an explicit 0 is a confused request
+/// for a lane run with no lanes.  Lane counts above the OSS count are
+/// rejected by the cluster layer (each data lane must own an OSS port);
+/// its message reaches the user through the main() error path.
+void apply_cluster_options(core::ScenarioConfig& cfg, const Args& args) {
+  const std::string topo = args.get("topology", "");
+  if (!topo.empty()) {
+    int clients = 0;
+    int oss = 0;
+    int osts = 0;
+    char extra = 0;
+    if (std::sscanf(topo.c_str(), "%dx%dx%d%c", &clients, &oss, &osts, &extra) != 3 ||
+        clients < 2 || oss < 1 || osts < 1) {
+      throw std::runtime_error(
+          "bad --topology '" + topo +
+          "': expected CLIENTSxOSSxOSTS_PER_OSS with >= 2 clients, e.g. 1008x16x8");
+    }
+    cfg.cluster.n_client_nodes = clients;
+    cfg.cluster.n_oss = oss;
+    cfg.cluster.osts_per_oss = osts;
+  }
+  if (args.options.count("lanes") != 0) {
+    const int lanes = args.get_int("lanes", 0);
+    if (lanes < 1) {
+      throw std::runtime_error(
+          "--lanes " + args.get("lanes", "") +
+          ": need at least 1 data lane (omit --lanes for the classic single engine)");
+    }
+    cfg.lanes = lanes;
+  }
+}
+
 /// Sums the fault-path counters a run left in its trace and prints them.
 void print_fault_summary(const char* tag, const trace::TraceLog& trace) {
   long long retries = 0;
@@ -225,6 +282,7 @@ int cmd_run(const Args& args) {
   cfg.target.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.target.scale = args.get_double("scale", 1.0);
   cfg.monitors = false;
+  apply_cluster_options(cfg, args);
   const std::string faults_spec = args.get("faults", "");
   if (!faults_spec.empty()) cfg.faults = pfs::faults::parse_fault_plan(faults_spec);
 
@@ -233,6 +291,10 @@ int cmd_run(const Args& args) {
               sim::to_seconds(solo.target_body_duration()),
               sim::to_seconds(solo.target_completion),
               static_cast<unsigned long long>(solo.events_executed));
+  // The fingerprint line is what scripts diff to assert lane-count (and any
+  // other supposedly-neutral knob) changed nothing about the simulation.
+  std::printf("solo trace fp: %016llx\n",
+              static_cast<unsigned long long>(trace::trace_fingerprint(solo.trace)));
   if (!cfg.faults.empty()) print_fault_summary("solo", solo.trace);
 
   const std::string noise = args.get("noise", "");
@@ -243,7 +305,10 @@ int cmd_run(const Args& args) {
   }
   core::InterferenceSpec spec;
   spec.workload = noise;
-  spec.nodes = {2, 3, 4, 5, 6};
+  // Every node the target does not occupy hosts interference ({2..6} on
+  // the default testbed shape).
+  spec.nodes.clear();
+  for (pfs::NodeId n = 2; n < cfg.cluster.n_client_nodes; ++n) spec.nodes.push_back(n);
   spec.instances = args.get_int("instances", 15);
   spec.seed = 77;
   cfg.interference = spec;
@@ -281,9 +346,28 @@ int cmd_campaign(const Args& args) {
   opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   opts.verbose = true;
   if (args.get("bins", "2") == "2,5") opts.bin_thresholds = {2.0, 5.0};
-  opts.runner = exec::campaign_runner(args.get_int("jobs", 1));
+  const int jobs = args.get_int("jobs", 1);
+  opts.runner = exec::campaign_runner(jobs);
   const std::string faults_spec = args.get("faults", "");
   if (!faults_spec.empty()) opts.faults = pfs::faults::parse_fault_plan(faults_spec);
+
+  // --stream-out: route every campaign through the parallel runner's
+  // ordered case sink, so each case's windows hit a shard file the moment
+  // the case (and its declaration-order predecessors) complete.  Campaigns
+  // run one after another and the sink is serialized, so the single writer
+  // sees chunks in exactly the stitched dataset's row order.
+  const std::string stream_dir = args.get("stream-out", "");
+  std::optional<monitor::ShardStreamWriter> stream;
+  if (!stream_dir.empty()) {
+    std::filesystem::create_directories(stream_dir);
+    stream.emplace(stream_dir + "/" + family, qds_options(args));
+    opts.runner = [&stream, jobs](const core::CampaignConfig& cc) {
+      return exec::ParallelCampaignRunner(cc, jobs)
+          .run([&stream](std::size_t, const core::CaseResult& cr) {
+            stream->add(cr.shard);
+          });
+    };
+  }
 
   monitor::Dataset ds;
   if (family == "io500") {
@@ -301,6 +385,27 @@ int cmd_campaign(const Args& args) {
   std::printf("wrote %zu windows to %s (classes:", ds.size(), args.get("out", "").c_str());
   for (std::size_t c = 0; c < hist.size(); ++c) std::printf(" %zu", hist[c]);
   std::printf(")\n");
+  if (stream.has_value()) {
+    const std::size_t n_shards = stream->n_shards();
+    const std::string manifest = stream->finish();
+    // Merge check: the streamed shards, stitched back through the manifest
+    // reader, must serialize to the exact bytes of the in-RAM dataset.
+    const monitor::Dataset merged = monitor::ShardedDataset::open(manifest).materialize();
+    std::ostringstream in_ram;
+    std::ostringstream from_shards;
+    monitor::write_dataset_qds(in_ram, ds);
+    monitor::write_dataset_qds(from_shards, merged);
+    if (in_ram.str() != from_shards.str()) {
+      std::fprintf(stderr,
+                   "error: streamed shards in %s do not merge byte-identically to the"
+                   " in-RAM dataset\n",
+                   manifest.c_str());
+      return 1;
+    }
+    std::printf("streamed %zu windows to %zu shard(s) behind %s"
+                " (merge check: byte-identical)\n",
+                stream->rows(), n_shards, manifest.c_str());
+  }
   return 0;
 }
 
@@ -490,6 +595,7 @@ int cmd_dump_trace(const Args& args) {
   cfg.target.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.target.scale = args.get_double("scale", 1.0);
   cfg.monitors = false;
+  apply_cluster_options(cfg, args);
   const auto res = core::run_scenario(cfg);
   std::ofstream out(args.get("out", ""));
   monitor::write_dxt(out, res.trace);
