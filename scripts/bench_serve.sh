@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+# Serving-layer benchmark: batched online inference vs the single-row sync
+# baseline, plus the hot-swap-under-load run and the bit-identity gate.
+#
+# Builds the CLI and writes BENCH_serve.json:
+#   identity:           `qif serve verify` results for both architectures —
+#                       every batched reply replayed against a single-row
+#                       sync prediction, mismatches must be 0.  This is the
+#                       claim the benchmark numbers rest on: batching is a
+#                       pure throughput transform, never a numeric one.
+#   batched:            p50/p99/p999 latency and predictions/sec across a
+#                       max_batch x producer-count matrix (closed-loop
+#                       producers, 64 requests in flight each).
+#   sync:               the same request count through the N=1 synchronous
+#                       path — what a per-window OnlinePredictor deployment
+#                       does today.
+#   hot_swap_under_load: a batched run with the model registry hot-swapping
+#                       every few ms; records swap count and how many
+#                       requests each version served (never torn, never
+#                       mixed within a batch — pinned by test_serve_service).
+#   speedup:            best batched throughput (max_batch >= 32) over sync,
+#                       with a machine-readable `valid` flag that is false
+#                       on single-core hosts: there the batcher thread and
+#                       the producers time-slice one CPU, so no batching
+#                       speedup is expected or claimed — only the identity
+#                       and latency-distribution results are meaningful.
+#
+# Pass a different build dir as $1; pass --smoke (as $1 or $2) for a fast
+# CI-gate run that only enforces the bit-identity contract and does not
+# overwrite BENCH_serve.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+SMOKE=0
+REQUESTS=20000
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+OUT_JSON="BENCH_serve.json"
+RAW_JSONL="${BUILD_DIR}/bench_serve_raw.jsonl"
+
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+cmake --build "${BUILD_DIR}" -j --target qif_cli > /dev/null
+
+QIF="./${BUILD_DIR}/tools/qif"
+
+# Runs one labelled `qif serve` invocation and appends "label\tjson" to the
+# raw line file.  `serve verify` exits 1 on any batched-vs-sync mismatch,
+# so set -e turns a broken identity contract into a failed benchmark run.
+run_tagged() {
+  local label="$1"
+  shift
+  local out
+  out="$("${QIF}" serve "$@" --json)"
+  echo "${label}: ${out}"
+  printf '%s\t%s\n' "${label}" "${out}" >> "${RAW_JSONL}"
+}
+
+if [[ "${SMOKE}" -eq 1 ]]; then
+  # Identity gate only: both architectures, multi-producer, small batch so
+  # several batch boundaries land inside the run.
+  for arch in kernel attention; do
+    out="$("${QIF}" serve verify --arch "${arch}" --requests 400 --producers 2 \
+        --max-batch 8 --json)"
+    echo "${arch}: ${out}"
+    if [[ "${out}" != *'"identical": true'* ]]; then
+      echo "serve smoke FAILED: batched replies diverged from sync (${arch})" >&2
+      exit 1
+    fi
+  done
+  echo "serve smoke OK (batched == sync, both architectures)"
+  echo "smoke OK (not overwriting ${OUT_JSON})"
+  exit 0
+fi
+
+: > "${RAW_JSONL}"
+
+# Bit-identity first: the numbers below are only comparable because the
+# batched path computes exactly what the sync path computes.
+run_tagged identity_kernel verify --arch kernel --requests 2000 --producers 4
+run_tagged identity_attention verify --arch attention --requests 2000 --producers 4
+
+# Sync baseline, then the batched matrix.
+run_tagged sync bench --sync --requests "${REQUESTS}"
+for producers in 2 8; do
+  for max_batch in 8 32 128; do
+    run_tagged "batched_p${producers}_b${max_batch}" bench \
+      --producers "${producers}" --max-batch "${max_batch}" \
+      --requests "${REQUESTS}"
+  done
+done
+
+# Hot swap under load: versions v1/v2 alternate every 5 ms while four
+# producers keep the ring full.
+run_tagged hot_swap bench --producers 4 --max-batch 32 --swap-every-ms 5 \
+  --requests "${REQUESTS}"
+
+python3 - "${RAW_JSONL}" "${OUT_JSON}" "$(nproc)" <<'EOF'
+import json, sys
+
+runs = {}
+for line in open(sys.argv[1]):
+    label, payload = line.rstrip("\n").split("\t", 1)
+    runs[label] = json.loads(payload)
+
+host_cores = int(sys.argv[3])
+
+def latency(r):
+    return {
+        "requests": r["requests"],
+        "throughput_rps": r["throughput_rps"],
+        "mean_us": r["mean_us"],
+        "p50_us": r["p50_us"],
+        "p99_us": r["p99_us"],
+        "p999_us": r["p999_us"],
+    }
+
+batched = {}
+for label, r in runs.items():
+    if not label.startswith("batched_"):
+        continue
+    batched[label.removeprefix("batched_")] = latency(r) | {
+        "producers": r["producers"],
+        "max_batch": r["max_batch"],
+        "batches": r["batches"],
+        "mean_batch_rows": r["mean_batch_rows"],
+        "full_batches": r["full_batches"],
+        "timeout_batches": r["timeout_batches"],
+    }
+
+sync = latency(runs["sync"])
+
+# Speedup: best large-batch config vs sync.  Only claimed on multi-core
+# hosts — on one core the batcher and the producers fight for the same
+# CPU, so the honest statement there is the identity result plus the raw
+# latency distributions, not a speedup.
+best_label, best = max(
+    ((label, r) for label, r in batched.items() if r["max_batch"] >= 32),
+    key=lambda kv: kv[1]["throughput_rps"],
+)
+speedup = {
+    "valid": host_cores > 1,
+    "best_batched_config": best_label,
+    "batched_over_sync": round(best["throughput_rps"] / sync["throughput_rps"], 2),
+    "note": "batched and sync outputs are bit-identical (see identity)"
+    + ("; host has a single core, so no batching speedup is expected or claimed"
+       if host_cores == 1 else ""),
+}
+
+swap = runs["hot_swap"]
+hot_swap = latency(swap) | {
+    "swaps": swap["swaps"],
+    "served_by_version": swap["by_version"],
+}
+
+identity = {
+    arch: {
+        "requests": runs[f"identity_{arch}"]["requests"],
+        "batches": runs[f"identity_{arch}"]["batches"],
+        "mismatches": runs[f"identity_{arch}"]["mismatches"],
+        "identical": runs[f"identity_{arch}"]["identical"],
+    }
+    for arch in ("kernel", "attention")
+}
+
+out = {
+    "host_cores": host_cores,
+    "identity": identity,
+    "sync": sync,
+    "batched": batched,
+    "hot_swap_under_load": hot_swap,
+    "speedup": speedup,
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(json.dumps(out, indent=2))
+EOF
+
+echo "wrote ${OUT_JSON}"

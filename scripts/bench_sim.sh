@@ -144,6 +144,9 @@ host_cores = int(sys.argv[5])
 lane_scaling = {
     "topology_clients_x_oss_x_osts": sys.argv[4],
     "host_cores": host_cores,
+    # Machine-readable honesty flag: consumers must not read a parallel
+    # speedup out of wall_ms_by_lanes when the host had one core.
+    "parallel_speedup_valid": host_cores > 1,
     "wall_ms_by_lanes": lanes,
     "trace_fingerprint": fingerprint,
     "note": "all lane counts produced identical traces"

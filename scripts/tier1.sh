@@ -17,7 +17,7 @@ cmake -B build-tsan -S . -DQIF_SANITIZE=thread
 cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
   test_sim_simulation test_sim_links test_export test_data_alloc \
   test_campaign_faults test_pfs_faults test_sim_property test_streaming \
-  test_sim_lanes
+  test_sim_lanes test_serve_ring test_serve_service
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
 # Data-plane: parallel campaign shards block-append into one FeatureTable,
@@ -44,6 +44,13 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 # the whole lane data plane must be race-free under TSan while the tests
 # assert bit-identity against the lanes=1 sequential reference.
 ./build-tsan/tests/test_sim_lanes
+# Serving layer: the MPSC ring (multi-producer ticket CAS + per-cell seq)
+# and the batcher/hot-swap path (producers spinning on completion flags
+# while the batcher thread swaps models) are the two lock-free surfaces —
+# both must stay race-free while the tests assert FIFO order,
+# exactly-once consumption, and single-version batches.
+./build-tsan/tests/test_serve_ring
+./build-tsan/tests/test_serve_service
 
 echo "=== tier-1: .qds corruption fuzz under ASan ==="
 # test_qds_fuzz covers the buffered reader, the mmap path (QdsMmapFuzz),
@@ -60,5 +67,9 @@ echo "=== tier-1: benchmark smoke ==="
 # fingerprint as `--lanes 1` (the lane engine's bit-identity contract,
 # asserted end to end through the CLI).
 ./scripts/bench_sim.sh --smoke
+# Serving smoke: `qif serve verify` replays every batched reply against a
+# single-row sync prediction and must report zero mismatches for both
+# model architectures (the serving bit-identity contract, end to end).
+./scripts/bench_serve.sh --smoke
 
 echo "tier-1 OK"

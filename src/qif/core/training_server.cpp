@@ -60,17 +60,40 @@ void TrainingServer::save(std::ostream& os) const {
   stdz_.save(os);
 }
 
-void TrainingServer::load(std::istream& is) {
+void TrainingServer::validate_feature_width(int schema_dim) const {
+  if (schema_dim != 0 && net_.config().per_server_dim != schema_dim) {
+    throw std::runtime_error(
+        "model/schema feature-width mismatch: model has " +
+        std::to_string(net_.config().per_server_dim) +
+        " features per server, serving schema has " + std::to_string(schema_dim));
+  }
+}
+
+void TrainingServer::load(std::istream& is, int expected_dim) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "qif-model") {
     throw std::runtime_error("not a qif model bundle");
   }
-  if (!(is >> config_.n_classes) || config_.n_classes < 2) {
+  // Parse into locals first: a rejected bundle (parse error OR width
+  // mismatch) must leave the currently deployed model untouched.
+  int n_classes = 0;
+  if (!(is >> n_classes) || n_classes < 2) {
     throw std::runtime_error("model bundle: bad class count");
   }
-  net_.load(is);
-  stdz_.load(is);
+  ml::KernelNet net;
+  ml::Standardizer stdz;
+  net.load(is);
+  stdz.load(is);
+  if (expected_dim != 0 && net.config().per_server_dim != expected_dim) {
+    throw std::runtime_error(
+        "model/schema feature-width mismatch: model has " +
+        std::to_string(net.config().per_server_dim) +
+        " features per server, serving schema has " + std::to_string(expected_dim));
+  }
+  config_.n_classes = n_classes;
+  net_ = std::move(net);
+  stdz_ = std::move(stdz);
 }
 
 }  // namespace qif::core

@@ -57,8 +57,17 @@ class TrainingServer {
   [[nodiscard]] const ml::Standardizer& standardizer() const { return stdz_; }
   [[nodiscard]] const TrainingServerConfig& config() const { return config_; }
 
+  /// Deployment guard: throws std::runtime_error naming both widths when
+  /// the loaded model's per-server feature width disagrees with the
+  /// serving schema's (e.g. a 40-wide fault-features model against the
+  /// 37-wide healthy layout).  `schema_dim == 0` disables the check.
+  void validate_feature_width(int schema_dim) const;
+
   void save(std::ostream& os) const;
-  void load(std::istream& is);
+  /// Parses a "qif-model 1" bundle.  `expected_dim`, when nonzero, runs
+  /// validate_feature_width on the result before accepting it — a width
+  /// mismatch throws and leaves this object unchanged.
+  void load(std::istream& is, int expected_dim = 0);
 
  private:
   TrainingServerConfig config_;

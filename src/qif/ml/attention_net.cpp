@@ -131,6 +131,35 @@ Matrix AttentionNet::forward_inference(MatView x) const {
   return head_layers_.back().forward_inference(h);
 }
 
+MatView AttentionNet::forward_batch(MatView x, Scratch& s, exec::ThreadPool* pool) const {
+  const auto b = x.rows;
+  const auto sv = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(x.cols == sv * d);
+
+  // Same arithmetic as forward_inference, element for element, but every
+  // intermediate lands in a caller-owned buffer.
+  embed_.forward_into(x.reshaped(b * sv, d), s.embed, pool);
+  ReLU::apply_inplace(s.embed);
+  attn_hidden_.forward_into(s.embed, s.u, pool);
+  Tanh::apply_inplace(s.u);
+  attn_score_.forward_into(s.u, s.scores, pool);
+  SoftmaxXent::softmax_into(MatView(s.scores).reshaped(b, sv), s.alpha);
+
+  Matrix* bufs[2] = {&s.ping, &s.pong};
+  pool_into(s.embed, s.alpha, s.ping);
+  MatView v = s.ping;
+  int cur = 1;  // pooled lives in ping; first head layer writes pong
+  for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
+    head_layers_[l].forward_into(v, *bufs[cur], pool);
+    ReLU::apply_inplace(*bufs[cur]);
+    v = *bufs[cur];
+    cur ^= 1;
+  }
+  head_layers_.back().forward_into(v, *bufs[cur], pool);
+  return *bufs[cur];
+}
+
 std::vector<int> AttentionNet::predict(MatView x) const {
   const Matrix logits = forward_inference(x);
   std::vector<int> out(logits.rows());

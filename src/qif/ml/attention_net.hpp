@@ -51,6 +51,23 @@ class AttentionNet {
   void step(const AdamParams& params, std::int64_t t);
 
   [[nodiscard]] Matrix forward_inference(MatView x) const;
+
+  /// Caller-owned buffers for forward_batch (one per serving thread;
+  /// capacity is warm after the first full-size batch, after which batched
+  /// inference performs zero heap allocations).
+  struct Scratch {
+    Matrix embed;       ///< (B*S, E) post-ReLU embeddings
+    Matrix u;           ///< (B*S, A) attention pre-activations
+    Matrix scores;      ///< (B*S, 1) == (B, S) attention scores
+    Matrix alpha;       ///< (B, S) attention weights
+    Matrix ping, pong;  ///< pooled vector + head ping-pong buffers
+  };
+  /// Batched inference through caller-owned scratch: X is (B, S*D), the
+  /// returned view is the (B, C) logits (valid until the scratch is next
+  /// written); `s.alpha` holds the attention weights afterwards.  Each
+  /// row's result is bit-identical to forward_inference on that row alone.
+  MatView forward_batch(MatView x, Scratch& s, exec::ThreadPool* pool = nullptr) const;
+
   [[nodiscard]] std::vector<int> predict(MatView x) const;
   /// Attention weights over servers for one sample (which servers the
   /// model attends to).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "qif/exec/thread_pool.hpp"
 
@@ -23,6 +24,24 @@ constexpr std::size_t kNrSub = 8;
 
 // Below this many multiply-adds the pool's dispatch latency eats the win.
 constexpr std::size_t kParallelMinMadds = std::size_t{1} << 17;
+
+// Row-count invariance: every output row must get the same bits no matter
+// how many other rows the call covers (the serving layer's batched-vs-sync
+// identity rests on it).  A separate single-row remainder loop breaks that
+// promise in practice — the compiler contracts mul+add into FMA
+// differently for different loop shapes, so the same row's reduction
+// rounds differently depending on which loop computed it.  Instead the
+// final partial tile is padded to a full kMr-row micro-kernel: padded
+// lanes re-read the tile's first row (any in-bounds row works — the lanes
+// are value-independent) and write into this discarded per-thread scratch
+// row.  Each logical row therefore always runs at tile lane (row % kMr)
+// through the one compiled kernel body, at the cost of at most kMr-1 rows
+// of wasted arithmetic on the tail.
+double* pad_row(std::size_t n) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
 
 // The kernels are compiled once per x86-64 microarchitecture level and
 // dispatched by runtime CPU probe, so a portable build still runs
@@ -88,9 +107,10 @@ void prepare_output(Matrix& c, std::size_t m, std::size_t n, bool accumulate, Ma
 
 /// Runs fn(lo, hi) over row ranges covering [0, m).  Row blocks are
 /// aligned to kMr so every worker runs the same micro-kernel sequence it
-/// would serially; because each C row belongs to exactly one block and
-/// each element is reduced by one accumulator over ascending k, the
-/// result is bit-identical for any worker count or block size.
+/// would serially (only the final block can end in a padded tail tile);
+/// because each C row belongs to exactly one block and each element is
+/// reduced by one accumulator over ascending k, the result is
+/// bit-identical for any worker count or block size.
 template <typename RowsFn>
 void run_rows(std::size_t m, std::size_t madds, exec::ThreadPool* pool, const RowsFn& fn) {
   if (pool == nullptr || pool->size() <= 1 || madds < kParallelMinMadds || m < 2 * kMr) {
@@ -121,14 +141,21 @@ template <bool kTransA>
 __attribute__((always_inline)) inline void nn_tn_body(
     std::size_t i0, std::size_t i1, std::size_t n, std::size_t k, const double* __restrict a,
     std::size_t lda, const double* __restrict b, std::size_t ldb, double* __restrict c,
-    std::size_t ldc, bool accumulate) {
+    std::size_t ldc, bool accumulate, double* __restrict pad) {
   const auto a_at = [&](std::size_t row, std::size_t kk) {
     return kTransA ? a[kk * lda + row] : a[row * lda + kk];
   };
-  std::size_t i = i0;
-  for (; i + kMr <= i1; i += kMr) {
+  for (std::size_t i = i0; i < i1; i += kMr) {
+    // Padded tail: lanes past the last real row re-read row i and write to
+    // `pad`.  The FP loops below never branch on `rem`, so full and padded
+    // tiles execute the identical instruction sequence.
+    const std::size_t rem = i1 - i;
+    std::size_t arow[kMr];
     double* crow[kMr];
-    for (std::size_t r = 0; r < kMr; ++r) crow[r] = c + (i + r) * ldc;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      arow[r] = r < rem ? i + r : i;
+      crow[r] = r < rem ? c + (i + r) * ldc : pad;
+    }
     std::size_t j = 0;
     for (; j + kNr <= n; j += kNr) {
       double acc[kMr][kNr];
@@ -138,7 +165,7 @@ __attribute__((always_inline)) inline void nn_tn_body(
       for (std::size_t kk = 0; kk < k; ++kk) {
         const double* br = b + kk * ldb + j;
         for (std::size_t r = 0; r < kMr; ++r) {
-          const double av = a_at(i + r, kk);
+          const double av = a_at(arow[r], kk);
           for (std::size_t q = 0; q < kNr; ++q) acc[r][q] += av * br[q];
         }
       }
@@ -156,7 +183,7 @@ __attribute__((always_inline)) inline void nn_tn_body(
       for (std::size_t kk = 0; kk < k; ++kk) {
         const double* br = b + kk * ldb + j;
         for (std::size_t r = 0; r < kMr; ++r) {
-          const double av = a_at(i + r, kk);
+          const double av = a_at(arow[r], kk);
           for (std::size_t q = 0; q < kNrSub; ++q) acc[r][q] += av * br[q];
         }
       }
@@ -169,28 +196,9 @@ __attribute__((always_inline)) inline void nn_tn_body(
       for (std::size_t r = 0; r < kMr; ++r) s[r] = accumulate ? crow[r][j] : 0.0;
       for (std::size_t kk = 0; kk < k; ++kk) {
         const double bv = b[kk * ldb + j];
-        for (std::size_t r = 0; r < kMr; ++r) s[r] += a_at(i + r, kk) * bv;
+        for (std::size_t r = 0; r < kMr; ++r) s[r] += a_at(arow[r], kk) * bv;
       }
       for (std::size_t r = 0; r < kMr; ++r) crow[r][j] = s[r];
-    }
-  }
-  for (; i < i1; ++i) {
-    double* cr = c + i * ldc;
-    std::size_t j = 0;
-    for (; j + kNrSub <= n; j += kNrSub) {
-      double acc[kNrSub];
-      for (std::size_t q = 0; q < kNrSub; ++q) acc[q] = accumulate ? cr[j + q] : 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double* br = b + kk * ldb + j;
-        const double av = a_at(i, kk);
-        for (std::size_t q = 0; q < kNrSub; ++q) acc[q] += av * br[q];
-      }
-      for (std::size_t q = 0; q < kNrSub; ++q) cr[j + q] = acc[q];
-    }
-    for (; j < n; ++j) {
-      double s = accumulate ? cr[j] : 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) s += a_at(i, kk) * b[kk * ldb + j];
-      cr[j] = s;
     }
   }
 }
@@ -208,17 +216,19 @@ __attribute__((always_inline)) inline void nt_body(std::size_t i0, std::size_t i
                                                    const double* __restrict a, std::size_t lda,
                                                    const double* __restrict b, std::size_t ldb,
                                                    double* __restrict c, std::size_t ldc,
-                                                   bool accumulate) {
-  std::size_t i = i0;
-  for (; i + kMr <= i1; i += kMr) {
+                                                   bool accumulate, double* __restrict pad) {
+  for (std::size_t i = i0; i < i1; i += kMr) {
+    // Same padded-tail discipline as nn_tn_body: one compiled tile body,
+    // row r always at lane r % kMr, padding discarded via `pad`.
+    const std::size_t rem = i1 - i;
     const double* a0 = a + (i + 0) * lda;
-    const double* a1 = a + (i + 1) * lda;
-    const double* a2 = a + (i + 2) * lda;
-    const double* a3 = a + (i + 3) * lda;
+    const double* a1 = a + (rem > 1 ? i + 1 : i) * lda;
+    const double* a2 = a + (rem > 2 ? i + 2 : i) * lda;
+    const double* a3 = a + (rem > 3 ? i + 3 : i) * lda;
     double* c0 = c + (i + 0) * ldc;
-    double* c1 = c + (i + 1) * ldc;
-    double* c2 = c + (i + 2) * ldc;
-    double* c3 = c + (i + 3) * ldc;
+    double* c1 = rem > 1 ? c + (i + 1) * ldc : pad;
+    double* c2 = rem > 2 ? c + (i + 2) * ldc : pad;
+    double* c3 = rem > 3 ? c + (i + 3) * ldc : pad;
     std::size_t j = 0;
     for (; j + kNrDot <= n; j += kNrDot) {
       const double* b0 = b + (j + 0) * ldb;
@@ -260,16 +270,6 @@ __attribute__((always_inline)) inline void nt_body(std::size_t i0, std::size_t i
       c0[j] = s0; c1[j] = s1; c2[j] = s2; c3[j] = s3;
     }
   }
-  for (; i < i1; ++i) {
-    const double* ar = a + i * lda;
-    double* cr = c + i * ldc;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* br = b + j * ldb;
-      double s = accumulate ? cr[j] : 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) s += ar[kk] * br[kk];
-      cr[j] = s;
-    }
-  }
 }
 
 // Per-ISA instantiations + dispatcher.  Args are bundled so the wrapper
@@ -283,6 +283,7 @@ struct RowsArgs {
   double* c;
   std::size_t ldc;
   bool accumulate;
+  double* pad;
 };
 
 #define QIF_GEMM_DEFINE_VARIANTS(name, body_expr)                              \
@@ -298,12 +299,14 @@ struct RowsArgs {
     name##_base(r);                                                            \
   }
 
-QIF_GEMM_DEFINE_VARIANTS(nn_rows, (nn_tn_body<false>(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b,
-                                                     r.ldb, r.c, r.ldc, r.accumulate)))
-QIF_GEMM_DEFINE_VARIANTS(tn_rows, (nn_tn_body<true>(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b,
-                                                    r.ldb, r.c, r.ldc, r.accumulate)))
+QIF_GEMM_DEFINE_VARIANTS(nn_rows,
+                         (nn_tn_body<false>(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b, r.ldb, r.c,
+                                            r.ldc, r.accumulate, r.pad)))
+QIF_GEMM_DEFINE_VARIANTS(tn_rows,
+                         (nn_tn_body<true>(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b, r.ldb, r.c,
+                                           r.ldc, r.accumulate, r.pad)))
 QIF_GEMM_DEFINE_VARIANTS(nt_rows, (nt_body(r.i0, r.i1, r.n, r.k, r.a, r.lda, r.b, r.ldb, r.c,
-                                           r.ldc, r.accumulate)))
+                                           r.ldc, r.accumulate, r.pad)))
 
 #undef QIF_GEMM_DEFINE_VARIANTS
 
@@ -315,7 +318,7 @@ void gemm_nn(MatView a, MatView b, Matrix& c, bool accumulate, exec::ThreadPool*
   if (a.rows == 0 || b.cols == 0) return;
   run_rows(a.rows, a.rows * a.cols * b.cols, pool, [&](std::size_t lo, std::size_t hi) {
     nn_rows({lo, hi, b.cols, a.cols, a.ptr, a.cols, b.ptr, b.cols, c.data().data(), c.cols(),
-             accumulate});
+             accumulate, pad_row(b.cols)});
   });
 }
 
@@ -325,7 +328,7 @@ void gemm_tn(MatView a, MatView b, Matrix& c, bool accumulate, exec::ThreadPool*
   if (a.cols == 0 || b.cols == 0) return;
   run_rows(a.cols, a.rows * a.cols * b.cols, pool, [&](std::size_t lo, std::size_t hi) {
     tn_rows({lo, hi, b.cols, a.rows, a.ptr, a.cols, b.ptr, b.cols, c.data().data(), c.cols(),
-             accumulate});
+             accumulate, pad_row(b.cols)});
   });
 }
 
@@ -335,7 +338,7 @@ void gemm_nt(MatView a, MatView b, Matrix& c, bool accumulate, exec::ThreadPool*
   if (a.rows == 0 || b.rows == 0) return;
   run_rows(a.rows, a.rows * a.cols * b.rows, pool, [&](std::size_t lo, std::size_t hi) {
     nt_rows({lo, hi, b.rows, a.cols, a.ptr, a.cols, b.ptr, b.cols, c.data().data(), c.cols(),
-             accumulate});
+             accumulate, pad_row(b.rows)});
   });
 }
 

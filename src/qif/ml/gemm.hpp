@@ -6,12 +6,18 @@
 //   gemm_nt:  C = A · B^T    (inputs:    dX = dY · W^T)
 //
 // Determinism contract: every C element is reduced by a single accumulator
-// over ascending k — in the 4x4 micro-kernel, in the edge kernels, and in
-// the parallel path (which partitions C's *rows* across workers, so each
-// element is still produced by exactly one thread in the same order).
-// Consequently results are bit-identical for any --jobs value and any
-// row-block size, and identical to a textbook single-accumulator naive
-// loop compiled with the same FP contraction rules.
+// over ascending k — in the micro-kernel tiles and in the parallel path
+// (which partitions C's *rows* across workers, so each element is still
+// produced by exactly one thread in the same order).  Results are
+// bit-identical for any --jobs value and any row-block size.
+//
+// Row-count invariance: a given row's bits are also independent of how
+// many rows the call covers.  There is no separate row-remainder loop —
+// the compiler's FMA contraction differs between loop shapes, which would
+// make C(i,·) depend on the total m — instead the final partial tile is
+// padded to a full kMr-row micro-kernel whose extra lanes write to
+// discarded scratch.  Serving relies on this: a row predicted inside a
+// batch of 64 is bit-identical to the same row predicted alone.
 //
 // The old naive kernels carried an `if (a == 0.0) continue;` sparsity
 // branch; it pessimized dense inputs (one branch per inner product) and

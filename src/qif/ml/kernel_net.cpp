@@ -100,6 +100,38 @@ Matrix KernelNet::forward_inference(MatView x) const {
   return head_layers_.back().forward_inference(v);
 }
 
+MatView KernelNet::forward_batch(MatView x, Scratch& s, exec::ThreadPool* pool) const {
+  const auto b = x.rows;
+  const auto sv = static_cast<std::size_t>(config_.n_servers);
+  const auto d = static_cast<std::size_t>(config_.per_server_dim);
+  assert(x.cols == sv * d);
+
+  // Kernel: (B*S, D) -> ... -> (B*S, 1), ping-ponging between the two
+  // scratch buffers (a GEMM cannot write over its own input), ReLU applied
+  // in place.  The arithmetic per element is exactly forward_inference's.
+  Matrix* bufs[2] = {&s.ping, &s.pong};
+  int cur = 0;
+  MatView v = x.reshaped(b * sv, d);
+  for (std::size_t l = 0; l + 1 < kernel_layers_.size(); ++l) {
+    kernel_layers_[l].forward_into(v, *bufs[cur], pool);
+    ReLU::apply_inplace(*bufs[cur]);
+    v = *bufs[cur];
+    cur ^= 1;
+  }
+  kernel_layers_.back().forward_into(v, s.scores, pool);
+
+  // Head: the (B*S, 1) scores are the same memory as (B, S).
+  v = MatView(s.scores).reshaped(b, sv);
+  for (std::size_t l = 0; l + 1 < head_layers_.size(); ++l) {
+    head_layers_[l].forward_into(v, *bufs[cur], pool);
+    ReLU::apply_inplace(*bufs[cur]);
+    v = *bufs[cur];
+    cur ^= 1;
+  }
+  head_layers_.back().forward_into(v, *bufs[cur], pool);
+  return *bufs[cur];
+}
+
 std::vector<int> KernelNet::predict(MatView x) const {
   const Matrix logits = forward_inference(x);
   std::vector<int> out(logits.rows());

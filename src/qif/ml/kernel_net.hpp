@@ -58,6 +58,23 @@ class KernelNet {
   /// Inference without touching training caches.  Takes a view, so rows
   /// can come straight out of a FeatureTable block or a Matrix alike.
   [[nodiscard]] Matrix forward_inference(MatView x) const;
+
+  /// Caller-owned buffers for forward_batch.  One Scratch per serving
+  /// thread; after the first full-size batch its capacity is warm and a
+  /// steady-state serving loop performs zero heap allocations.
+  struct Scratch {
+    Matrix ping, pong;  ///< layer ping-pong buffers
+    Matrix scores;      ///< (B*S, 1) kernel outputs == (B, S) per-server scores
+  };
+  /// Batched inference through caller-owned scratch: X is (B, S*D), the
+  /// returned view is the (B, C) logits (valid until the scratch is next
+  /// written).  After the call `s.scores` holds the per-server kernel
+  /// scores, row-major (B, S).  Every row's result is bit-identical to
+  /// forward_inference on that row alone — batch composition never changes
+  /// a prediction — which is the contract the serving layer's
+  /// batched-vs-sync identity tests pin.
+  MatView forward_batch(MatView x, Scratch& s,
+                        exec::ThreadPool* pool = nullptr) const;
   /// Predicted class per row of X.
   [[nodiscard]] std::vector<int> predict(MatView x) const;
   /// Per-server kernel scores for one sample (interpretability hook: which

@@ -43,6 +43,14 @@ Matrix Dense::forward_inference(MatView x) const {
   return y;
 }
 
+void Dense::forward_into(MatView x, Matrix& y, exec::ThreadPool* pool) const {
+  gemm_nn(x, w_, y, /*accumulate=*/false, pool);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double* row = y.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j) row[j] += b_[j];
+  }
+}
+
 const Matrix& Dense::backward(MatView dy, exec::ThreadPool* pool) {
   // Accumulate so several backward calls per step (the shared kernel is
   // applied once per server) sum their gradients before step().
@@ -141,6 +149,11 @@ Matrix ReLU::forward_inference(MatView x) {
   return y;
 }
 
+void ReLU::apply_inplace(Matrix& m) {
+  double* v = m.data().data();
+  for (std::size_t i = 0; i < m.size(); ++i) v[i] = v[i] > 0.0 ? v[i] : 0.0;
+}
+
 const Matrix& ReLU::backward(MatView dy) {
   dx_.resize(dy.rows, dy.cols);
   const double* in = dy.ptr;
@@ -164,6 +177,11 @@ Matrix Tanh::forward_inference(MatView x) {
   double* out = y.data().data();
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::tanh(in[i]);
   return y;
+}
+
+void Tanh::apply_inplace(Matrix& m) {
+  double* v = m.data().data();
+  for (std::size_t i = 0; i < m.size(); ++i) v[i] = std::tanh(v[i]);
 }
 
 const Matrix& Tanh::backward(MatView dy) {
@@ -202,6 +220,22 @@ Matrix SoftmaxXent::softmax(const Matrix& logits) {
     for (std::size_t j = 0; j < p.cols(); ++j) row[j] /= sum;
   }
   return p;
+}
+
+void SoftmaxXent::softmax_into(MatView logits, Matrix& out) {
+  out.resize(logits.rows, logits.cols);
+  for (std::size_t i = 0; i < logits.rows; ++i) {
+    const double* in = logits.row(i);
+    double* row = out.row(i);
+    double mx = in[0];
+    for (std::size_t j = 1; j < logits.cols; ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < logits.cols; ++j) {
+      row[j] = std::exp(in[j] - mx);
+      sum += row[j];
+    }
+    for (std::size_t j = 0; j < logits.cols; ++j) row[j] /= sum;
+  }
 }
 
 std::pair<double, Matrix> SoftmaxXent::loss_and_grad(

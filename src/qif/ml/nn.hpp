@@ -47,6 +47,11 @@ class Dense {
   const Matrix& forward(MatView x, exec::ThreadPool* pool = nullptr);
   /// Inference-only forward: no cache, usable on a const layer.
   [[nodiscard]] Matrix forward_inference(MatView x) const;
+  /// Inference forward into a caller-owned buffer: const (usable from a
+  /// shared trained model), and allocation-free once `y`'s capacity covers
+  /// the batch shape — the serving-path variant of forward_inference.
+  /// `y` must not alias `x`.  Bit-identical to forward_inference.
+  void forward_into(MatView x, Matrix& y, exec::ThreadPool* pool = nullptr) const;
   /// Backward pass: accumulates dW/db from the cached X, returns dX.
   const Matrix& backward(MatView dy, exec::ThreadPool* pool = nullptr);
   /// Applies one Adam update with bias correction at step `t` (1-based)
@@ -88,6 +93,9 @@ class ReLU {
  public:
   const Matrix& forward(MatView x);
   [[nodiscard]] static Matrix forward_inference(MatView x);
+  /// In-place activation for the serving path: same values as
+  /// forward_inference, no copy, no allocation.
+  static void apply_inplace(Matrix& m);
   const Matrix& backward(MatView dy);
 
  private:
@@ -100,6 +108,8 @@ class Tanh {
  public:
   const Matrix& forward(MatView x);
   [[nodiscard]] static Matrix forward_inference(MatView x);
+  /// In-place activation (serving path; values match forward_inference).
+  static void apply_inplace(Matrix& m);
   const Matrix& backward(MatView dy);
 
  private:
@@ -124,6 +134,10 @@ struct SoftmaxXent {
                                                  const std::vector<double>& class_weights);
   /// Row-wise softmax probabilities.
   static Matrix softmax(const Matrix& logits);
+  /// Row-wise softmax into a caller-owned buffer (resized in place, so a
+  /// steady-state serving loop allocates nothing).  Arithmetic is identical
+  /// to softmax(), element for element.  `out` must not alias `logits`.
+  static void softmax_into(MatView logits, Matrix& out);
 };
 
 }  // namespace qif::ml

@@ -102,6 +102,19 @@ void Standardizer::load(std::istream& is) {
   }
 }
 
+Standardizer Standardizer::from_moments(std::vector<double> mean,
+                                        std::vector<double> inv_std) {
+  if (mean.size() != inv_std.size()) {
+    throw std::invalid_argument("standardizer from_moments: " +
+                                std::to_string(mean.size()) + " means vs " +
+                                std::to_string(inv_std.size()) + " scales");
+  }
+  Standardizer s;
+  s.mean_ = std::move(mean);
+  s.inv_std_ = std::move(inv_std);
+  return s;
+}
+
 std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_rows(
     std::size_t n, double test_fraction, std::uint64_t seed) {
   if (n == 0) return {{}, {}};

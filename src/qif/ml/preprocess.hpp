@@ -40,6 +40,13 @@ class Standardizer {
   void transform_into(const double* src, std::size_t n, double* dst) const;
   [[nodiscard]] bool fitted() const { return !mean_.empty(); }
   [[nodiscard]] int dim() const { return static_cast<int>(mean_.size()); }
+  [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& inv_std() const { return inv_std_; }
+  /// Rebuilds a fitted standardizer from stored moments (the binary model
+  /// format's restore path).  Throws std::invalid_argument on a size
+  /// mismatch between the two vectors.
+  [[nodiscard]] static Standardizer from_moments(std::vector<double> mean,
+                                                 std::vector<double> inv_std);
 
   void save(std::ostream& os) const;
   /// Throws std::runtime_error if the stream is truncated or corrupted.

@@ -1,0 +1,81 @@
+#include "qif/serve/batcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace qif::serve {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Logits argmax with the synchronous path's exact tie-breaking: strict
+/// `>`, first index wins.  Softmax preserves order but not ties under
+/// rounding, so the class MUST come from the logits, not the
+/// probabilities, for batched == sync to hold bit-for-bit.
+int argmax_row(const double* row, std::size_t n) {
+  int best = 0;
+  for (std::size_t j = 1; j < n; ++j) {
+    if (row[j] > row[static_cast<std::size_t>(best)]) best = static_cast<int>(j);
+  }
+  return best;
+}
+
+}  // namespace
+
+void predict_batch(const ServingModel& model, Request* const* requests, std::size_t n,
+                   PredictScratch& scratch, std::uint64_t batch_seq,
+                   exec::ThreadPool* pool) {
+  if (n == 0) return;
+  const std::size_t feat = model.feature_dim();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (requests[i]->n_features != feat) {
+      throw std::invalid_argument("predict_batch: request carries " +
+                                  std::to_string(requests[i]->n_features) +
+                                  " features, model expects " + std::to_string(feat));
+    }
+  }
+
+  // Gather + standardize straight into the batch matrix (fused, no
+  // per-request temporary).
+  scratch.x.resize(n, feat);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.stdz.transform_into(requests[i]->features, feat, scratch.x.row(i));
+  }
+
+  ml::MatView logits;
+  const auto sv = static_cast<std::size_t>(model.n_servers());
+  const double* scores = nullptr;  // (n, S) row-major per-server scores
+  if (model.kind == ServingModel::Kind::kKernel) {
+    logits = model.kernel.forward_batch(scratch.x, scratch.kernel, pool);
+    scores = scratch.kernel.scores.data().data();
+  } else {
+    logits = model.attention.forward_batch(scratch.x, scratch.attention, pool);
+    scores = scratch.attention.alpha.data().data();
+  }
+  ml::SoftmaxXent::softmax_into(logits, scratch.probs);
+
+  const std::int64_t t = now_ns();
+  for (std::size_t i = 0; i < n; ++i) {
+    Request* r = requests[i];
+    r->predicted_class = argmax_row(logits.row(i), logits.cols);
+    r->probabilities.resize(logits.cols);
+    const double* prow = scratch.probs.row(i);
+    std::copy(prow, prow + logits.cols, r->probabilities.begin());
+    r->server_scores.resize(sv);
+    std::copy(scores + i * sv, scores + (i + 1) * sv, r->server_scores.begin());
+    r->model_version = model.version;
+    r->batch_seq = batch_seq;
+    r->batch_rows = n;
+    r->done_ns = t;
+    r->done.store(true, std::memory_order_release);
+    r->done.notify_all();
+  }
+}
+
+}  // namespace qif::serve

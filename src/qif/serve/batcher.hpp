@@ -1,0 +1,81 @@
+// The batched-inference core: one forward pass per batch of requests.
+//
+// predict_batch is the single place predictions are computed — the
+// InferenceService's batcher thread calls it with whatever the ring
+// drained, and core's OnlinePredictor calls it with one request (the
+// single-cluster path is literally the N=1 case).  The GEMM kernels
+// reduce every output element with one accumulator over ascending k, so
+// each row's result is independent of which other rows share the batch:
+// batched predictions are bit-identical to the synchronous single-row
+// path.  The identity tests pin that contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "qif/serve/registry.hpp"
+
+namespace qif::exec {
+class ThreadPool;
+}
+
+namespace qif::serve {
+
+/// One in-flight inference request.  The submitting thread owns the
+/// object and the feature memory; the batcher writes the outputs and
+/// flips `done` (release) last, so after wait() every field is visible.
+/// Holds an atomic, so it is neither copyable nor movable — keep request
+/// slots in a std::deque or array, not a reallocating vector.
+struct Request {
+  // -- inputs (owned by the producer) --
+  const double* features = nullptr;  ///< raw (unstandardized) S*D doubles
+  std::size_t n_features = 0;
+  std::int64_t enqueue_ns = 0;  ///< producer-stamped submit time
+
+  // -- outputs (written by the batcher before `done` flips) --
+  int predicted_class = -1;
+  std::vector<double> probabilities;   ///< softmax over classes
+  std::vector<double> server_scores;   ///< kernel scores / attention weights
+  std::uint64_t model_version = 0;     ///< bundle that served this request
+  std::uint64_t batch_seq = 0;         ///< batch this request rode in
+  std::size_t batch_rows = 0;          ///< how many requests shared it
+  std::int64_t done_ns = 0;            ///< batcher-stamped completion time
+
+  std::atomic<bool> done{false};
+
+  /// Re-arm for reuse (producer side, after the reply was consumed).
+  void reset() { done.store(false, std::memory_order_relaxed); }
+  /// Block until the reply is published (C++20 atomic wait).
+  void wait() const {
+    done.wait(false, std::memory_order_acquire);
+  }
+  [[nodiscard]] bool ready() const { return done.load(std::memory_order_acquire); }
+};
+
+/// Caller-owned buffers for predict_batch.  One per serving thread; after
+/// the first full-size batch every capacity is warm and the steady-state
+/// loop performs zero heap allocations (pinned by test_serve_alloc).
+struct PredictScratch {
+  ml::Matrix x;      ///< (B, S*D) standardized batch
+  ml::Matrix probs;  ///< (B, C) softmax output
+  ml::KernelNet::Scratch kernel;
+  ml::AttentionNet::Scratch attention;
+};
+
+/// Runs one batched forward over `n` requests and completes each one:
+/// standardize -> forward_batch -> softmax; predicted_class comes from the
+/// logits argmax (strict >, first index wins — exactly the synchronous
+/// path's tie-breaking), probabilities from the softmax row, and
+/// server_scores from the kernel scores (kernel models) or attention
+/// weights (attention models).  Sets model_version and done_ns, then
+/// publishes with a release store on each request's `done` flag.
+/// `batch_seq` tags every request in the batch with the same value.
+///
+/// Throws std::invalid_argument if any request's n_features disagrees
+/// with the model's feature_dim() (no request is completed in that case).
+void predict_batch(const ServingModel& model, Request* const* requests, std::size_t n,
+                   PredictScratch& scratch, std::uint64_t batch_seq = 0,
+                   exec::ThreadPool* pool = nullptr);
+
+}  // namespace qif::serve

@@ -1,0 +1,104 @@
+// Bounded lock-free multi-producer ring (Vyukov's bounded queue, used
+// here MPSC: many cluster clients push, one batcher thread pops).
+//
+// Each cell carries an atomic sequence number that encodes its state
+// relative to the wrapping producer/consumer cursors: `seq == pos` means
+// the cell is free for the producer claiming ticket `pos`, `seq == pos+1`
+// means it holds the value for the consumer at `pos`.  Producers race on
+// one CAS over the tail ticket and never touch each other's cells;
+// publishing is a release store of the cell sequence, so the consumer's
+// acquire load of the same sequence is the only synchronization a
+// push/pop pair needs.  No locks, no unbounded growth: when the ring is
+// full try_push refuses and the caller decides (spin, yield, or shed).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace qif::serve {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so the cursor
+  /// wrap is a mask, not a division.
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer push; returns false when the ring is full.
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free for ticket `pos`; claim the ticket.
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh ticket.
+      } else if (dif < 0) {
+        return false;  // cell still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop; returns false when the ring is empty.  Only one
+  /// thread may call this (no CAS on the head cursor).
+  bool try_pop(T& out) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto dif =
+        static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+    if (dif < 0) return false;  // producer has not published this cell yet
+    assert(dif == 0);           // single consumer: never ahead of itself
+    out = std::move(cell.value);
+    // Mark the cell free for the producer one lap ahead.
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Approximate occupancy (racy by nature; stats only).
+  [[nodiscard]] std::size_t approx_size() const {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines so producer CAS
+  // traffic does not invalidate the consumer's line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace qif::serve

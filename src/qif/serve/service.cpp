@@ -1,0 +1,144 @@
+#include "qif/serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace qif::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+InferenceService::InferenceService(std::shared_ptr<const ServingModel> model,
+                                   ServiceConfig config)
+    : config_(config), ring_(config.ring_capacity), model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("inference service needs a model");
+  if (config_.max_batch == 0) throw std::invalid_argument("max_batch must be positive");
+  batch_.reserve(config_.max_batch);
+  last_version_ = model_->version;
+}
+
+InferenceService::~InferenceService() { stop(); }
+
+bool InferenceService::try_submit(Request* request) {
+  if (ring_.try_push(request)) return true;
+  stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void InferenceService::submit(Request* request) {
+  while (!ring_.try_push(request)) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+void InferenceService::start() {
+  if (started_) return;
+  stop_.store(false, std::memory_order_relaxed);
+  batcher_ = std::thread([this] { run_batcher(); });
+  started_ = true;
+}
+
+void InferenceService::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  batcher_.join();
+  started_ = false;
+}
+
+std::size_t InferenceService::drain_into_batch(std::size_t limit) {
+  Request* r = nullptr;
+  while (batch_.size() < limit && ring_.try_pop(r)) batch_.push_back(r);
+  return batch_.size();
+}
+
+void InferenceService::serve_batch() {
+  // One pointer acquisition per batch: the whole batch is served by this
+  // bundle even if swap_model() lands mid-forward, and the old bundle
+  // stays alive through this local reference until the batch completes.
+  std::shared_ptr<const ServingModel> model;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    model = model_;
+  }
+  if (model->version != last_version_) {
+    stats_.swaps.fetch_add(1, std::memory_order_relaxed);
+    last_version_ = model->version;
+  }
+  ++batch_seq_;
+  predict_batch(*model, batch_.data(), batch_.size(), scratch_, batch_seq_);
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.requests.fetch_add(batch_.size(), std::memory_order_relaxed);
+  batch_.clear();
+}
+
+std::size_t InferenceService::step(std::size_t max_rows) {
+  const std::size_t limit =
+      max_rows == 0 ? config_.max_batch : std::min(max_rows, config_.max_batch);
+  batch_.clear();
+  const std::size_t n = drain_into_batch(limit);
+  if (n == 0) return 0;
+  if (n == limit) {
+    stats_.full_batches.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.timeout_batches.fetch_add(1, std::memory_order_relaxed);
+  }
+  serve_batch();
+  return n;
+}
+
+void InferenceService::run_batcher() {
+  const auto max_delay = std::chrono::microseconds(config_.max_delay_us);
+  for (;;) {
+    // Wait for the batch's first request (or shutdown).
+    Request* first = nullptr;
+    while (!ring_.try_pop(first)) {
+      if (stop_.load(std::memory_order_acquire)) {
+        // Producers are contractually done; one final drain pass empties
+        // anything accepted before the flag flipped.
+        batch_.clear();
+        while (drain_into_batch(config_.max_batch) > 0) serve_batch();
+        return;
+      }
+      std::this_thread::yield();
+    }
+    batch_.clear();
+    batch_.push_back(first);
+
+    // Adaptive close: fill until max_batch rows or until the oldest
+    // request has waited max_delay_us, whichever triggers first.
+    const auto deadline = Clock::now() + max_delay;
+    bool full = batch_.size() >= config_.max_batch;
+    while (!full) {
+      if (drain_into_batch(config_.max_batch) >= config_.max_batch) {
+        full = true;
+        break;
+      }
+      if (Clock::now() >= deadline) break;
+      std::this_thread::yield();
+    }
+    if (full) {
+      stats_.full_batches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.timeout_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    serve_batch();
+  }
+}
+
+void InferenceService::swap_model(std::shared_ptr<const ServingModel> model) {
+  if (!model) throw std::invalid_argument("cannot swap in a null model");
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  model_ = std::move(model);
+}
+
+std::shared_ptr<const ServingModel> InferenceService::model() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+}  // namespace qif::serve

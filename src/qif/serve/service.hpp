@@ -1,0 +1,114 @@
+// The online-inference service: lock-free ingest, adaptive batching,
+// atomic model hot-swap.
+//
+// Many simulated cluster clients push Request pointers into a bounded
+// MPSC ring; one batcher thread drains it with an adaptive policy — a
+// batch closes when it reaches `max_batch` rows OR the oldest queued
+// request has waited `max_delay_us`, whichever comes first — and runs ONE
+// forward pass per batch through predict_batch.  Amortizing the layer
+// traversals over the batch is where the throughput comes from; the delay
+// bound is what keeps tail latency honest at low offered load.
+//
+// The live model is a shared_ptr<const ServingModel> acquired ONCE per
+// batch: swap_model() publishes a new bundle for the NEXT batch, while
+// the in-flight batch finishes on the bundle it started with (the old
+// model stays alive through the held pointer).  A swap is therefore never
+// torn and never mixes versions within a batch — every request records
+// the version that served it, which the hot-swap tests pin.
+//
+// Zero steady-state allocations: the batch vector and all forward-pass
+// scratch are preallocated/warm, request output vectors reuse their
+// capacity, and a shared_ptr copy does not allocate.  test_serve_alloc
+// counts global operator new to enforce this the test_sim_alloc way.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "qif/serve/batcher.hpp"
+#include "qif/serve/ring.hpp"
+
+namespace qif::serve {
+
+struct ServiceConfig {
+  std::size_t ring_capacity = 1024;  ///< rounded up to a power of two
+  std::size_t max_batch = 32;        ///< close a batch at this many rows...
+  std::int64_t max_delay_us = 200;   ///< ...or this much waiting, first wins
+};
+
+/// Running counters (relaxed atomics; read whenever).
+struct ServiceStats {
+  std::atomic<std::uint64_t> requests{0};       ///< completed requests
+  std::atomic<std::uint64_t> batches{0};        ///< forward passes run
+  std::atomic<std::uint64_t> full_batches{0};   ///< closed by the size trigger
+  std::atomic<std::uint64_t> timeout_batches{0};///< closed by the delay trigger
+  std::atomic<std::uint64_t> swaps{0};          ///< model hot-swaps observed
+  std::atomic<std::uint64_t> rejected{0};       ///< try_submit refusals (ring full)
+};
+
+class InferenceService {
+ public:
+  InferenceService(std::shared_ptr<const ServingModel> model, ServiceConfig config);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Lock-free multi-producer submit; false when the ring is full (the
+  /// caller decides: retry, yield, or shed).  The request must stay alive
+  /// and untouched until `done` flips.
+  bool try_submit(Request* request);
+  /// Convenience: spin-with-yield until the ring accepts the request.
+  void submit(Request* request);
+
+  /// Spawns the batcher thread.  Without start(), drive batches manually
+  /// with step() — the deterministic single-threaded mode the tests and
+  /// the sync CLI baseline use.
+  void start();
+  /// Drains everything already submitted, then joins the batcher.
+  /// Producers must have stopped submitting first.  Idempotent.
+  void stop();
+
+  /// Synchronously drains and serves ONE batch of up to
+  /// min(max_rows, config.max_batch) queued requests (no delay wait).
+  /// Returns the number of requests served (0 = ring empty).  Must not
+  /// race the batcher thread — use either start() or step(), not both.
+  std::size_t step(std::size_t max_rows = 0);
+
+  /// Atomically publishes a new bundle; takes effect on the next batch.
+  void swap_model(std::shared_ptr<const ServingModel> model);
+  /// The bundle new batches will be served with.
+  [[nodiscard]] std::shared_ptr<const ServingModel> model() const;
+
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  void run_batcher();
+  /// Collects up to `limit` requests into batch_ (non-blocking).
+  std::size_t drain_into_batch(std::size_t limit);
+  void serve_batch();
+
+  ServiceConfig config_;
+  MpscRing<Request*> ring_;
+
+  mutable std::mutex model_mutex_;  // guards model_ (pointer copy in/out)
+  std::shared_ptr<const ServingModel> model_;
+
+  // Batcher-thread state (also used by step(); never concurrently).
+  std::vector<Request*> batch_;
+  PredictScratch scratch_;
+  std::uint64_t batch_seq_ = 0;
+  std::uint64_t last_version_ = 0;
+
+  ServiceStats stats_;
+  std::thread batcher_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace qif::serve

@@ -321,6 +321,94 @@ TEST(OnlinePredictor, EmitsPredictionEveryWindow) {
   EXPECT_TRUE(predictor.history()[0].had_activity);
 }
 
+TEST(OnlinePredictor, HistoryRingEvictsOldestBeyondCapacity) {
+  // Long scenarios used to grow history_ without bound; the ring keeps the
+  // most recent history_capacity predictions and history_total() counts
+  // every emission, evicted ones included.
+  const monitor::Dataset ds = tiny_training_set(10);
+  TrainingServerConfig tcfg;
+  tcfg.n_classes = 2;
+  tcfg.train.max_epochs = 15;
+  TrainingServer server(tcfg);
+  server.fit(ds);
+
+  sim::Simulation s;
+  pfs::ClusterConfig cc = testbed_cluster_config(11);
+  pfs::Cluster cluster(s, cc);
+  monitor::ClientMonitor cmon(0, sim::kSecond, cluster.n_servers(),
+                              cluster.mdt_server_index());
+  monitor::ServerMonitor smon(cluster, sim::kSecond);
+  smon.start();
+  cluster.trace_log().set_observer(
+      [&](const trace::OpRecord& r) { cmon.observe(r); });
+
+  workloads::JobSpec spec;
+  spec.workload = "ior-easy-write";
+  spec.nodes = {0};
+  spec.procs_per_node = 2;
+  spec.seed = 12;
+  spec.scale = 2.0;
+  workloads::JobInstance job(cluster, spec, /*loop=*/false);
+
+  OnlinePredictorConfig pcfg;
+  pcfg.history_capacity = 2;
+  OnlinePredictor predictor(cluster, server, cmon, smon, nullptr, pcfg);
+  predictor.start();
+  job.start(nullptr);
+  s.run_until(4 * sim::kSecond);
+  predictor.stop();
+
+  EXPECT_EQ(predictor.history_total(), 4u);
+  ASSERT_EQ(predictor.history().size(), 2u);
+  // Ring order after wrap: the two retained windows are the newest two.
+  std::vector<std::int64_t> windows;
+  for (const auto& p : predictor.history()) windows.push_back(p.window_index);
+  std::sort(windows.begin(), windows.end());
+  EXPECT_EQ(windows, (std::vector<std::int64_t>{2, 3}));
+
+  OnlinePredictorConfig zero;
+  zero.history_capacity = 0;
+  EXPECT_THROW(OnlinePredictor(cluster, server, cmon, smon, nullptr, zero),
+               std::invalid_argument);
+}
+
+TEST(TrainingServer, LoadRejectsFeatureWidthMismatchNamingBothWidths) {
+  // Deployment guard: a bundle whose per-server width disagrees with the
+  // serving schema (e.g. a 40-wide fault-features model against the
+  // 37-wide healthy layout) must throw a diagnostic naming both widths and
+  // leave the currently deployed model untouched.
+  const monitor::Dataset ds = tiny_training_set(9);
+  TrainingServerConfig cfg;
+  cfg.n_classes = 2;
+  cfg.train.max_epochs = 5;
+  TrainingServer server(cfg);
+  server.fit(ds);
+  const int model_dim = server.net().config().per_server_dim;
+  std::stringstream ss;
+  server.save(ss);
+  const std::string bundle = ss.str();
+
+  TrainingServer deployed(TrainingServerConfig{});
+  {
+    std::stringstream ok(bundle);
+    deployed.load(ok, model_dim);  // matching width: accepted
+  }
+  const auto before = deployed.net().snapshot();
+  std::stringstream mismatched(bundle);
+  try {
+    deployed.load(mismatched, model_dim + 3);
+    FAIL() << "width mismatch must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(std::to_string(model_dim)), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(model_dim + 3)), std::string::npos) << msg;
+  }
+  EXPECT_EQ(deployed.net().snapshot(), before)
+      << "a rejected bundle must leave the deployed model unchanged";
+  EXPECT_NO_THROW(deployed.validate_feature_width(0));
+  EXPECT_THROW(deployed.validate_feature_width(model_dim + 1), std::runtime_error);
+}
+
 TEST(Report, TextTableAlignsColumns) {
   TextTable t;
   t.add_row({"a", "bbbb"});

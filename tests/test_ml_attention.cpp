@@ -240,5 +240,36 @@ TEST(AttentionNet, RegressionHeadFitsDegradationLevels) {
   EXPECT_LT(last, 0.1);  // targets range ~[0, 6]; MSE 0.1 is a tight fit
 }
 
+TEST(AttentionNet, ForwardBatchMatchesForwardInferenceBitForBit) {
+  // Same contract the kernel net pins: batched logits and attention
+  // weights are bit-identical per row to forward_inference and to a
+  // one-row forward_batch of that row alone.
+  AttentionNet net(tiny_config());
+  sim::Rng rng(19);
+  for (const std::size_t batch : {1u, 3u, 6u, 11u}) {
+    Matrix x(batch, 12);
+    for (auto& v : x.data()) v = rng.normal(0, 1);
+    AttentionNet::Scratch scratch;
+    const MatView logits = net.forward_batch(x, scratch);
+    ASSERT_EQ(logits.rows, batch);
+    ASSERT_EQ(logits.cols, 2u);
+    const Matrix want = net.forward_inference(x);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t j = 0; j < 2u; ++j) {
+        ASSERT_EQ(logits.at(i, j), want.at(i, j)) << "batch=" << batch << " row " << i;
+      }
+      AttentionNet::Scratch one_scratch;
+      const MatView one = net.forward_batch(MatView(x.row(i), 1, 12), one_scratch);
+      for (std::size_t j = 0; j < 2u; ++j) {
+        ASSERT_EQ(one.at(0, j), logits.at(i, j)) << "batch=" << batch << " row " << i;
+      }
+      for (std::size_t s = 0; s < 3u; ++s) {
+        ASSERT_EQ(one_scratch.alpha.data()[s], scratch.alpha.data()[i * 3 + s])
+            << "batch=" << batch << " row " << i << " server " << s;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qif::ml

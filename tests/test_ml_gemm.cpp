@@ -222,6 +222,41 @@ TEST(Gemm, ParallelHandlesRowCountsAroundBlockBoundaries) {
   }
 }
 
+TEST(Gemm, RowResultsAreIndependentOfRowCount) {
+  // The serving contract: a row's output bits must not depend on how many
+  // other rows share the call.  Regression for the padded-tail rework —
+  // the old separate single-row remainder loop FMA-contracted differently
+  // from the 4-row micro-kernel, so the same row produced different last
+  // bits at m=1 than inside a larger batch.  Shapes cover the serving head
+  // layers, the kernel stage, and tile-tail row counts.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  for (const Shape s : {Shape{4, 7, 32}, Shape{4, 32, 2}, Shape{28, 37, 64},
+                        Shape{7, 37, 64}, Shape{5, 7, 32}, Shape{3, 13, 9}}) {
+    const Matrix a = random_matrix(s.m, s.k, 500 + s.m);
+    const Matrix b = random_matrix(s.k, s.n, 600 + s.n);
+    const Matrix bt = random_matrix(s.n, s.k, 700 + s.n);
+    Matrix full_nn, full_nt;
+    gemm_nn(a, b, full_nn);
+    gemm_nt(a, bt, full_nt);
+    for (std::size_t i = 0; i < s.m; ++i) {
+      const MatView row(a.row(i), 1, s.k);
+      Matrix one;
+      gemm_nn(row, b, one);
+      for (std::size_t j = 0; j < s.n; ++j) {
+        ASSERT_EQ(one.at(0, j), full_nn.at(i, j))
+            << "nn m=" << s.m << " row " << i << " col " << j;
+      }
+      gemm_nt(row, bt, one);
+      for (std::size_t j = 0; j < s.n; ++j) {
+        ASSERT_EQ(one.at(0, j), full_nt.at(i, j))
+            << "nt m=" << s.m << " row " << i << " col " << j;
+      }
+    }
+  }
+}
+
 TEST(MatrixResize, ShrinkReusesAllocation) {
   Matrix m(10, 10);
   for (auto& v : m.data()) v = 3.5;

@@ -247,5 +247,38 @@ TEST(KernelNet, DeterministicInitFromSeed) {
   EXPECT_DOUBLE_EQ(a.forward_inference(x).at(0, 0), b.forward_inference(x).at(0, 0));
 }
 
+TEST(KernelNet, ForwardBatchMatchesForwardInferenceBitForBit) {
+  // The serving-layer contract: batched logits (and per-server scores) are
+  // bit-identical to forward_inference per row, and to a one-row
+  // forward_batch of the same row — batch composition never changes a
+  // prediction.
+  KernelNet net(tiny_config());
+  sim::Rng rng(17);
+  for (const std::size_t batch : {1u, 2u, 5u, 8u, 13u}) {
+    Matrix x(batch, 12);
+    for (auto& v : x.data()) v = rng.normal(0, 1);
+    KernelNet::Scratch scratch;
+    const MatView logits = net.forward_batch(x, scratch);
+    ASSERT_EQ(logits.rows, batch);
+    ASSERT_EQ(logits.cols, 2u);
+    const Matrix want = net.forward_inference(x);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t j = 0; j < 2u; ++j) {
+        ASSERT_EQ(logits.at(i, j), want.at(i, j)) << "batch=" << batch << " row " << i;
+      }
+      // One-row batch of the same row: identical logits and scores.
+      KernelNet::Scratch one_scratch;
+      const MatView one = net.forward_batch(MatView(x.row(i), 1, 12), one_scratch);
+      for (std::size_t j = 0; j < 2u; ++j) {
+        ASSERT_EQ(one.at(0, j), logits.at(i, j)) << "batch=" << batch << " row " << i;
+      }
+      for (std::size_t s = 0; s < 3u; ++s) {
+        ASSERT_EQ(one_scratch.scores.data()[s], scratch.scores.data()[i * 3 + s])
+            << "batch=" << batch << " row " << i << " server " << s;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qif::ml

@@ -1,0 +1,160 @@
+// Heap-allocation accounting for the serving hot path (the test_sim_alloc
+// discipline): after one warm-up batch sizes every scratch matrix, request
+// output vector, and the GEMM pad row, a steady-state submit -> batch ->
+// reply cycle must perform zero heap allocations — at every batch size,
+// including the N=1 sync path the OnlinePredictor runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "qif/serve/service.hpp"
+#include "qif/sim/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+struct AllocWindow {
+  std::uint64_t start = g_allocs.load(std::memory_order_relaxed);
+  [[nodiscard]] std::uint64_t count() const {
+    return g_allocs.load(std::memory_order_relaxed) - start;
+  }
+};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace qif::serve {
+namespace {
+
+constexpr int kD = 5;
+constexpr int kS = 3;
+constexpr std::size_t kFeat = kD * kS;
+
+std::shared_ptr<const ServingModel> make_model() {
+  auto m = std::make_shared<ServingModel>();
+  m->kind = ServingModel::Kind::kKernel;
+  ml::KernelNetConfig cfg;
+  cfg.per_server_dim = kD;
+  cfg.n_servers = kS;
+  cfg.n_classes = 2;
+  cfg.kernel_hidden = {8, 4};
+  cfg.head_hidden = {6};
+  cfg.seed = 31;
+  m->kernel = ml::KernelNet(cfg);
+  m->stdz = ml::Standardizer::from_moments(std::vector<double>(kD, 0.0),
+                                           std::vector<double>(kD, 1.0));
+  m->n_classes = 2;
+  m->version = 1;
+  return m;
+}
+
+TEST(ServeAllocations, SteadyStateBatchedServingIsAllocationFree) {
+  const auto model = make_model();
+  ServiceConfig cfg;
+  cfg.max_batch = 8;
+  InferenceService service(model, cfg);
+
+  constexpr std::size_t kBatch = 8;
+  sim::Rng rng(77);
+  std::deque<Request> reqs(kBatch);
+  std::vector<std::vector<double>> features(kBatch, std::vector<double>(kFeat));
+  auto round = [&](int n) {
+    for (int it = 0; it < n; ++it) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        for (auto& v : features[i]) v = rng.uniform(-2.0, 2.0);
+        reqs[i].reset();
+        reqs[i].features = features[i].data();
+        reqs[i].n_features = kFeat;
+        ASSERT_TRUE(service.try_submit(&reqs[i]));
+      }
+      ASSERT_EQ(service.step(), kBatch);
+      for (auto& r : reqs) ASSERT_TRUE(r.ready());
+    }
+  };
+  round(4);  // warm-up: scratch matrices, reply vectors, batch_, GEMM pad row
+  const AllocWindow w;
+  round(64);
+  EXPECT_EQ(w.count(), 0u) << "batched serving allocated in steady state";
+}
+
+TEST(ServeAllocations, SteadyStateSingleRowSyncPathIsAllocationFree) {
+  // The OnlinePredictor's per-window shape: one request, one batch.
+  const auto model = make_model();
+  PredictScratch scratch;
+  Request r;
+  Request* rp = &r;
+  std::vector<double> features(kFeat);
+  sim::Rng rng(78);
+  auto round = [&](int n) {
+    for (int it = 0; it < n; ++it) {
+      for (auto& v : features) v = rng.uniform(-2.0, 2.0);
+      r.reset();
+      r.features = features.data();
+      r.n_features = kFeat;
+      predict_batch(*model, &rp, 1, scratch);
+      ASSERT_TRUE(r.ready());
+    }
+  };
+  round(4);
+  const AllocWindow w;
+  round(256);
+  EXPECT_EQ(w.count(), 0u) << "N=1 sync path allocated in steady state";
+}
+
+TEST(ServeAllocations, HotSwapDoesNotAllocateOnTheServingThread) {
+  // swap_model itself may allocate (it is the control plane); the serving
+  // loop continuing across a swap must not.  Both bundles' scratch shapes
+  // match, so the warm capacities carry over.
+  const auto v1 = make_model();
+  auto v2_mut = std::make_shared<ServingModel>(*v1);
+  v2_mut->version = 2;
+  const std::shared_ptr<const ServingModel> v2 = v2_mut;
+  InferenceService service(v1, ServiceConfig{});
+  sim::Rng rng(79);
+  Request r;
+  std::vector<double> features(kFeat);
+  auto round = [&](int n) {
+    for (int it = 0; it < n; ++it) {
+      for (auto& v : features) v = rng.uniform(-2.0, 2.0);
+      r.reset();
+      r.features = features.data();
+      r.n_features = kFeat;
+      ASSERT_TRUE(service.try_submit(&r));
+      ASSERT_EQ(service.step(), 1u);
+    }
+  };
+  round(4);
+  service.swap_model(v2);  // outside the window: control-plane cost
+  const AllocWindow w;
+  round(64);
+  EXPECT_EQ(w.count(), 0u) << "serving across a hot swap allocated in steady state";
+  EXPECT_EQ(r.model_version, 2u);
+}
+
+}  // namespace
+}  // namespace qif::serve

@@ -1,0 +1,100 @@
+// MpscRing: bounded Vyukov queue used MPSC by the serving layer.
+//
+// Single-threaded semantics (FIFO, full/empty refusal, wraparound reuse)
+// plus a producers x capacities stress matrix that runs real threads —
+// under QIF_SANITIZE=thread this is the data-race gate for the lock-free
+// ingest path.  Every pushed value must arrive exactly once, and each
+// producer's own values must arrive in its submission order (ticket CAS
+// serializes one producer's pushes into ascending cells).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "qif/serve/ring.hpp"
+
+namespace qif::serve {
+namespace {
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(MpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(MpscRing, FifoAndRefusalAtCapacity) {
+  MpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "push into a full ring must refuse";
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v)) << "pop from an empty ring must refuse";
+}
+
+TEST(MpscRing, WraparoundReusesCellsForManyLaps) {
+  MpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_out = 0;
+  for (std::uint64_t lap = 0; lap < 1000; ++lap) {
+    for (std::uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_push(lap * 5 + i));
+    std::uint64_t v = 0;
+    while (ring.try_pop(v)) {
+      EXPECT_EQ(v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_out, 5000u);
+}
+
+void stress(std::size_t n_producers, std::size_t capacity, std::uint64_t per_producer) {
+  MpscRing<std::uint64_t> ring(capacity);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  producers.reserve(n_producers);
+  // Values are tagged producer * 2^32 + i so the consumer can check
+  // per-producer arrival order and exactly-once delivery.
+  for (std::size_t p = 0; p < n_producers; ++p) {
+    producers.emplace_back([&ring, &go, p, per_producer] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        const std::uint64_t v = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!ring.try_push(v)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint64_t> next_from(n_producers, 0);
+  std::uint64_t received = 0;
+  go.store(true, std::memory_order_release);
+  while (received < n_producers * per_producer) {
+    std::uint64_t v = 0;
+    if (!ring.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto p = static_cast<std::size_t>(v >> 32);
+    const std::uint64_t i = v & 0xffffffffu;
+    ASSERT_LT(p, n_producers);
+    EXPECT_EQ(i, next_from[p]) << "producer " << p << " order broken";
+    next_from[p] = i + 1;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  std::uint64_t v = 0;
+  EXPECT_FALSE(ring.try_pop(v));
+  for (std::size_t p = 0; p < n_producers; ++p) EXPECT_EQ(next_from[p], per_producer);
+}
+
+TEST(MpscRing, StressOneProducerTinyRing) { stress(1, 2, 20000); }
+TEST(MpscRing, StressTwoProducersTinyRing) { stress(2, 2, 10000); }
+TEST(MpscRing, StressTwoProducersSmallRing) { stress(2, 8, 10000); }
+TEST(MpscRing, StressFourProducersSmallRing) { stress(4, 8, 5000); }
+TEST(MpscRing, StressFourProducersLargeRing) { stress(4, 256, 5000); }
+
+}  // namespace
+}  // namespace qif::serve

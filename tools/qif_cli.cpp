@@ -61,17 +61,40 @@
 //   qif dump-trace <target> [--scale S] [--seed K] [--lanes N]
 //                  [--topology CxSxT] --out trace.txt
 //       Run the target solo and dump its DXT-style op trace.
+//
+//   qif serve bench [--model F | --model-dir D] [--producers N] [--requests R]
+//                   [--max-batch B] [--max-delay-us U] [--ring CAP]
+//                   [--inflight W] [--sync] [--swap-every-ms M] [--json]
+//   qif serve verify [--model F | --model-dir D] [--requests R] [--producers N]
+//                    [--max-batch B] [--json]
+//   qif serve publish --model F --model-dir D
+//   qif serve versions --model-dir D
+//       Online-inference service front end.  `bench` floods the service
+//       with N closed-loop producers (W in-flight requests each) and
+//       reports predictions/sec plus p50/p99/p999 queue->reply latency;
+//       --sync measures the single-row synchronous baseline instead, and
+//       --swap-every-ms hot-swaps the model under load.  `verify` replays
+//       every batched prediction through the N=1 sync path and asserts
+//       bit-identical outputs (the batching-changes-nothing contract).
+//       `publish` imports a text "qif-model" bundle (qif train output) or
+//       a binary .qifm into the registry as v<N+1>.qifm.  Without a model
+//       a synthetic bundle is generated (--arch kernel|attention,
+//       --classes C, --seed K) so smoke runs need no training step.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qif/core/datasets.hpp"
@@ -82,6 +105,7 @@
 #include "qif/ml/preprocess.hpp"
 #include "qif/monitor/export.hpp"
 #include "qif/monitor/qds_file.hpp"
+#include "qif/serve/service.hpp"
 #include "qif/sim/stats.hpp"
 #include "qif/trace/matcher.hpp"
 #include "qif/workloads/registry.hpp"
@@ -109,7 +133,9 @@ struct Args {
 };
 
 /// Options that take no value (presence == true).
-bool is_flag_option(const std::string& name) { return name == "compress"; }
+bool is_flag_option(const std::string& name) {
+  return name == "compress" || name == "json" || name == "sync";
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -148,7 +174,16 @@ int usage() {
                " [--compress]\n"
                "  dataset merge <in.qdm> <out>\n"
                "  dump-trace <target> [--scale S] [--seed K] [--lanes N]"
-               " [--topology CxSxT] --out F.txt\n");
+               " [--topology CxSxT] --out F.txt\n"
+               "  serve bench [--model F | --model-dir D] [--producers N]"
+               " [--requests R]\n"
+               "      [--max-batch B] [--max-delay-us U] [--ring CAP] [--inflight W]"
+               " [--sync]\n"
+               "      [--swap-every-ms M] [--json]\n"
+               "  serve verify [--model F | --model-dir D] [--requests R]"
+               " [--producers N] [--max-batch B] [--json]\n"
+               "  serve publish --model F --model-dir D\n"
+               "  serve versions --model-dir D\n");
   return 2;
 }
 
@@ -604,6 +639,422 @@ int cmd_dump_trace(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// qif serve
+// ---------------------------------------------------------------------------
+
+std::int64_t serve_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Resolves the bundle to serve: an explicit file (binary .qifm sniffed by
+/// magic, otherwise the text "qif-model" bundle `qif train` writes), the
+/// newest valid registry version, or — with neither — a synthetic bundle
+/// so smoke/latency runs need no training step.
+serve::ServingModel resolve_serving_model(const Args& args) {
+  const std::string path = args.get("model", "");
+  if (!path.empty()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    char magic[4] = {};
+    in.read(magic, sizeof magic);
+    in.seekg(0);
+    if (in.gcount() == 4 && std::memcmp(magic, "QIFM", 4) == 0) {
+      return serve::load_model(in);
+    }
+    return serve::import_text_model(in);
+  }
+  const std::string dir = args.get("model-dir", "");
+  if (!dir.empty()) {
+    serve::ModelRegistry registry(dir);
+    if (registry.refresh() == 0) {
+      throw std::runtime_error("no valid model version in " + dir);
+    }
+    return *registry.current();
+  }
+  // Synthetic bundle: untrained weights (deterministic by --seed) and an
+  // identity standardizer — predictions are meaningless but the compute
+  // path is the real one, which is all latency and identity runs need.
+  serve::ServingModel model;
+  model.n_classes = std::max(args.get_int("classes", 2), 2);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::string arch = args.get("arch", "kernel");
+  if (arch == "attention") {
+    ml::AttentionNetConfig cfg;
+    cfg.n_classes = model.n_classes;
+    cfg.seed = seed;
+    model.kind = serve::ServingModel::Kind::kAttention;
+    model.attention = ml::AttentionNet(cfg);
+  } else if (arch == "kernel") {
+    ml::KernelNetConfig cfg;
+    cfg.n_classes = model.n_classes;
+    cfg.seed = seed;
+    model.kind = serve::ServingModel::Kind::kKernel;
+    model.kernel = ml::KernelNet(cfg);
+  } else {
+    throw std::runtime_error("unknown --arch '" + arch + "' (kernel|attention)");
+  }
+  const auto d = static_cast<std::size_t>(model.per_server_dim());
+  model.stdz = ml::Standardizer::from_moments(std::vector<double>(d, 0.0),
+                                              std::vector<double>(d, 1.0));
+  model.version = 1;
+  return model;
+}
+
+void fill_synthetic_features(sim::Rng& rng, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng.uniform(0.0, 4.0);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return sorted[rank];
+}
+
+struct BenchOutcome {
+  std::vector<double> latencies_us;  // sorted after merge
+  double wall_s = 0.0;
+  std::uint64_t requests = 0;
+  std::map<std::uint64_t, std::uint64_t> by_version;  // model version -> count
+};
+
+/// One closed-loop producer: keeps `inflight` requests in the air, reusing
+/// its slots (and their feature buffers) until `n_requests` completed.
+void run_producer(serve::InferenceService& service, std::size_t feat_dim,
+                  std::size_t n_requests, std::size_t inflight, std::uint64_t seed,
+                  int producer_id, BenchOutcome& out) {
+  sim::Rng rng(sim::Rng::derive_seed(seed, "producer-" + std::to_string(producer_id)));
+  std::deque<serve::Request> slots(inflight);
+  std::vector<std::vector<double>> features(inflight, std::vector<double>(feat_dim));
+  out.latencies_us.reserve(n_requests);
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::vector<bool> in_air(inflight, false);
+  while (completed < n_requests) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < inflight; ++i) {
+      if (in_air[i]) {
+        if (!slots[i].ready()) continue;
+        out.latencies_us.push_back(
+            static_cast<double>(slots[i].done_ns - slots[i].enqueue_ns) / 1e3);
+        ++out.by_version[slots[i].model_version];
+        in_air[i] = false;
+        ++completed;
+        progressed = true;
+      }
+      if (!in_air[i] && submitted < n_requests) {
+        fill_synthetic_features(rng, features[i].data(), feat_dim);
+        slots[i].reset();
+        slots[i].features = features[i].data();
+        slots[i].n_features = feat_dim;
+        slots[i].enqueue_ns = serve_now_ns();
+        service.submit(&slots[i]);
+        in_air[i] = true;
+        ++submitted;
+        progressed = true;
+      }
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+}
+
+BenchOutcome run_sync_bench(const serve::ServingModel& model, std::size_t n_requests,
+                            std::uint64_t seed) {
+  // The baseline the batched path is measured against: one request, one
+  // forward, synchronously — exactly what a per-window OnlinePredictor
+  // deployment does.
+  const std::size_t feat = model.feature_dim();
+  std::vector<double> features(feat);
+  serve::PredictScratch scratch;
+  serve::Request request;
+  serve::Request* rp = &request;
+  sim::Rng rng(sim::Rng::derive_seed(seed, "producer-0"));
+  BenchOutcome out;
+  out.latencies_us.reserve(n_requests);
+  const auto t0 = serve_now_ns();
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    fill_synthetic_features(rng, features.data(), feat);
+    request.reset();
+    request.features = features.data();
+    request.n_features = feat;
+    request.enqueue_ns = serve_now_ns();
+    serve::predict_batch(model, &rp, 1, scratch);
+    out.latencies_us.push_back(
+        static_cast<double>(request.done_ns - request.enqueue_ns) / 1e3);
+    ++out.by_version[request.model_version];
+  }
+  const auto t1 = serve_now_ns();
+  out.wall_s = static_cast<double>(t1 - t0) / 1e9;
+  out.requests = n_requests;
+  std::sort(out.latencies_us.begin(), out.latencies_us.end());
+  return out;
+}
+
+void print_bench_outcome(const char* mode, const BenchOutcome& o,
+                         const serve::ServiceConfig* scfg, int producers,
+                         std::uint64_t swaps, const serve::ServiceStats* stats,
+                         bool json) {
+  const double rps = o.wall_s > 0 ? static_cast<double>(o.requests) / o.wall_s : 0.0;
+  const double mean =
+      o.latencies_us.empty()
+          ? 0.0
+          : std::accumulate(o.latencies_us.begin(), o.latencies_us.end(), 0.0) /
+                static_cast<double>(o.latencies_us.size());
+  if (json) {
+    std::printf("{\"mode\": \"%s\", \"producers\": %d, \"requests\": %llu", mode,
+                producers, static_cast<unsigned long long>(o.requests));
+    if (scfg != nullptr) {
+      std::printf(", \"max_batch\": %zu, \"max_delay_us\": %lld, \"ring\": %zu",
+                  scfg->max_batch, static_cast<long long>(scfg->max_delay_us),
+                  scfg->ring_capacity);
+    }
+    std::printf(", \"wall_s\": %.6f, \"throughput_rps\": %.1f, \"mean_us\": %.2f"
+                ", \"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f"
+                ", \"max_us\": %.2f",
+                o.wall_s, rps, mean, percentile(o.latencies_us, 0.50),
+                percentile(o.latencies_us, 0.99), percentile(o.latencies_us, 0.999),
+                o.latencies_us.empty() ? 0.0 : o.latencies_us.back());
+    if (stats != nullptr) {
+      const auto batches = stats->batches.load();
+      std::printf(", \"batches\": %llu, \"mean_batch_rows\": %.2f"
+                  ", \"full_batches\": %llu, \"timeout_batches\": %llu"
+                  ", \"rejected\": %llu",
+                  static_cast<unsigned long long>(batches),
+                  batches > 0 ? static_cast<double>(stats->requests.load()) /
+                                    static_cast<double>(batches)
+                              : 0.0,
+                  static_cast<unsigned long long>(stats->full_batches.load()),
+                  static_cast<unsigned long long>(stats->timeout_batches.load()),
+                  static_cast<unsigned long long>(stats->rejected.load()));
+    }
+    std::printf(", \"swaps\": %llu, \"by_version\": {",
+                static_cast<unsigned long long>(swaps));
+    bool first = true;
+    for (const auto& [v, c] : o.by_version) {
+      std::printf("%s\"%llu\": %llu", first ? "" : ", ",
+                  static_cast<unsigned long long>(v),
+                  static_cast<unsigned long long>(c));
+      first = false;
+    }
+    std::printf("}}\n");
+  } else {
+    std::printf("%s: %llu requests in %.3f s -> %.0f predictions/s\n", mode,
+                static_cast<unsigned long long>(o.requests), o.wall_s, rps);
+    std::printf("latency us: mean %.1f  p50 %.1f  p99 %.1f  p999 %.1f  max %.1f\n",
+                mean, percentile(o.latencies_us, 0.50), percentile(o.latencies_us, 0.99),
+                percentile(o.latencies_us, 0.999),
+                o.latencies_us.empty() ? 0.0 : o.latencies_us.back());
+    if (stats != nullptr && stats->batches.load() > 0) {
+      std::printf("batches: %llu (mean %.1f rows; %llu full, %llu timeout)\n",
+                  static_cast<unsigned long long>(stats->batches.load()),
+                  static_cast<double>(stats->requests.load()) /
+                      static_cast<double>(stats->batches.load()),
+                  static_cast<unsigned long long>(stats->full_batches.load()),
+                  static_cast<unsigned long long>(stats->timeout_batches.load()));
+    }
+    if (swaps > 0) {
+      std::printf("hot swaps under load: %llu (served by version:",
+                  static_cast<unsigned long long>(swaps));
+      for (const auto& [v, c] : o.by_version) {
+        std::printf(" v%llu=%llu", static_cast<unsigned long long>(v),
+                    static_cast<unsigned long long>(c));
+      }
+      std::printf(")\n");
+    }
+  }
+}
+
+int cmd_serve_bench(const Args& args) {
+  const serve::ServingModel model = resolve_serving_model(args);
+  const int producers = std::max(args.get_int("producers", 4), 1);
+  const auto requests =
+      static_cast<std::size_t>(std::max(args.get_int("requests", 20000), 1));
+  const std::size_t per_producer =
+      (requests + static_cast<std::size_t>(producers) - 1) /
+      static_cast<std::size_t>(producers);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  if (args.options.count("sync") != 0) {
+    const BenchOutcome o = run_sync_bench(model, requests, seed);
+    print_bench_outcome("sync", o, nullptr, 1, 0, nullptr,
+                        args.options.count("json") != 0);
+    return 0;
+  }
+  serve::ServiceConfig scfg;
+  scfg.ring_capacity = static_cast<std::size_t>(std::max(args.get_int("ring", 1024), 2));
+  scfg.max_batch = static_cast<std::size_t>(std::max(args.get_int("max-batch", 32), 1));
+  scfg.max_delay_us = std::max(args.get_int("max-delay-us", 200), 0);
+  const auto inflight =
+      static_cast<std::size_t>(std::max(args.get_int("inflight", 64), 1));
+  const int swap_every_ms = std::max(args.get_int("swap-every-ms", 0), 0);
+
+  // The service outlives the stats read below because run_batched_bench
+  // joins everything before returning; stats are copied out via the
+  // service inside.  Re-run with a local service to read stats:
+  auto live = std::make_shared<const serve::ServingModel>(model);
+  serve::InferenceService service(live, scfg);
+  service.start();
+  std::atomic<bool> swapping{swap_every_ms > 0};
+  std::thread swapper;
+  std::atomic<std::uint64_t> swaps{0};
+  if (swap_every_ms > 0) {
+    auto alt = std::make_shared<const serve::ServingModel>([&] {
+      serve::ServingModel copy = model;
+      copy.version = model.version + 1;
+      return copy;
+    }());
+    swapper = std::thread([&service, &swapping, &swaps, live, alt, swap_every_ms] {
+      bool use_alt = true;
+      while (swapping.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(swap_every_ms));
+        service.swap_model(use_alt ? alt : live);
+        use_alt = !use_alt;
+        swaps.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const std::size_t feat = model.feature_dim();
+  std::vector<BenchOutcome> partial(static_cast<std::size_t>(producers));
+  const auto t0 = serve_now_ns();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      run_producer(service, feat, per_producer, inflight, seed, p,
+                   partial[static_cast<std::size_t>(p)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = serve_now_ns();
+  if (swapper.joinable()) {
+    swapping.store(false, std::memory_order_release);
+    swapper.join();
+  }
+  service.stop();
+
+  BenchOutcome merged;
+  merged.wall_s = static_cast<double>(t1 - t0) / 1e9;
+  for (auto& p : partial) {
+    merged.requests += p.latencies_us.size();
+    merged.latencies_us.insert(merged.latencies_us.end(), p.latencies_us.begin(),
+                               p.latencies_us.end());
+    for (const auto& [v, c] : p.by_version) merged.by_version[v] += c;
+  }
+  std::sort(merged.latencies_us.begin(), merged.latencies_us.end());
+  print_bench_outcome("batched", merged, &scfg, producers, swaps.load(),
+                      &service.stats(), args.options.count("json") != 0);
+  return 0;
+}
+
+int cmd_serve_verify(const Args& args) {
+  const serve::ServingModel model = resolve_serving_model(args);
+  const int producers = std::max(args.get_int("producers", 2), 1);
+  const auto requests =
+      static_cast<std::size_t>(std::max(args.get_int("requests", 2000), 1));
+  const std::size_t per_producer =
+      (requests + static_cast<std::size_t>(producers) - 1) /
+      static_cast<std::size_t>(producers);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  serve::ServiceConfig scfg;
+  scfg.max_batch = static_cast<std::size_t>(std::max(args.get_int("max-batch", 32), 1));
+  scfg.max_delay_us = std::max(args.get_int("max-delay-us", 100), 0);
+
+  // Batched pass: every request (and its feature row) is retained so the
+  // sync replay below can recompute it on identical inputs.
+  auto live = std::make_shared<const serve::ServingModel>(model);
+  serve::InferenceService service(live, scfg);
+  service.start();
+  const std::size_t feat = model.feature_dim();
+  const std::size_t total = per_producer * static_cast<std::size_t>(producers);
+  std::deque<serve::Request> reqs(total);
+  std::vector<std::vector<double>> features(total, std::vector<double>(feat));
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      sim::Rng rng(sim::Rng::derive_seed(seed, "producer-" + std::to_string(p)));
+      const std::size_t base = static_cast<std::size_t>(p) * per_producer;
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        fill_synthetic_features(rng, features[base + i].data(), feat);
+        reqs[base + i].features = features[base + i].data();
+        reqs[base + i].n_features = feat;
+        reqs[base + i].enqueue_ns = serve_now_ns();
+        service.submit(&reqs[base + i]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& r : reqs) r.wait();
+  service.stop();
+
+  // Sync replay: the N=1 path on the same feature rows must reproduce
+  // every batched output bit for bit.
+  serve::PredictScratch scratch;
+  serve::Request sync_req;
+  serve::Request* rp = &sync_req;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    sync_req.reset();
+    sync_req.features = features[i].data();
+    sync_req.n_features = feat;
+    serve::predict_batch(model, &rp, 1, scratch);
+    bool same = sync_req.predicted_class == reqs[i].predicted_class &&
+                sync_req.probabilities.size() == reqs[i].probabilities.size() &&
+                sync_req.server_scores.size() == reqs[i].server_scores.size();
+    if (same) {
+      same = std::memcmp(sync_req.probabilities.data(), reqs[i].probabilities.data(),
+                         sync_req.probabilities.size() * sizeof(double)) == 0 &&
+             std::memcmp(sync_req.server_scores.data(), reqs[i].server_scores.data(),
+                         sync_req.server_scores.size() * sizeof(double)) == 0;
+    }
+    if (!same) ++mismatches;
+  }
+  const bool json = args.options.count("json") != 0;
+  if (json) {
+    std::printf("{\"mode\": \"verify\", \"requests\": %zu, \"producers\": %d"
+                ", \"max_batch\": %zu, \"batches\": %llu, \"mismatches\": %zu"
+                ", \"identical\": %s}\n",
+                total, producers, scfg.max_batch,
+                static_cast<unsigned long long>(service.stats().batches.load()),
+                mismatches, mismatches == 0 ? "true" : "false");
+  } else {
+    std::printf("verified %zu batched predictions against the sync path: %s"
+                " (%llu batches, %zu mismatches)\n",
+                total, mismatches == 0 ? "bit-identical" : "MISMATCH",
+                static_cast<unsigned long long>(service.stats().batches.load()),
+                mismatches);
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& mode = args.positional[0];
+  if (mode == "bench") return cmd_serve_bench(args);
+  if (mode == "verify") return cmd_serve_verify(args);
+  if (mode == "publish") {
+    if (args.options.count("model") == 0 || args.options.count("model-dir") == 0) {
+      return usage();
+    }
+    const serve::ServingModel model = resolve_serving_model(args);
+    serve::ModelRegistry registry(args.get("model-dir", ""));
+    const std::uint64_t v = registry.publish(model);
+    std::printf("published %s as v%llu.qifm in %s\n", args.get("model", "").c_str(),
+                static_cast<unsigned long long>(v), args.get("model-dir", "").c_str());
+    return 0;
+  }
+  if (mode == "versions") {
+    if (args.options.count("model-dir") == 0) return usage();
+    const serve::ModelRegistry registry(args.get("model-dir", ""));
+    for (const auto v : registry.list_versions()) {
+      std::printf("v%llu\n", static_cast<unsigned long long>(v));
+    }
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -618,6 +1069,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "dataset") return cmd_dataset(args);
     if (cmd == "dump-trace") return cmd_dump_trace(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
