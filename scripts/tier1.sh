@@ -52,15 +52,21 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 ./build-tsan/tests/test_serve_ring
 ./build-tsan/tests/test_serve_service
 
-echo "=== tier-1: .qds corruption fuzz under ASan ==="
+echo "=== tier-1: .qds/.qwp corruption fuzz under ASan ==="
 # test_qds_fuzz covers the buffered reader, the mmap path (QdsMmapFuzz),
 # the .qdm manifest/shard files (QdmFuzz), and the qlz codec (QlzFuzz);
 # test_streaming exercises the mmap'ed shard lifecycle end to end.
+# test_qwp flips/truncates every byte of a serialized workload program and
+# test_replay parses crafted DXT dumps — the two text-IR parsers must turn
+# hostile bytes into clean errors, never out-of-bounds reads.
 cmake -B build-asan -S . -DQIF_SANITIZE=address
-cmake --build build-asan -j --target test_qds_fuzz test_export test_streaming
+cmake --build build-asan -j --target test_qds_fuzz test_export test_streaming \
+  test_qwp test_replay
 ./build-asan/tests/test_qds_fuzz
 ./build-asan/tests/test_export
 ./build-asan/tests/test_streaming
+./build-asan/tests/test_qwp
+./build-asan/tests/test_replay
 
 echo "=== tier-1: benchmark smoke ==="
 # Includes the lane smoke: `qif run --lanes 4` must print the same trace

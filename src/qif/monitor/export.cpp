@@ -12,141 +12,16 @@
 
 #include "qif/monitor/qlz.hpp"
 #include "qif/monitor/schema.hpp"
+#include "qif/trace/text_cursor.hpp"
 
 namespace qif::monitor {
-namespace {
 
-// Parse-failure location carried into every reader diagnostic: fuzz-found
-// rejections must name the exact line and column, not just the bad bytes.
-// `line` is 1-based; `column` is the 1-based field index (CSV/DXT fields,
-// not characters).
-[[noreturn]] void fail_cell(const char* what, std::string_view cell, std::int64_t line,
-                            std::int64_t column) {
-  throw std::runtime_error(std::string("malformed ") + what + " cell: '" +
-                           std::string(cell) + "' at line " + std::to_string(line) +
-                           ", column " + std::to_string(column));
-}
-
-// Strict cell parsers: every byte of the cell must be consumed, so a
-// corrupted "12x7" or empty cell throws instead of silently becoming 0
-// (the old atoll/atoi/atof behaviour).
-template <typename Int>
-Int parse_int_cell(std::string_view cell, const char* what, std::int64_t line,
-                   std::int64_t column) {
-  Int value{};
-  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
-  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
-    fail_cell(what, cell, line, column);
-  }
-  return value;
-}
-
-double parse_double_cell(std::string_view cell, const char* what, std::int64_t line,
-                         std::int64_t column) {
-  // strtod + end-pointer check: from_chars<double> is used nowhere else in
-  // the tree and strtod matches the writer's formatting exactly.
-  const std::string buf(cell);
-  if (buf.empty()) {
-    throw std::runtime_error(std::string("empty ") + what + " cell at line " +
-                             std::to_string(line) + ", column " + std::to_string(column));
-  }
-  char* end = nullptr;
-  const double value = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) {
-    fail_cell(what, cell, line, column);
-  }
-  return value;
-}
-
-}  // namespace
-
-void write_dxt(std::ostream& os, const trace::TraceLog& log) {
-  os << "# DXT qif 1\n";
-  os << "# job rank op_index type offset bytes start_ns end_ns targets...\n";
-  for (const trace::OpRecord& r : log.records()) {
-    os << r.job << ' ' << r.rank << ' ' << r.op_index << ' ' << pfs::op_name(r.type)
-       << ' ' << r.offset << ' ' << r.bytes << ' ' << r.start << ' ' << r.end;
-    for (const auto t : r.targets) os << ' ' << t;
-    os << '\n';
-  }
-}
-
-namespace {
-
-pfs::OpType op_from_name(std::string_view name, std::int64_t line, std::int64_t column) {
-  for (int i = 0; i < pfs::kNumOpTypes; ++i) {
-    const auto t = static_cast<pfs::OpType>(i);
-    if (name == pfs::op_name(t)) return t;
-  }
-  throw std::runtime_error("unknown op type in DXT dump: '" + std::string(name) +
-                           "' at line " + std::to_string(line) + ", column " +
-                           std::to_string(column));
-}
-
-/// Whitespace tokenizer over one line that knows which 1-based field it is
-/// on, so every parse failure can be located exactly.
-struct FieldCursor {
-  std::string_view line;
-  std::int64_t line_no;
-  std::size_t pos = 0;
-  std::int64_t column = 0;  // of the most recently returned token
-
-  /// Next whitespace-delimited token; empty when the line is exhausted.
-  std::string_view next() {
-    while (pos < line.size() && line[pos] == ' ') ++pos;
-    const std::size_t begin = pos;
-    while (pos < line.size() && line[pos] != ' ') ++pos;
-    if (pos > begin) ++column;
-    return line.substr(begin, pos - begin);
-  }
-
-  template <typename Int>
-  Int next_int(const char* what) {
-    const std::string_view tok = next();
-    if (tok.empty()) {
-      throw std::runtime_error(std::string("missing ") + what + " field at line " +
-                               std::to_string(line_no) + ", column " +
-                               std::to_string(column + 1));
-    }
-    return parse_int_cell<Int>(tok, what, line_no, column);
-  }
-};
-
-}  // namespace
-
-trace::TraceLog read_dxt(std::istream& is) {
-  trace::TraceLog log;
-  std::string line;
-  std::int64_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    FieldCursor fields{line, line_no};
-    trace::OpRecord r;
-    r.job = fields.next_int<std::int32_t>("DXT job");
-    r.rank = fields.next_int<pfs::Rank>("DXT rank");
-    r.op_index = fields.next_int<std::int64_t>("DXT op_index");
-    const std::string_view type = fields.next();
-    if (type.empty()) {
-      throw std::runtime_error("missing DXT op type field at line " +
-                               std::to_string(line_no) + ", column " +
-                               std::to_string(fields.column + 1));
-    }
-    r.type = op_from_name(type, line_no, fields.column);
-    r.offset = fields.next_int<std::int64_t>("DXT offset");
-    r.bytes = fields.next_int<std::int64_t>("DXT bytes");
-    r.start = fields.next_int<sim::SimTime>("DXT start");
-    r.end = fields.next_int<sim::SimTime>("DXT end");
-    // Every remaining token is a target server id; "1 2 x" must throw with
-    // the position of "x", not drop it.
-    for (std::string_view tok = fields.next(); !tok.empty(); tok = fields.next()) {
-      r.targets.push_back(
-          parse_int_cell<std::int32_t>(tok, "DXT target", line_no, fields.column));
-    }
-    log.record(std::move(r));
-  }
-  return log;
-}
+// The strict cell parsers (full-consumption from_chars/strtod with
+// line/column diagnostics) are shared with the DXT and .qwp readers; the
+// DXT dump itself moved to qif/trace/dxt.hpp so trace replay and the
+// export surface parse one grammar with one parser.
+using trace::parse_double_cell;
+using trace::parse_int_cell;
 
 void write_dataset_csv(std::ostream& os, const Dataset& ds) {
   os.precision(17);

@@ -2,9 +2,9 @@
 //
 // The paper's artifact ships collected data as text files consumed by
 // Python scripts; these exporters provide the same interop surface:
-//  * TraceLog -> a Darshan-DXT-flavoured text dump (one op per line),
-//  * FeatureTable -> CSV with a header naming every per-server feature,
-// plus readers for both.  CSV is the *interop* path; the native dataset
+//  * FeatureTable -> CSV with a header naming every per-server feature
+//    (the Darshan-DXT-flavoured op dump lives in qif/trace/dxt.hpp),
+// plus a reader.  CSV is the *interop* path; the native dataset
 // artifact is the versioned binary `.qds` format below, which round-trips
 // the columnar FeatureTable byte-exactly and loads in O(read).
 //
@@ -67,18 +67,11 @@
 
 #include "qif/monitor/features.hpp"
 #include "qif/pfs/types.hpp"
-#include "qif/trace/op_record.hpp"
 
 namespace qif::monitor {
 
-/// Writes one op per line:
-///   job rank op_index type offset bytes start_ns end_ns targets...
-/// with a `# DXT` comment header.  Stable, diffable, grep-friendly.
-void write_dxt(std::ostream& os, const trace::TraceLog& log);
-
-/// Reads a dump produced by write_dxt.  Throws std::runtime_error on
-/// malformed input (including trailing garbage on a line).
-[[nodiscard]] trace::TraceLog read_dxt(std::istream& is);
+// The DXT trace dump moved to qif/trace/dxt.hpp (write_dxt/read_dxt): one
+// strict parser shared by this export surface and trace replay.
 
 /// Writes the dataset as CSV: window_index, label, degradation, then one
 /// column per (server, feature) named like "s0.cli_n_read".

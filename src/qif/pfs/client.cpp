@@ -19,8 +19,12 @@ PfsClient::PfsClient(Cluster& cluster, NodeId node, Rank rank, std::int32_t job)
 
 void PfsClient::emit(OpType type, FileId file, std::int64_t offset, std::int64_t bytes,
                      sim::SimTime start, std::vector<std::int32_t> targets,
-                     const OpFaultStats* faults) {
+                     const OpFaultStats* faults, std::string path, std::int32_t stripes,
+                     std::int32_t stripe_hint) {
   trace::OpRecord rec;
+  rec.path = std::move(path);
+  rec.stripes = stripes;
+  rec.stripe_hint = stripe_hint;
   rec.job = job_;
   rec.rank = rank_;
   rec.op_index = next_op_index_++;
@@ -148,9 +152,10 @@ void PfsClient::create(const std::string& path, int stripe_count, OpenCallback c
                                 done();
                               });
       },
-      [this, result, start, cb = std::move(cb), stats](bool ok) {
+      [this, path, stripe_count, stripe_hint, result, start, cb = std::move(cb),
+       stats](bool ok) {
         emit(OpType::kCreate, ok ? result->file : kInvalidFile, 0, 0, start,
-             {trace::kMdtTarget}, stats.get());
+             {trace::kMdtTarget}, stats.get(), path, stripe_count, stripe_hint);
         if (ok) {
           cb(FileHandle{result->file, result->layout, result->size});
         } else {
@@ -172,9 +177,9 @@ void PfsClient::open(const std::string& path, OpenCallback cb) {
           done();
         });
       },
-      [this, result, start, cb = std::move(cb), stats](bool ok) {
+      [this, path, result, start, cb = std::move(cb), stats](bool ok) {
         emit(OpType::kOpen, ok ? result->file : kInvalidFile, 0, 0, start,
-             {trace::kMdtTarget}, stats.get());
+             {trace::kMdtTarget}, stats.get(), path);
         cb(FileHandle{ok && result->ok ? result->file : kInvalidFile, result->layout,
                       result->size});
       },
@@ -193,9 +198,9 @@ void PfsClient::stat(const std::string& path, StatCallback cb) {
           done();
         });
       },
-      [this, result, start, cb = std::move(cb), stats](bool ok) {
+      [this, path, result, start, cb = std::move(cb), stats](bool ok) {
         emit(OpType::kStat, ok ? result->file : kInvalidFile, 0, 0, start,
-             {trace::kMdtTarget}, stats.get());
+             {trace::kMdtTarget}, stats.get(), path);
         cb(ok && result->ok, result->size);
       },
       stats);
@@ -266,8 +271,9 @@ void PfsClient::unlink(const std::string& path, DataCallback cb) {
       [this, path](std::function<void()> done) {
         cluster_.mdt().unlink(path, [done = std::move(done)](const MetaResult&) { done(); });
       },
-      [this, start, stats, cb = std::move(cb)](bool) {
-        emit(OpType::kUnlink, kInvalidFile, 0, 0, start, {trace::kMdtTarget}, stats.get());
+      [this, path, start, stats, cb = std::move(cb)](bool) {
+        emit(OpType::kUnlink, kInvalidFile, 0, 0, start, {trace::kMdtTarget}, stats.get(),
+             path);
         cb();
       },
       stats);
@@ -281,8 +287,9 @@ void PfsClient::mkdir(const std::string& path, DataCallback cb) {
       [this, path](std::function<void()> done) {
         cluster_.mdt().mkdir(path, [done = std::move(done)](const MetaResult&) { done(); });
       },
-      [this, start, stats, cb = std::move(cb)](bool) {
-        emit(OpType::kMkdir, kInvalidFile, 0, 0, start, {trace::kMdtTarget}, stats.get());
+      [this, path, start, stats, cb = std::move(cb)](bool) {
+        emit(OpType::kMkdir, kInvalidFile, 0, 0, start, {trace::kMdtTarget}, stats.get(),
+             path);
         cb();
       },
       stats);

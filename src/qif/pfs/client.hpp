@@ -128,9 +128,12 @@ class PfsClient {
     sim::EventId timer = sim::kInvalidEvent;
   };
 
+  /// `path`/`stripes`/`stripe_hint` are the replay-metadata columns of the
+  /// record (empty/zero for data ops); see trace::OpRecord.
   void emit(OpType type, FileId file, std::int64_t offset, std::int64_t bytes,
             sim::SimTime start, std::vector<std::int32_t> targets,
-            const OpFaultStats* faults = nullptr);
+            const OpFaultStats* faults = nullptr, std::string path = {},
+            std::int32_t stripes = 0, std::int32_t stripe_hint = -1);
   void data_op(bool is_write, const FileHandle& fh, std::int64_t offset, std::int64_t len,
                DataCallback cb);
   void note_small_write(const FileHandle& fh, std::int64_t offset, std::int64_t len);

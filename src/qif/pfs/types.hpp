@@ -36,6 +36,21 @@ inline constexpr int kNumOpTypes = 8;
 /// True for the namespace ops that the monitors bucket as "metadata".
 constexpr bool is_metadata(OpType t) { return t != OpType::kRead && t != OpType::kWrite; }
 
-const char* op_name(OpType t);
+/// Stable lowercase op names — also the DXT dump and .qwp op keywords.
+/// Inline so header-only consumers (qif_trace's DXT codec) need no link
+/// dependency on the pfs library.
+constexpr const char* op_name(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "read";
+    case OpType::kWrite: return "write";
+    case OpType::kOpen: return "open";
+    case OpType::kCreate: return "create";
+    case OpType::kStat: return "stat";
+    case OpType::kClose: return "close";
+    case OpType::kUnlink: return "unlink";
+    case OpType::kMkdir: return "mkdir";
+  }
+  return "?";
+}
 
 }  // namespace qif::pfs

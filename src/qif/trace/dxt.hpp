@@ -1,0 +1,48 @@
+// DXT-style per-op trace dumps: the text interchange format for TraceLogs.
+//
+// This is the single strict DXT parser in the tree, shared by the monitor
+// export surface (`qif dump-trace`) and the trace-replay workload (the
+// `trace:FILE` builder) — one grammar, one set of line/column diagnostics.
+//
+// Two versions, selected by the `# DXT qif N` header line (a headerless
+// dump is read as version 1 for compatibility with old files):
+//
+//   v1:  job rank op_index type offset bytes start_ns end_ns targets...
+//   v2:  job rank op_index type file offset bytes start_ns end_ns
+//        path stripes hint targets...
+//
+// Version 2 adds the fields replay needs to reconstruct the op stream
+// bit-identically: the file id (associating data ops with the create/open
+// that produced their handle), the namespace path of metadata ops, and the
+// layout request of a create (stripe count + starting-OST hint).  An empty
+// path is written as "-"; paths must contain no whitespace (the writer
+// rejects them).  The writer emits version 2; version 1 stays readable but
+// carries too little to replay.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "qif/trace/op_record.hpp"
+
+namespace qif::trace {
+
+/// The DXT version write_dxt emits.
+inline constexpr int kDxtVersion = 2;
+
+/// Writes one op per line in the version-2 format above, with a `# DXT`
+/// comment header.  Stable, diffable, grep-friendly.  Throws
+/// std::invalid_argument when a record's path contains whitespace.
+void write_dxt(std::ostream& os, const TraceLog& log);
+
+/// Reads a dump produced by write_dxt (either version; headerless input is
+/// parsed as version 1).  Throws std::runtime_error on malformed input —
+/// unknown version, bad cells, trailing garbage — with line/column
+/// diagnostics.
+[[nodiscard]] TraceLog read_dxt(std::istream& is);
+
+/// Opens and reads a DXT dump from `path`; throws std::runtime_error with
+/// the file name on open failure or any parse error.
+[[nodiscard]] TraceLog read_dxt_file(const std::string& path);
+
+}  // namespace qif::trace

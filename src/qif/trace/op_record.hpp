@@ -35,6 +35,14 @@ struct OpRecord {
   std::int32_t retries = 0;   ///< RPC attempts re-issued after a timeout
   std::int32_t timeouts = 0;  ///< deadline expiries observed by this op
   bool failed = false;        ///< retries exhausted — op surfaced EIO
+  // Replay metadata (the DXT v2 columns): the namespace path a metadata op
+  // addressed and the layout request of a create.  These let trace replay
+  // re-issue the op stream against a fresh cluster; they are deliberately
+  // excluded from trace_fingerprint(), which covers the semantic op stream
+  // the golden pins are stated in.
+  std::string path;               ///< create/open/stat/unlink/mkdir target path
+  std::int32_t stripes = 0;       ///< kCreate: requested stripe count (0 = all OSTs)
+  std::int32_t stripe_hint = -1;  ///< kCreate: requested starting OST (-1 = hashed)
 
   [[nodiscard]] sim::SimDuration duration() const { return end - start; }
 };
@@ -77,7 +85,9 @@ class TraceLog {
 };
 
 /// FNV-1a fingerprint over the full record stream in completion (log)
-/// order, covering every field of every record.  Two runs with equal
+/// order, covering every semantic field of every record (the replay
+/// metadata — path/stripes/stripe_hint — is excluded so pre-metadata
+/// golden fingerprints stay valid).  Two runs with equal
 /// fingerprints produced byte-identical op streams — the equality the
 /// lane engine's bit-identity contract is stated in (test_sim_lanes pins
 /// it across lane counts; `qif run --lanes N` prints it so scripts can

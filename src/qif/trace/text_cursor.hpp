@@ -1,0 +1,105 @@
+// Shared strict text-parsing helpers for the line-oriented formats (DXT op
+// dumps, .qwp workload programs, dataset CSV).
+//
+// Every reader built on these helpers rejects malformed input with a
+// diagnostic naming the exact line and field — the same discipline as the
+// fault-spec grammar.  `line` is 1-based; `column` is the 1-based field
+// index (whitespace/comma fields, not characters).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace qif::trace {
+
+[[noreturn]] inline void fail_cell(const char* what, std::string_view cell,
+                                   std::int64_t line, std::int64_t column) {
+  throw std::runtime_error(std::string("malformed ") + what + " cell: '" +
+                           std::string(cell) + "' at line " + std::to_string(line) +
+                           ", column " + std::to_string(column));
+}
+
+// Strict cell parsers: every byte of the cell must be consumed, so a
+// corrupted "12x7" or empty cell throws instead of silently becoming 0.
+template <typename Int>
+Int parse_int_cell(std::string_view cell, const char* what, std::int64_t line,
+                   std::int64_t column) {
+  Int value{};
+  const auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    fail_cell(what, cell, line, column);
+  }
+  return value;
+}
+
+inline double parse_double_cell(std::string_view cell, const char* what,
+                                std::int64_t line, std::int64_t column) {
+  // strtod + end-pointer check: from_chars<double> is used nowhere else in
+  // the tree and strtod matches the writers' formatting exactly.
+  const std::string buf(cell);
+  if (buf.empty()) {
+    throw std::runtime_error(std::string("empty ") + what + " cell at line " +
+                             std::to_string(line) + ", column " + std::to_string(column));
+  }
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    fail_cell(what, cell, line, column);
+  }
+  return value;
+}
+
+/// Whitespace tokenizer over one line that knows which 1-based field it is
+/// on, so every parse failure can be located exactly.
+struct FieldCursor {
+  std::string_view line;
+  std::int64_t line_no;
+  std::size_t pos = 0;
+  std::int64_t column = 0;  // of the most recently returned token
+
+  /// Next whitespace-delimited token; empty when the line is exhausted.
+  std::string_view next() {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t begin = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > begin) ++column;
+    return line.substr(begin, pos - begin);
+  }
+
+  template <typename Int>
+  Int next_int(const char* what) {
+    const std::string_view tok = next();
+    if (tok.empty()) {
+      throw std::runtime_error(std::string("missing ") + what + " field at line " +
+                               std::to_string(line_no) + ", column " +
+                               std::to_string(column + 1));
+    }
+    return parse_int_cell<Int>(tok, what, line_no, column);
+  }
+
+  std::string_view next_required(const char* what) {
+    const std::string_view tok = next();
+    if (tok.empty()) {
+      throw std::runtime_error(std::string("missing ") + what + " field at line " +
+                               std::to_string(line_no) + ", column " +
+                               std::to_string(column + 1));
+    }
+    return tok;
+  }
+
+  /// Rejects any token left on the line (strict trailing-garbage check).
+  void expect_exhausted(const char* format) {
+    const std::string_view tok = next();
+    if (!tok.empty()) {
+      throw std::runtime_error(std::string("trailing garbage in ") + format + ": '" +
+                               std::string(tok) + "' at line " + std::to_string(line_no) +
+                               ", column " + std::to_string(column));
+    }
+  }
+};
+
+}  // namespace qif::trace

@@ -1,0 +1,56 @@
+// Checkpoint/restart workload generator with the Daly-optimal interval.
+//
+// `ckpt:SIZE,BW,MTTI` models a defensive-I/O application in the style of
+// CODES' codes-checkpoint-restart: each rank periodically dumps a SIZE-byte
+// checkpoint at an interval chosen by Daly's higher-order approximation of
+// the optimum for a system with mean time to interrupt MTTI, given that one
+// checkpoint costs delta = SIZE / BW seconds to write:
+//
+//   delta <  2*MTTI:  tau = sqrt(2*delta*MTTI) * [1 + (1/3)*sqrt(delta/(2*MTTI))
+//                                                   + (1/9)*(delta/(2*MTTI))]
+//                           - delta
+//   delta >= 2*MTTI:  tau = MTTI
+//
+// (J. T. Daly, "A higher order estimate of the optimum checkpoint interval
+// for restart dumps", FGCS 2006.)  The compute phase between dumps is a
+// think op of tau seconds, so the generator produces the bursty
+// write-idle-write signature interference studies care about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qif/pfs/types.hpp"
+#include "qif/workloads/registry.hpp"
+
+namespace qif::workloads {
+
+struct CheckpointConfig {
+  std::int64_t bytes = 0;           ///< checkpoint size per rank
+  double bandwidth_Bps = 0.0;       ///< assumed sustained write bandwidth
+  double mtti_s = 0.0;              ///< mean time to interrupt, seconds
+  int cycles = 4;                   ///< checkpoints per body iteration (scaled)
+  std::int64_t transfer = 2 << 20;  ///< write chunk size (IOR-style 2 MiB)
+  std::string dir = "/ckpt";
+};
+
+/// Daly's tau (seconds) for a dump costing `delta_s` on a machine with
+/// `mtti_s`.  Pure math — pinned against hand-computed values in tests.
+[[nodiscard]] double daly_optimal_interval_s(double delta_s, double mtti_s);
+
+/// Parses "SIZE,BW,MTTI".  SIZE and BW take binary suffixes k/m/g/t
+/// (BW is bytes/second); MTTI is seconds with optional s/m/h suffix.
+/// All three must be positive.  Throws std::runtime_error on bad input.
+[[nodiscard]] CheckpointConfig parse_checkpoint_arg(const std::string& arg);
+
+/// Builds one rank's checkpoint/restart program: a prologue that writes and
+/// reads back a restart file, then `cycles` think-tau + dump cycles.
+[[nodiscard]] RankProgram build_checkpoint_program(const CheckpointConfig& config,
+                                                   pfs::Rank rank, std::int32_t job,
+                                                   double scale);
+
+/// The registry's "ckpt:" builder.
+[[nodiscard]] RankProgram build_checkpoint_rank(const std::string& arg,
+                                                const WorkloadContext& ctx);
+
+}  // namespace qif::workloads

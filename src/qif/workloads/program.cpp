@@ -1,5 +1,6 @@
 #include "qif/workloads/program.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -93,9 +94,17 @@ void ProgramExecutor::execute(const OpSpec& op) {
     case OpSpec::Kind::kMkdir:
       client_.mkdir(op.path, next);
       break;
-    case OpSpec::Kind::kThink:
-      clientwise_schedule(op.think, next);
+    case OpSpec::Kind::kThink: {
+      // Never oversleep the horizon: a think whose gap straddles stop_at —
+      // routine for replayed traces, whose inter-op gaps can be long —
+      // wakes exactly at stop_at, where step() retires the rank, instead
+      // of holding it asleep arbitrarily far past the horizon (and instead
+      // of overflowing now + think when stop_at is "never").  step() never
+      // dispatches at or past stop_at, so the remaining gap is positive.
+      const sim::SimDuration remaining = options_.stop_at - clientwise_now();
+      clientwise_schedule(std::min(op.think, remaining), next);
       break;
+    }
   }
 }
 

@@ -44,6 +44,8 @@ struct OpSpec {
   std::int64_t offset = 0;
   std::int64_t len = 0;
   sim::SimDuration think = 0;
+
+  friend bool operator==(const OpSpec&, const OpSpec&) = default;
 };
 
 /// One rank's program: a run-once prologue (setup such as pre-creating the
@@ -53,6 +55,18 @@ struct RankProgram {
   std::vector<OpSpec> prologue;
   std::vector<OpSpec> body;
   int max_slot = 0;  ///< highest handle slot used
+
+  friend bool operator==(const RankProgram&, const RankProgram&) = default;
+};
+
+/// A whole workload as data: one program per rank.  This is the
+/// serializable unit of the `.qwp` IR (program_io.hpp) and the product of
+/// trace replay — anything that can produce one of these is a workload.
+struct WorkloadProgram {
+  std::string workload;  ///< annotation: canonical name or source description
+  std::vector<RankProgram> ranks;
+
+  friend bool operator==(const WorkloadProgram&, const WorkloadProgram&) = default;
 };
 
 struct ExecOptions {

@@ -1,0 +1,66 @@
+// .qwp — the serializable workload-program IR.
+//
+// A workload is data, not code: any WorkloadProgram (built-in generator
+// output, a replayed trace, or a hand-written file) round-trips through
+// this versioned, checksummed text format and runs via the `qwp:FILE`
+// registry name.
+//
+// Grammar (one directive or op per line; blank lines and `#` comments are
+// allowed anywhere after the header and are covered by the checksum):
+//
+//   # qwp qif 1                     required first line (format version)
+//   workload NAME                   optional annotation
+//   ranks N                         number of rank sections that follow
+//   rank K                         sections in order, K = 0..N-1
+//   slots M                          rank K's max handle slot
+//   prologue                         run-once setup ops until `body`
+//   <op lines>
+//   body                             looping body ops until next `rank`
+//   <op lines>                       or `checksum`
+//   ...
+//   checksum HHHHHHHHHHHHHHHH       16 lowercase hex digits: FNV-1a over
+//                                   every preceding byte of the file; `-`
+//                                   skips verification (hand-edited files)
+//
+// Op lines (paths are whitespace-free; sizes in bytes, think in ns):
+//
+//   create PATH SLOT STRIPES HINT   stripes 0 = all OSTs, hint -1 = hashed
+//   open PATH SLOT
+//   read SLOT OFFSET LEN
+//   write SLOT OFFSET LEN
+//   stat PATH
+//   close SLOT
+//   unlink PATH
+//   mkdir PATH
+//   think NS
+//
+// The reader is strict in the fault-spec-grammar sense: every structural
+// or cell-level defect throws std::runtime_error naming the exact line
+// (and field column where applicable), and the mandatory checksum makes
+// any single corrupted byte of a written file a detected error rather
+// than a silently different workload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qif/workloads/program.hpp"
+
+namespace qif::workloads {
+
+/// The .qwp version write_qwp emits (and the only one read_qwp accepts).
+inline constexpr int kQwpVersion = 1;
+
+/// Serializes `program` in the format above.  Throws std::invalid_argument
+/// for unserializable programs (whitespace in a path, slot above the
+/// rank's max_slot, negative sizes/durations).
+void write_qwp(std::ostream& os, const WorkloadProgram& program);
+
+/// Parses a .qwp program.  Throws std::runtime_error with line/column
+/// diagnostics on any malformed input, including a checksum mismatch.
+[[nodiscard]] WorkloadProgram read_qwp(std::istream& is);
+
+/// Opens and parses `path`; errors name the file.
+[[nodiscard]] WorkloadProgram read_qwp_file(const std::string& path);
+
+}  // namespace qif::workloads

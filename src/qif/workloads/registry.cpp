@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 
+#include "qif/workloads/checkpoint.hpp"
 #include "qif/workloads/dlio.hpp"
 #include "qif/workloads/ior.hpp"
 #include "qif/workloads/mdtest.hpp"
+#include "qif/workloads/program_io.hpp"
 #include "qif/workloads/proxies.hpp"
+#include "qif/workloads/replay.hpp"
 
 namespace qif::workloads {
 namespace {
@@ -16,7 +25,189 @@ int scaled(int base, double scale) {
   return std::max(1, static_cast<int>(std::lround(base * scale)));
 }
 
+/// The registry's "qwp:" builder: a serialized program file is itself a
+/// workload.  Cached by file identity like trace replay.
+RankProgram build_qwp_rank(const std::string& arg, const WorkloadContext& ctx) {
+  if (arg.empty()) throw std::runtime_error("qwp workload needs a file: qwp:FILE");
+
+  using Key = std::tuple<std::string, std::uintmax_t, std::int64_t>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const WorkloadProgram>> cache;
+
+  std::uintmax_t size = 0;
+  std::int64_t mtime = 0;
+  std::error_code ec;
+  size = std::filesystem::file_size(arg, ec);
+  if (!ec) mtime = std::filesystem::last_write_time(arg, ec).time_since_epoch().count();
+  const Key key{arg, size, mtime};
+
+  std::shared_ptr<const WorkloadProgram> prog;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) prog = it->second;
+  }
+  if (!prog) {
+    prog = std::make_shared<const WorkloadProgram>(read_qwp_file(arg));
+    const std::lock_guard<std::mutex> lock(mu);
+    cache[key] = prog;
+  }
+
+  if (ctx.rank < 0 || static_cast<std::size_t>(ctx.rank) >= prog->ranks.size()) {
+    throw std::runtime_error(
+        "qwp program '" + arg + "' has " + std::to_string(prog->ranks.size()) +
+        " rank(s) but rank " + std::to_string(ctx.rank) +
+        " was requested — run it with at most the serialized rank count");
+  }
+  return prog->ranks[static_cast<std::size_t>(ctx.rank)];
+}
+
+struct PrefixEntry {
+  std::string prefix;
+  std::string arg_help;
+  WorkloadBuilder builder;
+};
+
+struct Registry {
+  std::mutex mu;
+  /// Exact names in registration order — canonical catalogue first.
+  std::vector<std::pair<std::string, WorkloadBuilder>> exact;
+  std::vector<PrefixEntry> prefixes;
+
+  Registry() { register_builtins(); }
+
+  // Lock-free inserts for use under `mu` (and from the constructor, where
+  // no other thread can see the object yet).  Re-registration replaces.
+  void add(std::string name, WorkloadBuilder builder) {
+    for (auto& [n, b] : exact) {
+      if (n == name) {
+        b = std::move(builder);
+        return;
+      }
+    }
+    exact.emplace_back(std::move(name), std::move(builder));
+  }
+  void add_prefix(std::string prefix, std::string arg_help, WorkloadBuilder builder) {
+    for (auto& e : prefixes) {
+      if (e.prefix == prefix) {
+        e.arg_help = std::move(arg_help);
+        e.builder = std::move(builder);
+        return;
+      }
+    }
+    prefixes.push_back({std::move(prefix), std::move(arg_help), std::move(builder)});
+  }
+
+  void register_builtins() {
+    // The IO500 seven, registered in Table I row order (io500_tasks) so the
+    // catalogue lists them the way the paper's matrix does.
+    const auto ior_builder = [](std::string name) {
+      return [name = std::move(name)](const std::string&, const WorkloadContext& c) {
+        // IO500 transfer counts, scaled.
+        IorConfig cfg;
+        cfg.hard = name.find("hard") != std::string::npos;
+        cfg.write = name.find("write") != std::string::npos;
+        cfg.n_transfers = scaled(cfg.hard ? 1200 : 192, c.scale);
+        return build_ior_program(cfg, c.rank, c.n_ranks, c.job);
+      };
+    };
+    const auto mdt_builder = [](std::string name) {
+      return [name = std::move(name)](const std::string&, const WorkloadContext& c) {
+        MdtestConfig cfg;
+        cfg.hard = name.find("hard") != std::string::npos;
+        cfg.phase = name.find("read") != std::string::npos ? MdtestConfig::Phase::kRead
+                                                           : MdtestConfig::Phase::kWrite;
+        cfg.n_files = scaled(200, c.scale);
+        return build_mdtest_program(cfg, c.rank, c.job);
+      };
+    };
+    for (const auto& task : io500_tasks()) {
+      add(task, task.rfind("ior", 0) == 0 ? WorkloadBuilder(ior_builder(task))
+                                          : WorkloadBuilder(mdt_builder(task)));
+    }
+    add("io500-suite", [](const std::string&, const WorkloadContext& c) {
+      // The paper's SII scenario: one application running the 7 IO500 tasks
+      // chronologically.  Each phase's setup and body are inlined in order
+      // (creates are idempotent, so the suite also loops correctly when
+      // used as an interference workload).
+      RankProgram suite;
+      for (const auto& task : io500_tasks()) {
+        RankProgram p = build_named_program(task, c.rank, c.n_ranks, c.job, c.seed, c.scale);
+        suite.body.insert(suite.body.end(), p.prologue.begin(), p.prologue.end());
+        suite.body.insert(suite.body.end(), p.body.begin(), p.body.end());
+        suite.max_slot = std::max(suite.max_slot, p.max_slot);
+      }
+      return suite;
+    });
+    for (const char* name : {"dlio-unet3d", "dlio-bert"}) {
+      add(name, [name = std::string(name)](const std::string&, const WorkloadContext& c) {
+        DlioConfig cfg;
+        cfg.model = name == "dlio-unet3d" ? DlioConfig::Model::kUnet3d
+                                          : DlioConfig::Model::kBert;
+        cfg.steps = scaled(48, c.scale);
+        cfg.checkpoint_every = 24;
+        return build_dlio_program(cfg, c.rank, c.job, c.seed);
+      });
+    }
+    add("enzo", [](const std::string&, const WorkloadContext& c) {
+      EnzoConfig cfg;
+      cfg.timesteps = scaled(6, c.scale);
+      return build_enzo_program(cfg, c.rank, c.job, c.seed);
+    });
+    add("amrex", [](const std::string&, const WorkloadContext& c) {
+      AmrexConfig cfg;
+      cfg.plotfiles = scaled(4, c.scale);
+      return build_amrex_program(cfg, c.rank, c.job, c.seed);
+    });
+    add("openpmd", [](const std::string&, const WorkloadContext& c) {
+      OpenPmdConfig cfg;
+      cfg.iterations = scaled(10, c.scale);
+      return build_openpmd_program(cfg, c.rank, c.job, c.seed);
+    });
+
+    add_prefix("trace", "FILE[@original|@asap|@scale=X]", build_replay_rank);
+    add_prefix("ckpt", "SIZE,BW,MTTI", build_checkpoint_rank);
+    add_prefix("qwp", "FILE", build_qwp_rank);
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
 }  // namespace
+
+void register_workload(const std::string& name, WorkloadBuilder builder) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.add(name, std::move(builder));
+}
+
+void register_workload_prefix(const std::string& prefix, const std::string& arg_help,
+                              WorkloadBuilder builder) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.add_prefix(prefix, arg_help, std::move(builder));
+}
+
+std::vector<std::string> known_workloads() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.exact.size());
+  for (const auto& [name, builder] : r.exact) names.push_back(name);
+  return names;
+}
+
+std::vector<std::pair<std::string, std::string>> known_workload_prefixes() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(r.prefixes.size());
+  for (const auto& e : r.prefixes) out.emplace_back(e.prefix, e.arg_help);
+  return out;
+}
 
 std::vector<std::pair<std::int64_t, std::int64_t>> io500_suite_phase_ranges(
     int n_ranks, std::uint64_t seed, double scale) {
@@ -43,77 +234,70 @@ const std::vector<std::string>& io500_tasks() {
   return kTasks;
 }
 
-const std::vector<std::string>& known_workloads() {
-  static const std::vector<std::string> kAll = [] {
-    std::vector<std::string> v = io500_tasks();
-    v.insert(v.end(),
-             {"io500-suite", "dlio-unet3d", "dlio-bert", "enzo", "amrex", "openpmd"});
-    return v;
-  }();
-  return kAll;
+bool is_known_workload(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& [n, builder] : r.exact) {
+    if (n == name) return true;
+  }
+  const std::size_t colon = name.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string prefix = name.substr(0, colon);
+  for (const auto& e : r.prefixes) {
+    if (e.prefix == prefix) return true;
+  }
+  return false;
 }
 
-bool is_known_workload(const std::string& name) {
-  const auto& all = known_workloads();
-  return std::find(all.begin(), all.end(), name) != all.end();
+std::string workload_name_error(const std::string& name) {
+  std::string msg = "unknown workload: '" + name + "' (canonical: ";
+  bool first = true;
+  for (const auto& n : known_workloads()) {
+    msg += (first ? "" : ", ") + n;
+    first = false;
+  }
+  msg += "; parameterized: ";
+  first = true;
+  for (const auto& [prefix, help] : known_workload_prefixes()) {
+    msg += (first ? "" : ", ") + prefix + ":" + help;
+    first = false;
+  }
+  msg += ")";
+  return msg;
 }
 
 RankProgram build_named_program(const std::string& name, pfs::Rank rank, int n_ranks,
                                 std::int32_t job, std::uint64_t seed, double scale) {
-  if (name == "io500-suite") {
-    // The paper's SII scenario: one application running the 7 IO500 tasks
-    // chronologically.  Each phase's setup and body are inlined in order
-    // (creates are idempotent, so the suite also loops correctly when used
-    // as an interference workload).
-    RankProgram suite;
-    for (const auto& task : io500_tasks()) {
-      RankProgram p = build_named_program(task, rank, n_ranks, job, seed, scale);
-      suite.body.insert(suite.body.end(), p.prologue.begin(), p.prologue.end());
-      suite.body.insert(suite.body.end(), p.body.begin(), p.body.end());
-      suite.max_slot = std::max(suite.max_slot, p.max_slot);
+  WorkloadBuilder builder;
+  std::string arg;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [n, b] : r.exact) {
+      if (n == name) {
+        builder = b;
+        break;
+      }
     }
-    return suite;
+    if (!builder) {
+      const std::size_t colon = name.find(':');
+      if (colon != std::string::npos) {
+        const std::string prefix = name.substr(0, colon);
+        for (const auto& e : r.prefixes) {
+          if (e.prefix == prefix) {
+            builder = e.builder;
+            arg = name.substr(colon + 1);
+            break;
+          }
+        }
+      }
+    }
   }
-  if (name == "ior-easy-read" || name == "ior-easy-write" || name == "ior-hard-read" ||
-      name == "ior-hard-write") {
-    IorConfig cfg;
-    cfg.hard = name.find("hard") != std::string::npos;
-    cfg.write = name.find("write") != std::string::npos;
-    cfg.n_transfers = scaled(cfg.hard ? 1200 : 192, scale);
-    return build_ior_program(cfg, rank, n_ranks, job);
-  }
-  if (name == "mdt-easy-write" || name == "mdt-hard-write" || name == "mdt-hard-read") {
-    MdtestConfig cfg;
-    cfg.hard = name.find("hard") != std::string::npos;
-    cfg.phase = name.find("read") != std::string::npos ? MdtestConfig::Phase::kRead
-                                                       : MdtestConfig::Phase::kWrite;
-    cfg.n_files = scaled(200, scale);
-    return build_mdtest_program(cfg, rank, job);
-  }
-  if (name == "dlio-unet3d" || name == "dlio-bert") {
-    DlioConfig cfg;
-    cfg.model = name == "dlio-unet3d" ? DlioConfig::Model::kUnet3d
-                                      : DlioConfig::Model::kBert;
-    cfg.steps = scaled(48, scale);
-    cfg.checkpoint_every = 24;
-    return build_dlio_program(cfg, rank, job, seed);
-  }
-  if (name == "enzo") {
-    EnzoConfig cfg;
-    cfg.timesteps = scaled(6, scale);
-    return build_enzo_program(cfg, rank, job, seed);
-  }
-  if (name == "amrex") {
-    AmrexConfig cfg;
-    cfg.plotfiles = scaled(4, scale);
-    return build_amrex_program(cfg, rank, job, seed);
-  }
-  if (name == "openpmd") {
-    OpenPmdConfig cfg;
-    cfg.iterations = scaled(10, scale);
-    return build_openpmd_program(cfg, rank, job, seed);
-  }
-  throw std::invalid_argument("unknown workload: " + name);
+  if (!builder) throw std::invalid_argument(workload_name_error(name));
+  const WorkloadContext ctx{rank, n_ranks, job, seed, scale};
+  // Builders run outside the registry lock: the io500-suite builder (and
+  // any user-registered composite) recurses into build_named_program.
+  return builder(arg, ctx);
 }
 
 }  // namespace qif::workloads

@@ -1,0 +1,51 @@
+// Trace replay: turn a DXT op dump back into a runnable workload.
+//
+// A `trace:FILE` workload reconstructs each trace rank's program from the
+// per-op log — original offsets and lengths, original namespace paths and
+// layout requests (the DXT v2 columns), and the inter-op gaps as explicit
+// think ops.  Replaying a dump against a fresh cluster with `@original`
+// timing reproduces the dumped op stream bit-identically (the closed-loop
+// golden in test_replay / cli_replay.cmake).
+//
+// Timing policies, selected with a `@` suffix on the file argument (also
+// settable via `qif run --replay-timing`):
+//   FILE@original   think gaps exactly as traced (default)
+//   FILE@asap       no think ops: ops issue back-to-back
+//   FILE@scale=X    gaps multiplied by X (X > 0)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "qif/trace/op_record.hpp"
+#include "qif/workloads/registry.hpp"
+
+namespace qif::workloads {
+
+enum class ReplayTiming : std::uint8_t { kOriginal, kAsap, kScale };
+
+struct ReplayOptions {
+  ReplayTiming timing = ReplayTiming::kOriginal;
+  double gap_scale = 1.0;  ///< kScale: multiplier on every inter-op gap
+  std::int32_t job = 0;    ///< which job's records to replay
+};
+
+/// Splits "FILE[@original|@asap|@scale=X]" into the file path and the
+/// timing options.  Throws std::runtime_error for an unknown policy.
+[[nodiscard]] std::pair<std::string, ReplayOptions> parse_replay_arg(const std::string& arg);
+
+/// Reconstructs one program per trace rank from `log` (records of
+/// options.job, sorted by (rank, op_index)).  Throws std::runtime_error
+/// when the job is absent, op indices are non-contiguous, or a metadata op
+/// lacks path metadata (a DXT version 1 dump).
+[[nodiscard]] WorkloadProgram build_replay_programs(const trace::TraceLog& log,
+                                                    const ReplayOptions& options);
+
+/// The registry's "trace:" builder: parses `arg`, loads the file through a
+/// (path, size, mtime, options)-keyed cache, and returns the program of
+/// trace rank ctx.rank.  Requires ctx.rank < trace rank count.
+[[nodiscard]] RankProgram build_replay_rank(const std::string& arg,
+                                            const WorkloadContext& ctx);
+
+}  // namespace qif::workloads

@@ -1,0 +1,81 @@
+# Drives the qif CLI through the trace-replay closed loop and the .qwp
+# workload-IR surface:
+#   dump-trace W  ->  run trace:F   reproduces W's op stream (fingerprint)
+#   workloads export W -> lint -> run qwp:F  reproduces W as well
+# both in the classic engine and on parallel event lanes.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run outvar)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(expect_fail)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "command unexpectedly succeeded: ${ARGN}\n${out}")
+  endif()
+endfunction()
+
+# Extracts the `solo trace fp: HHHH` line `qif run` prints.
+function(fingerprint outvar text)
+  string(REGEX MATCH "solo trace fp: ([0-9a-f]+)" m "${text}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "no fingerprint line in output:\n${text}")
+  endif()
+  set(${outvar} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+# --- Closed loop, classic engine -------------------------------------------
+run(base_out ${QIF_CLI} run enzo --scale 0.5)
+fingerprint(base_fp "${base_out}")
+run(_ ${QIF_CLI} dump-trace enzo --scale 0.5 --out enzo.dxt)
+run(replay_out ${QIF_CLI} run trace:enzo.dxt)
+fingerprint(replay_fp "${replay_out}")
+if(NOT replay_fp STREQUAL base_fp)
+  message(FATAL_ERROR "replay fingerprint ${replay_fp} != original ${base_fp}")
+endif()
+
+# --- Closed loop on event lanes --------------------------------------------
+# Lane runs are bit-identical for every lane count N >= 1 (but not to the
+# classic engine), so the dump and both replays all use the laned engine on
+# a 4-OSS topology.
+run(lane_out ${QIF_CLI} run enzo --scale 0.5 --topology 8x4x2 --lanes 1)
+fingerprint(lane_fp "${lane_out}")
+run(_ ${QIF_CLI} dump-trace enzo --scale 0.5 --topology 8x4x2 --lanes 1 --out enzo_lane.dxt)
+run(lane1_out ${QIF_CLI} run trace:enzo_lane.dxt --topology 8x4x2 --lanes 1)
+fingerprint(lane1_fp "${lane1_out}")
+run(lane4_out ${QIF_CLI} run trace:enzo_lane.dxt --topology 8x4x2 --lanes 4)
+fingerprint(lane4_fp "${lane4_out}")
+if(NOT lane1_fp STREQUAL lane_fp)
+  message(FATAL_ERROR "lanes 1 replay fingerprint ${lane1_fp} != original ${lane_fp}")
+endif()
+if(NOT lane4_fp STREQUAL lane_fp)
+  message(FATAL_ERROR "lanes 4 replay fingerprint ${lane4_fp} != original ${lane_fp}")
+endif()
+
+# --- .qwp export / lint / run ----------------------------------------------
+run(_ ${QIF_CLI} workloads export enzo --ranks 4 --out enzo.qwp)
+run(lint_out ${QIF_CLI} workloads lint enzo.qwp)
+if(NOT lint_out MATCHES "ok \\(workload 'enzo', 4 rank\\(s\\)")
+  message(FATAL_ERROR "unexpected lint output: ${lint_out}")
+endif()
+run(full_out ${QIF_CLI} run enzo)
+fingerprint(full_fp "${full_out}")
+run(qwp_out ${QIF_CLI} run qwp:enzo.qwp)
+fingerprint(qwp_fp "${qwp_out}")
+if(NOT qwp_fp STREQUAL full_fp)
+  message(FATAL_ERROR "qwp replay fingerprint ${qwp_fp} != original ${full_fp}")
+endif()
+
+# --- Parameterized generators and name rejection ---------------------------
+run(_ ${QIF_CLI} run ckpt:64m,1g,120)
+run(_ ${QIF_CLI} run ior-easy-write --noise trace:enzo.dxt --instances 2 --scale 0.5)
+expect_fail(${QIF_CLI} run nosuch-workload)
+expect_fail(${QIF_CLI} workloads export nosuch-workload)
+expect_fail(${QIF_CLI} workloads lint enzo.dxt)

@@ -6,6 +6,7 @@
 
 #include "qif/monitor/export.hpp"
 #include "qif/sim/rng.hpp"
+#include "qif/trace/dxt.hpp"
 
 namespace qif::monitor {
 namespace {
@@ -28,13 +29,21 @@ trace::OpRecord op(std::int32_t job, pfs::Rank rank, std::int64_t idx, pfs::OpTy
 
 TEST(DxtExport, RoundTripPreservesEveryField) {
   trace::TraceLog log;
-  log.record(op(0, 1, 0, pfs::OpType::kRead, 4096, 1 << 20, {0, 3}));
-  log.record(op(2, 0, 5, pfs::OpType::kCreate, 0, 0, {trace::kMdtTarget}));
+  trace::OpRecord read = op(0, 1, 0, pfs::OpType::kRead, 4096, 1 << 20, {0, 3});
+  read.file = 9;
+  log.record(read);
+  // The replay-metadata columns (file, path, stripes, hint) round-trip too.
+  trace::OpRecord create = op(2, 0, 5, pfs::OpType::kCreate, 0, 0, {trace::kMdtTarget});
+  create.file = 17;
+  create.path = "/ior/job2/file_r0";
+  create.stripes = 4;
+  create.stripe_hint = 2;
+  log.record(create);
   log.record(op(0, 1, 1, pfs::OpType::kWrite, 1 << 20, 47008, {5}));
 
   std::stringstream ss;
-  write_dxt(ss, log);
-  const trace::TraceLog loaded = read_dxt(ss);
+  trace::write_dxt(ss, log);
+  const trace::TraceLog loaded = trace::read_dxt(ss);
   ASSERT_EQ(loaded.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     const auto& a = log.records()[i];
@@ -43,11 +52,15 @@ TEST(DxtExport, RoundTripPreservesEveryField) {
     EXPECT_EQ(a.rank, b.rank);
     EXPECT_EQ(a.op_index, b.op_index);
     EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.file, b.file);
     EXPECT_EQ(a.offset, b.offset);
     EXPECT_EQ(a.bytes, b.bytes);
     EXPECT_EQ(a.start, b.start);
     EXPECT_EQ(a.end, b.end);
     EXPECT_EQ(a.targets, b.targets);
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.stripes, b.stripes);
+    EXPECT_EQ(a.stripe_hint, b.stripe_hint);
   }
 }
 
@@ -55,7 +68,7 @@ TEST(DxtExport, DumpIsCommentedAndGreppable) {
   trace::TraceLog log;
   log.record(op(0, 0, 0, pfs::OpType::kStat, 0, 0, {trace::kMdtTarget}));
   std::stringstream ss;
-  write_dxt(ss, log);
+  trace::write_dxt(ss, log);
   const std::string text = ss.str();
   EXPECT_NE(text.find("# DXT"), std::string::npos);
   EXPECT_NE(text.find("stat"), std::string::npos);
@@ -63,7 +76,7 @@ TEST(DxtExport, DumpIsCommentedAndGreppable) {
 
 TEST(DxtExport, RejectsGarbage) {
   std::stringstream ss("0 0 0 frobnicate 0 0 0 0\n");
-  EXPECT_THROW(read_dxt(ss), std::runtime_error);
+  EXPECT_THROW(trace::read_dxt(ss), std::runtime_error);
 }
 
 TEST(DxtExport, RejectsTrailingGarbageOnLine) {
@@ -72,11 +85,33 @@ TEST(DxtExport, RejectsTrailingGarbageOnLine) {
   trace::TraceLog log;
   log.record(op(0, 0, 0, pfs::OpType::kRead, 0, 8, {1}));
   std::stringstream ss;
-  write_dxt(ss, log);
+  trace::write_dxt(ss, log);
   std::string text = ss.str();
   text.replace(text.rfind('\n'), 1, " banana\n");
   std::stringstream bad(text);
-  EXPECT_THROW(read_dxt(bad), std::runtime_error);
+  EXPECT_THROW(trace::read_dxt(bad), std::runtime_error);
+}
+
+TEST(DxtExport, WriterRejectsWhitespaceInPaths) {
+  trace::TraceLog log;
+  trace::OpRecord rec = op(0, 0, 0, pfs::OpType::kOpen, 0, 0, {trace::kMdtTarget});
+  rec.path = "/dir/has space";
+  log.record(rec);
+  std::stringstream ss;
+  EXPECT_THROW(trace::write_dxt(ss, log), std::invalid_argument);
+}
+
+TEST(DxtExport, HeaderlessInputParsesAsVersion1) {
+  // Pre-metadata dumps have no version header and no file/path columns.
+  std::stringstream ss("0 0 0 read 4096 8 1000 2000 1 2\n");
+  const trace::TraceLog loaded = trace::read_dxt(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  const auto& r = loaded.records()[0];
+  EXPECT_EQ(r.offset, 4096);
+  EXPECT_EQ(r.bytes, 8);
+  EXPECT_EQ(r.file, pfs::kInvalidFile);
+  EXPECT_TRUE(r.path.empty());
+  EXPECT_EQ(r.targets, (std::vector<std::int32_t>{1, 2}));
 }
 
 /// Pins the reader diagnostics' exact line/column format.  These strings
@@ -92,28 +127,57 @@ std::string error_message(Fn fn) {
 }
 
 TEST(DxtExport, ErrorsNameLineAndColumn) {
-  // Fields are 1-based columns: job rank op_index type offset bytes start
-  // end targets...; the header comments still count as lines.
+  // Version-1 pins (headerless input, or an explicit v1 header): fields are
+  // 1-based columns job rank op_index type offset bytes start end
+  // targets...; the header comments still count as lines.  These strings
+  // predate the v2 columns and must never change.
   EXPECT_EQ(error_message([] {
               std::stringstream ss("# DXT qif 1\n0 x 0 read 0 8 1000 2000 1\n");
-              (void)read_dxt(ss);
+              (void)trace::read_dxt(ss);
             }),
             "malformed DXT rank cell: 'x' at line 2, column 2");
   EXPECT_EQ(error_message([] {
               std::stringstream ss("0 0 0 frobnicate 0 8 0 1 1\n");
-              (void)read_dxt(ss);
+              (void)trace::read_dxt(ss);
             }),
             "unknown op type in DXT dump: 'frobnicate' at line 1, column 4");
   EXPECT_EQ(error_message([] {
               std::stringstream ss("0 0\n");
-              (void)read_dxt(ss);
+              (void)trace::read_dxt(ss);
             }),
             "missing DXT op_index field at line 1, column 3");
   EXPECT_EQ(error_message([] {
               std::stringstream ss("0 0 0 read 0 8 0 1 2 x\n");
-              (void)read_dxt(ss);
+              (void)trace::read_dxt(ss);
             }),
             "malformed DXT target cell: 'x' at line 1, column 10");
+}
+
+TEST(DxtExport, V2ErrorsNameLineAndColumn) {
+  // Version-2 pins: job rank op_index type file offset bytes start end
+  // path stripes hint targets...
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("# DXT qif 2\n0 0 0 read x 0 8 1000 2000 - 0 -1 1\n");
+              (void)trace::read_dxt(ss);
+            }),
+            "malformed DXT file cell: 'x' at line 2, column 5");
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("# DXT qif 2\n0 0 0 read 7 0 8 1000 2000\n");
+              (void)trace::read_dxt(ss);
+            }),
+            "missing DXT path field at line 2, column 10");
+  EXPECT_EQ(error_message([] {
+              std::stringstream ss("# DXT qif 3\n");
+              (void)trace::read_dxt(ss);
+            }),
+            "unsupported DXT version 3 at line 1 (reader supports 1 and 2)");
+  EXPECT_EQ(error_message([] {
+              // A record parsed as v1, then a v2 header: the dump lies
+              // about itself and must be rejected, not reinterpreted.
+              std::stringstream ss("0 0 0 read 0 8 0 1 1\n# DXT qif 2\n");
+              (void)trace::read_dxt(ss);
+            }),
+            "conflicting DXT version header at line 2");
 }
 
 TEST(DatasetCsv, ErrorsNameLineAndColumn) {

@@ -29,6 +29,46 @@ TEST(Registry, KnowsAllCanonicalWorkloads) {
   EXPECT_THROW(build_named_program("nope", 0, 1, 0, 1), std::invalid_argument);
 }
 
+TEST(Registry, UserBuildersPlugIntoTheFactory) {
+  register_workload("test-custom", [](const std::string&, const WorkloadContext& ctx) {
+    RankProgram p;
+    OpSpec think;
+    think.kind = OpSpec::Kind::kThink;
+    think.think = ctx.rank + 1;
+    p.body.push_back(think);
+    return p;
+  });
+  EXPECT_TRUE(is_known_workload("test-custom"));
+  const auto prog = build_named_program("test-custom", 2, 4, 0, 1);
+  ASSERT_EQ(prog.body.size(), 1u);
+  EXPECT_EQ(prog.body.front().think, 3);
+
+  register_workload_prefix("test-param", "ARG",
+                           [](const std::string& arg, const WorkloadContext&) {
+                             RankProgram p;
+                             OpSpec stat;
+                             stat.kind = OpSpec::Kind::kStat;
+                             stat.path = "/" + arg;
+                             p.body.push_back(stat);
+                             return p;
+                           });
+  EXPECT_TRUE(is_known_workload("test-param:xyz"));
+  const auto parameterized = build_named_program("test-param:xyz", 0, 1, 0, 1);
+  ASSERT_EQ(parameterized.body.size(), 1u);
+  EXPECT_EQ(parameterized.body.front().path, "/xyz");
+}
+
+TEST(Registry, UnknownNameErrorListsCanonicalAndParameterizedForms) {
+  const std::string msg = workload_name_error("bogus");
+  EXPECT_NE(msg.find("unknown workload: 'bogus'"), std::string::npos) << msg;
+  for (const auto& name : known_workloads()) {
+    EXPECT_NE(msg.find(name), std::string::npos) << msg;
+  }
+  EXPECT_NE(msg.find("trace:FILE"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ckpt:SIZE,BW,MTTI"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("qwp:FILE"), std::string::npos) << msg;
+}
+
 TEST(Registry, ScaleMultipliesBodyOps) {
   const auto small = build_named_program("ior-easy-write", 0, 4, 0, 1, 0.5);
   const auto big = build_named_program("ior-easy-write", 0, 4, 0, 1, 2.0);
@@ -271,6 +311,29 @@ TEST_F(ExecutorFixture, LoopModeStopsAtHorizon) {
   s.run_until(10 * sim::kSecond);
   EXPECT_TRUE(exec.finished());
   EXPECT_NEAR(static_cast<double>(exec.body_iterations()), 20.0, 2.0);
+}
+
+TEST_F(ExecutorFixture, ThinkOpsClampToTheStopHorizon) {
+  // Replayed traces carry multi-second think gaps; a think that straddles
+  // stop_at must be clamped so the executor finishes AT the horizon rather
+  // than overshooting by up to a full gap.
+  pfs::PfsClient& client = cluster->make_client(0, 0, 0);
+  RankProgram prog;
+  OpSpec think;
+  think.kind = OpSpec::Kind::kThink;
+  think.think = 5 * sim::kSecond;
+  prog.body.push_back(think);
+
+  ExecOptions opts;
+  opts.loop = true;
+  opts.stop_at = 2 * sim::kSecond;
+  sim::SimTime finished_at = -1;
+  opts.on_finish = [&] { finished_at = s.now(); };
+  ProgramExecutor exec(client, prog, opts);
+  exec.start();
+  s.run_until(10 * sim::kSecond);
+  EXPECT_TRUE(exec.finished());
+  EXPECT_EQ(finished_at, 2 * sim::kSecond);
 }
 
 TEST_F(ExecutorFixture, PrologueRunsOnceAcrossLoops) {

@@ -1,10 +1,19 @@
 // qif — command-line front end for the framework.
 //
-//   qif workloads
-//       List the canonical workload names.
+//   qif workloads [list]
+//   qif workloads export <name> [--ranks N] [--seed K] [--scale S] [--out F.qwp]
+//   qif workloads lint <file.qwp>
+//       List the canonical workload names (`list` adds the parameterized
+//       forms: trace:FILE, ckpt:SIZE,BW,MTTI, qwp:FILE).  `export`
+//       serializes a named workload's per-rank programs as a checksummed
+//       .qwp file; `lint` parses one and reports its shape.  Workload
+//       names anywhere on the CLI accept the parameterized forms too, so
+//       a dumped trace replays as a target or as interference:
+//         qif run trace:run.dxt --replay-timing original
 //
 //   qif run <target> [--noise W] [--instances N] [--scale S] [--seed K]
 //           [--faults SPEC] [--lanes N] [--topology CxSxT]
+//           [--replay-timing original|asap|scale=X]
 //       Run one scenario (solo, or under N looping copies of W) and print
 //       completion time plus the per-op-type latency breakdown.  --faults
 //       injects a fault plan (e.g. "slow:ost=0,start=2,dur=10,factor=4")
@@ -17,13 +26,17 @@
 //       scripts assert the partitioning changed nothing.  N must be at
 //       least 1 and at most the OSS count.
 //
-//   qif campaign <io500|dlio|amrex|enzo|openpmd> [--richness R]
+//   qif campaign <io500|dlio|amrex|enzo|openpmd|custom> [--richness R]
+//                [--workload W]
 //                [--bins 2|2,5] [--seed K] [--jobs N] [--faults SPEC]
 //                [--compress] [--stream-out DIR] --out data.{csv,qds}
 //       Build a labelled training dataset; the --out extension picks the
 //       format (.qds = native binary, anything else = interop CSV).
 //       --jobs N fans the campaign's scenario simulations across N worker
-//       threads (output is bit-identical to --jobs 1).  --compress writes
+//       threads (output is bit-identical to --jobs 1).  The `custom`
+//       family labels an arbitrary --workload W (any registry name,
+//       including trace:/ckpt:/qwp: forms) against the standard
+//       interference sweep.  --compress writes
 //       the .qds column blocks LZ-compressed.  --stream-out DIR
 //       additionally streams every case's windows to DIR/<family>.NNN.qds
 //       the moment the case (and its ordered predecessors) finish, seals a
@@ -107,7 +120,9 @@
 #include "qif/monitor/qds_file.hpp"
 #include "qif/serve/service.hpp"
 #include "qif/sim/stats.hpp"
+#include "qif/trace/dxt.hpp"
 #include "qif/trace/matcher.hpp"
+#include "qif/workloads/program_io.hpp"
 #include "qif/workloads/registry.hpp"
 
 using namespace qif;
@@ -155,10 +170,16 @@ Args parse(int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage: qif <command> [options]\n"
-               "  workloads                          list workload names\n"
+               "  workloads [list]                   list workload names (+ param forms)\n"
+               "  workloads export <name> [--ranks N] [--seed K] [--scale S]"
+               " [--out F.qwp]\n"
+               "  workloads lint <file.qwp>          parse + summarize a .qwp program\n"
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]"
                " [--faults SPEC]\n"
-               "      [--lanes N] [--topology CxSxT]\n"
+               "      [--lanes N] [--topology CxSxT]"
+               " [--replay-timing original|asap|scale=X]\n"
+               "        <target>/<W> accept trace:FILE, ckpt:SIZE,BW,MTTI and"
+               " qwp:FILE forms\n"
                "        --lanes N        run on N parallel event lanes (1 <= N <= OSS"
                " count;\n"
                "                         trace fingerprint is identical for every N)\n"
@@ -166,6 +187,7 @@ int usage() {
                "                         (default 7x3x2 testbed; e.g. 1008x16x8)\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
                " [--faults SPEC] [--compress] [--stream-out DIR] --out F.{csv,qds}\n"
+               "      family `custom` labels any --workload W (trace:/ckpt:/qwp: too)\n"
                "  train --data F.{csv,qds,qdm} --out model.txt [--classes C] [--epochs E]"
                " [--jobs N] [--memory-budget MB]\n"
                "  eval --data F.{csv,qds,qdm} --model model.txt\n"
@@ -175,6 +197,7 @@ int usage() {
                "  dataset merge <in.qdm> <out>\n"
                "  dump-trace <target> [--scale S] [--seed K] [--lanes N]"
                " [--topology CxSxT] --out F.txt\n"
+               "      (a dump replays via `run trace:F.txt` — the closed loop)\n"
                "  serve bench [--model F | --model-dir D] [--producers N]"
                " [--requests R]\n"
                "      [--max-batch B] [--max-delay-us U] [--ring CAP] [--inflight W]"
@@ -246,9 +269,74 @@ monitor::Dataset materialize_any(const std::string& path) {
   return load_dataset(path);
 }
 
-int cmd_workloads() {
-  for (const auto& w : workloads::known_workloads()) std::printf("%s\n", w.c_str());
-  return 0;
+int cmd_workloads(const Args& args) {
+  if (args.positional.empty() || args.positional[0] == "list") {
+    for (const auto& w : workloads::known_workloads()) std::printf("%s\n", w.c_str());
+    if (!args.positional.empty()) {
+      // Explicit `list` also shows the parameterized families.
+      for (const auto& [prefix, help] : workloads::known_workload_prefixes()) {
+        std::printf("%s:%s\n", prefix.c_str(), help.c_str());
+      }
+    }
+    return 0;
+  }
+  const std::string& verb = args.positional[0];
+  if (verb == "export") {
+    if (args.positional.size() < 2) return usage();
+    const std::string& name = args.positional[1];
+    if (!workloads::is_known_workload(name)) {
+      std::fprintf(stderr, "%s\n", workloads::workload_name_error(name).c_str());
+      return 1;
+    }
+    const int n_ranks = std::max(args.get_int("ranks", 4), 1);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const double scale = args.get_double("scale", 1.0);
+    workloads::WorkloadProgram prog;
+    prog.workload = name;
+    for (int r = 0; r < n_ranks; ++r) {
+      prog.ranks.push_back(
+          workloads::build_named_program(name, r, n_ranks, 0, seed, scale));
+    }
+    const std::string out_path = args.get("out", "");
+    if (out_path.empty()) {
+      std::ostringstream os;
+      workloads::write_qwp(os, prog);
+      std::printf("%s", os.str().c_str());
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open " + out_path + " for writing");
+      workloads::write_qwp(out, prog);
+      std::printf("wrote %d-rank program for '%s' to %s\n", n_ranks, name.c_str(),
+                  out_path.c_str());
+    }
+    return 0;
+  }
+  if (verb == "lint") {
+    if (args.positional.size() < 2) return usage();
+    const workloads::WorkloadProgram prog = workloads::read_qwp_file(args.positional[1]);
+    std::size_t prologue_ops = 0;
+    std::size_t body_ops = 0;
+    for (const auto& r : prog.ranks) {
+      prologue_ops += r.prologue.size();
+      body_ops += r.body.size();
+    }
+    std::printf("%s: ok (workload '%s', %zu rank(s), %zu prologue + %zu body ops)\n",
+                args.positional[1].c_str(), prog.workload.c_str(), prog.ranks.size(),
+                prologue_ops, body_ops);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown workloads verb: %s (expected list, export or lint)\n",
+               verb.c_str());
+  return usage();
+}
+
+/// Applies `--replay-timing {original,asap,scale=X}` to a `trace:` workload
+/// name that does not already carry an explicit `@policy` suffix.
+std::string with_replay_timing(std::string name, const Args& args) {
+  const std::string timing = args.get("replay-timing", "");
+  if (timing.empty() || name.rfind("trace:", 0) != 0) return name;
+  if (name.find('@', 6) != std::string::npos) return name;  // explicit suffix wins
+  return name + "@" + timing;
 }
 
 /// Applies the scenario-shaping options shared by `run` and `dump-trace`:
@@ -303,9 +391,9 @@ void print_fault_summary(const char* tag, const trace::TraceLog& trace) {
 
 int cmd_run(const Args& args) {
   if (args.positional.empty()) return usage();
-  const std::string target = args.positional[0];
+  const std::string target = with_replay_timing(args.positional[0], args);
   if (!workloads::is_known_workload(target)) {
-    std::fprintf(stderr, "unknown workload: %s\n", target.c_str());
+    std::fprintf(stderr, "%s\n", workloads::workload_name_error(target).c_str());
     return 1;
   }
   core::ScenarioConfig cfg;
@@ -332,10 +420,10 @@ int cmd_run(const Args& args) {
               static_cast<unsigned long long>(trace::trace_fingerprint(solo.trace)));
   if (!cfg.faults.empty()) print_fault_summary("solo", solo.trace);
 
-  const std::string noise = args.get("noise", "");
+  const std::string noise = with_replay_timing(args.get("noise", ""), args);
   if (noise.empty()) return 0;
   if (!workloads::is_known_workload(noise)) {
-    std::fprintf(stderr, "unknown workload: %s\n", noise.c_str());
+    std::fprintf(stderr, "%s\n", workloads::workload_name_error(noise).c_str());
     return 1;
   }
   core::InterferenceSpec spec;
@@ -411,6 +499,17 @@ int cmd_campaign(const Args& args) {
     ds = core::build_dlio_dataset(opts);
   } else if (family == "amrex" || family == "enzo" || family == "openpmd") {
     ds = core::build_app_dataset(family, opts);
+  } else if (family == "custom") {
+    const std::string w = with_replay_timing(args.get("workload", ""), args);
+    if (w.empty()) {
+      std::fprintf(stderr, "campaign custom needs --workload W\n");
+      return 1;
+    }
+    if (!workloads::is_known_workload(w)) {
+      std::fprintf(stderr, "%s\n", workloads::workload_name_error(w).c_str());
+      return 1;
+    }
+    ds = core::build_app_dataset(w, opts);
   } else {
     std::fprintf(stderr, "unknown campaign family: %s\n", family.c_str());
     return 1;
@@ -621,10 +720,15 @@ int cmd_dataset(const Args& args) {
 
 int cmd_dump_trace(const Args& args) {
   if (args.positional.empty() || args.options.count("out") == 0) return usage();
+  const std::string target = with_replay_timing(args.positional[0], args);
+  if (!workloads::is_known_workload(target)) {
+    std::fprintf(stderr, "%s\n", workloads::workload_name_error(target).c_str());
+    return 1;
+  }
   core::ScenarioConfig cfg;
   cfg.cluster = core::testbed_cluster_config(
       static_cast<std::uint64_t>(args.get_int("seed", 1)));
-  cfg.target.workload = args.positional[0];
+  cfg.target.workload = target;
   cfg.target.nodes = {0, 1};
   cfg.target.procs_per_node = 2;
   cfg.target.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -633,7 +737,7 @@ int cmd_dump_trace(const Args& args) {
   apply_cluster_options(cfg, args);
   const auto res = core::run_scenario(cfg);
   std::ofstream out(args.get("out", ""));
-  monitor::write_dxt(out, res.trace);
+  trace::write_dxt(out, res.trace);
   std::printf("wrote %zu op records to %s\n", res.trace.size(),
               args.get("out", "").c_str());
   return 0;
@@ -1062,7 +1166,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv);
   try {
-    if (cmd == "workloads") return cmd_workloads();
+    if (cmd == "workloads") return cmd_workloads(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "train") return cmd_train(args);
