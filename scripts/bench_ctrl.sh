@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Closed-loop mitigation benchmark: on-vs-off campaign studies.
+#
+# Runs `qif campaign custom --mitigate` on a contended ior-easy-write
+# campaign (15-instance-class interference cases drawn by the campaign
+# driver) and records the on-vs-off comparison the CLI computes over
+# shared baselines, healthy and under the PR-5 reference fault plan.
+# Writes BENCH_ctrl.json:
+#   headline:  token:rate=64 (rate-constrained token bucket), healthy and
+#              faulted — the script FAILS unless mitigation-on beats off
+#              on BOTH mean aggregate degradation and victim p99 latency,
+#              with a nonzero throttle count (the mitigation-wins gate)
+#   secondary: the default token spec (256 MiB/s only bites bursts — a
+#              much smaller win, recorded to show why the headline rate
+#              is constrained) and the probe policy (its concurrency cap
+#              never binds for this shape's read-noise aggressors, so it
+#              is a recorded no-op, not a win — honesty entry with a
+#              machine-readable `binds` flag)
+#
+# Pass a different build dir as $1; pass --smoke (as $1 or $2) for a fast
+# CI-gate run that only checks the headline healthy study still wins.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+SMOKE=0
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+OUT_JSON="BENCH_ctrl.json"
+HEADLINE_SPEC="token:rate=64"
+FAULT_PLAN="slow:ost=0,start=2,dur=40,factor=6;stall:ost=1,start=10,dur=8"
+
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+cmake --build "${BUILD_DIR}" -j --target qif_cli > /dev/null
+
+QIF="./${BUILD_DIR}/tools/qif"
+WORK="${BUILD_DIR}/bench_ctrl"
+mkdir -p "${WORK}"
+
+# study NAME RICHNESS SPEC [extra args...]: one on-vs-off campaign; keeps
+# the CLI's machine-readable --json summary line in ${WORK}/NAME.json.
+study() {
+  local name="$1" richness="$2" spec="$3"
+  shift 3
+  "${QIF}" campaign custom --workload ior-easy-write \
+      --richness "${richness}" --seed 7 --mitigate "${spec}" --json "$@" \
+      --out "${WORK}/${name}.csv" | tee "${WORK}/${name}.log"
+  grep '^{' "${WORK}/${name}.log" > "${WORK}/${name}.json"
+}
+
+# gate NAME: the mitigation-wins check — on must beat off on both mean
+# degradation and victim p99, and must actually have throttled something.
+gate() {
+  python3 - "${WORK}/$1.json" "$1" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ok = (r["on_deg"] < r["off_deg"] and r["on_p99_ms"] < r["off_p99_ms"]
+      and r["throttle_waits"] > 0)
+print(f"{sys.argv[2]}: deg {r['off_deg']:.3f} -> {r['on_deg']:.3f}, "
+      f"victim p99 {r['off_p99_ms']:.3f} -> {r['on_p99_ms']:.3f} ms, "
+      f"{r['throttle_waits']} throttle waits "
+      f"... {'OK' if ok else 'FAILED (mitigation did not win)'}")
+sys.exit(0 if ok else 1)
+EOF
+}
+
+if [[ "${SMOKE}" -eq 1 ]]; then
+  study smoke 0.25 "${HEADLINE_SPEC}"
+  gate smoke
+  echo "smoke OK (not overwriting ${OUT_JSON})"
+  exit 0
+fi
+
+study healthy 1 "${HEADLINE_SPEC}"
+study faulted 1 "${HEADLINE_SPEC}" --faults "${FAULT_PLAN}"
+study default_token 1 "token"
+study probe 1 "probe"
+
+gate healthy
+gate faulted
+
+python3 - "${OUT_JSON}" "${WORK}" "${FAULT_PLAN}" <<'EOF'
+import json, sys
+
+out_path, work, fault_plan = sys.argv[1:4]
+load = lambda name: json.load(open(f"{work}/{name}.json"))
+
+def entry(r):
+    return {
+        "policy": r["policy"],
+        "mean_degradation": {"off": round(r["off_deg"], 3),
+                             "on": round(r["on_deg"], 3)},
+        "victim_p99_ms": {"off": round(r["off_p99_ms"], 3),
+                          "on": round(r["on_p99_ms"], 3)},
+        "throttle_waits": r["throttle_waits"],
+        "throttle_delay_s": round(r["throttle_delay_s"], 3),
+    }
+
+healthy, faulted = load("healthy"), load("faulted")
+default_token, probe = load("default_token"), load("probe")
+
+out = {
+    "campaign": "custom ior-easy-write, richness 1, seed 7 "
+                "(on-vs-off twins over shared healthy baselines)",
+    "healthy": entry(healthy),
+    "faulted": {**entry(faulted), "fault_plan": fault_plan},
+    # The gate the script enforced before writing this file: both headline
+    # studies reduced mean degradation AND victim p99 with nonzero waits.
+    "mitigation_wins": True,
+    "secondary": {
+        "default_token": {
+            **entry(default_token),
+            "note": "default 256 MiB/s rate only bites bursts; the "
+                    "headline constrains it to 64 MiB/s",
+        },
+        "probe": {
+            **entry(probe),
+            # Honesty flag: the probing cap never binds for this shape's
+            # read-noise aggressors (one data RPC outstanding at a time),
+            # so the run is a recorded identity, not a claimed win.
+            "binds": probe["throttle_waits"] > 0
+                     or probe["on_deg"] != probe["off_deg"],
+            "note": "concurrency cap does not bind for read-noise "
+                    "aggressors on the testbed shape; recorded no-op",
+        },
+    },
+}
+json.dump(out, open(out_path, "w"), indent=2)
+print(json.dumps(out, indent=2))
+EOF
+
+echo "wrote ${OUT_JSON}"

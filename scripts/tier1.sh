@@ -17,7 +17,8 @@ cmake -B build-tsan -S . -DQIF_SANITIZE=thread
 cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_trainer \
   test_sim_simulation test_sim_links test_export test_data_alloc \
   test_campaign_faults test_pfs_faults test_sim_property test_streaming \
-  test_sim_lanes test_serve_ring test_serve_service
+  test_sim_lanes test_serve_ring test_serve_service \
+  test_ctrl_bucket test_ctrl_controller test_campaign_mitigate
 ./build-tsan/tests/test_exec
 ./build-tsan/tests/test_core --gtest_filter='Campaign.*'
 # Data-plane: parallel campaign shards block-append into one FeatureTable,
@@ -51,6 +52,13 @@ cmake --build build-tsan -j --target test_exec test_core test_ml_gemm test_ml_tr
 # exactly-once consumption, and single-version batches.
 ./build-tsan/tests/test_serve_ring
 ./build-tsan/tests/test_serve_service
+# Mitigation layer: each campaign worker runs its own Mitigator +
+# controllers on a private engine; mitigated (and faulted+mitigated)
+# campaigns must shard across the pool without sharing controller state,
+# while the tests assert byte-identity across --jobs counts.
+./build-tsan/tests/test_ctrl_bucket
+./build-tsan/tests/test_ctrl_controller
+./build-tsan/tests/test_campaign_mitigate
 
 echo "=== tier-1: .qds/.qwp corruption fuzz under ASan ==="
 # test_qds_fuzz covers the buffered reader, the mmap path (QdsMmapFuzz),
@@ -77,5 +85,9 @@ echo "=== tier-1: benchmark smoke ==="
 # single-row sync prediction and must report zero mismatches for both
 # model architectures (the serving bit-identity contract, end to end).
 ./scripts/bench_serve.sh --smoke
+# Mitigation smoke: the on-vs-off study on a contended campaign must show
+# mitigation-on beating off on both mean degradation and victim p99 (the
+# mitigation-wins gate, end to end through the CLI).
+./scripts/bench_ctrl.sh --smoke
 
 echo "tier-1 OK"

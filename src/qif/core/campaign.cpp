@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
 #include "qif/trace/matcher.hpp"
@@ -55,6 +56,7 @@ ScenarioConfig campaign_case_config(const CampaignConfig& config, const CaseSpec
   sc.horizon = config.horizon;
   sc.monitors = true;
   sc.faults = config.faults;  // cases run degraded; baselines stay healthy
+  sc.mitigation = config.mitigation;  // likewise: controllers gate cases only
   if (!cs.interference_workload.empty()) {
     InterferenceSpec spec;
     spec.workload = cs.interference_workload;
@@ -108,6 +110,11 @@ CaseResult join_case_result(const CampaignConfig& config, const CaseSpec& cs,
   result.outcome.matched_ops = mstats.matched;
   result.outcome.windows = labels.size();
   result.outcome.target_finished = run.target_finished;
+  result.outcome.victim_p99_ms = ctrl::Mitigator::victim_p99_ms(run.trace);
+  result.outcome.throttle_waits = run.ctrl.throttle_waits;
+  result.outcome.throttled_bytes = run.ctrl.throttled_bytes;
+  result.outcome.throttle_delay_s = run.ctrl.throttle_delay_s;
+  result.outcome.mean_admission_level = run.ctrl.mean_admission_level;
 
   if (run.n_servers > 0) {
     result.shard.set_shape(run.n_servers, run.dim);
@@ -186,6 +193,33 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     cases.push_back(run_campaign_case(config, cs, baselines.at(cs.seed)));
   }
   return stitch_case_results(std::move(cases));
+}
+
+MitigationStudy run_mitigation_study(const CampaignConfig& config) {
+  if (config.mitigation.empty()) {
+    throw std::invalid_argument(
+        "run_mitigation_study: config.mitigation is off; nothing to compare");
+  }
+  // Baselines depend on neither faults nor mitigation; run each seed's once
+  // and share it between the twins.
+  std::map<std::uint64_t, CampaignBaseline> baselines;
+  for (const std::uint64_t seed : campaign_baseline_seeds(config)) {
+    baselines.emplace(seed, run_campaign_baseline(config, seed));
+  }
+  CampaignConfig off_config = config;
+  off_config.mitigation = ctrl::MitigationConfig{};
+  const auto run_side = [&baselines](const CampaignConfig& cc) {
+    std::vector<CaseResult> cases;
+    cases.reserve(cc.cases.size());
+    for (const CaseSpec& cs : cc.cases) {
+      cases.push_back(run_campaign_case(cc, cs, baselines.at(cs.seed)));
+    }
+    return stitch_case_results(std::move(cases));
+  };
+  MitigationStudy study;
+  study.off = run_side(off_config);
+  study.on = run_side(config);
+  return study;
 }
 
 monitor::Dataset Campaign::run() {

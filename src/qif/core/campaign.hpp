@@ -53,6 +53,11 @@ struct CampaignConfig {
   /// contended one.  Empty = the historical healthy campaign, bit-identical
   /// to pre-fault builds.
   pfs::faults::FaultPlan faults;
+  /// Mitigation policy armed on every *case* run (the fault-plan pattern:
+  /// baselines stay untouched, so labels keep the same healthy yardstick).
+  /// Empty = the historical unmitigated campaign, byte-identical to
+  /// pre-mitigation builds.
+  ctrl::MitigationConfig mitigation;
 };
 
 struct CaseOutcome {
@@ -63,6 +68,14 @@ struct CaseOutcome {
   /// Mean Level_degrade over the sampled windows (the windows that became
   /// dataset samples), 1.0 when no window was sampled.
   double mean_degradation = 0.0;
+  /// p99 of the target job's op latencies in this case run (ms; computed
+  /// for every case, mitigated or not, so on-vs-off twins compare directly).
+  double victim_p99_ms = 0.0;
+  // -- mitigation telemetry (zero when the case ran unmitigated) -----------
+  std::int64_t throttle_waits = 0;
+  std::int64_t throttled_bytes = 0;
+  double throttle_delay_s = 0.0;
+  double mean_admission_level = 0.0;
   bool target_finished = false;
   std::string error;                ///< non-empty when this case failed
   [[nodiscard]] bool ok() const { return error.empty(); }
@@ -129,6 +142,18 @@ struct CampaignBaseline {
 /// Sequential driver: baselines first (each seed once), then every case in
 /// declaration order.
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// On-vs-off mitigation twins over the same seeds.
+struct MitigationStudy {
+  CampaignResult off;  ///< config with the policy cleared
+  CampaignResult on;   ///< config as given (mitigation armed on case runs)
+};
+
+/// Runs the campaign twice — once with mitigation stripped, once with
+/// `config.mitigation` armed — sharing each seed's baseline, so the two
+/// sides differ in nothing but the controllers.  Throws std::invalid_argument
+/// when config.mitigation is empty (there would be no "on" side).
+[[nodiscard]] MitigationStudy run_mitigation_study(const CampaignConfig& config);
 
 class Campaign {
  public:

@@ -44,7 +44,9 @@ monitor::Dataset run_campaign_for_target(const std::string& target,
   cc.bin_thresholds = options.bin_thresholds;
   cc.min_ops_per_window = options.min_ops_per_window;
   cc.faults = options.faults;
+  cc.mitigation = options.mitigation;
   CampaignResult result = options.runner ? options.runner(cc) : run_campaign(cc);
+  if (options.on_result) options.on_result(target, result);
   if (options.verbose) {
     std::size_t windows = 0;
     std::size_t failed = 0;

@@ -38,6 +38,13 @@ struct DatasetOptions {
   /// Fault plan injected into every campaign's case runs (baselines stay
   /// healthy).  Empty = the historical healthy datasets.
   pfs::faults::FaultPlan faults;
+  /// Mitigation policy armed on every campaign's case runs (baselines stay
+  /// untouched).  Empty = the historical unmitigated datasets.
+  ctrl::MitigationConfig mitigation;
+  /// Called after each campaign finishes with the target workload's name
+  /// and its full result (outcomes + dataset shard) — the CLI's mitigation
+  /// study aggregates on-vs-off comparisons through this.
+  std::function<void(const std::string& target, const CampaignResult& result)> on_result;
 };
 
 /// Windows from all 7 IO500 tasks under quiet/read/write/metadata noise at

@@ -85,6 +85,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                      sim::Rng::derive_seed(cluster_config.seed, "faults"));
   }
 
+  // Arm mitigation before any workload starts so every client the job
+  // layer creates passes through the gate factory.  Declared after the
+  // cluster (destroyed first; its dtor uninstalls the factory).
+  std::optional<ctrl::Mitigator> mitigator;
+  if (!config.mitigation.empty()) {
+    mitigator.emplace(cluster, config.mitigation);
+  }
+
   // Monitors attach before any workload starts so window 0 is complete.
   std::optional<monitor::ClientMonitor> client_mon;
   std::optional<monitor::ServerMonitor> server_mon;
@@ -147,6 +155,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   } else {
     result.trace = cluster.trace_log();
+  }
+  if (mitigator.has_value()) {
+    result.ctrl = mitigator->report(result.trace, config.window);
   }
   if (config.monitors) {
     // Fault-injected runs widen every per-server vector with the fault

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "qif/ctrl/mitigator.hpp"
 #include "qif/monitor/features.hpp"
 #include "qif/pfs/cluster.hpp"
 #include "qif/pfs/faults.hpp"
@@ -58,6 +59,14 @@ struct ScenarioConfig {
   /// engine.  Throws std::invalid_argument for lanes < 0 or lanes > n_oss,
   /// and for job specs whose nodes would span lanes.
   int lanes = 0;
+  /// Closed-loop interference mitigation (qif::ctrl).  Empty policy (the
+  /// default) constructs nothing — no admission gates, no controller ticks,
+  /// no extra RNG streams — so unmitigated runs stay byte-identical to
+  /// pre-mitigation builds.  A non-empty policy arms one controller per
+  /// gated client (scope decides whether job 0 is gated) with decision
+  /// epochs on the simulation clock; mitigated traces are bit-identical at
+  /// every --lanes count.
+  ctrl::MitigationConfig mitigation;
 };
 
 struct ScenarioResult {
@@ -81,6 +90,10 @@ struct ScenarioResult {
     return target_completion - target_body_start;
   }
   std::uint64_t events_executed = 0;
+  /// Mitigation telemetry (policy string, throttle totals, per-window
+  /// controller columns, victim p99).  Inactive/default when the scenario
+  /// ran without mitigation.
+  ctrl::MitigationReport ctrl;
 };
 
 /// Runs one scenario to target completion (or the horizon) and returns the

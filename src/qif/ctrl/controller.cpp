@@ -1,0 +1,293 @@
+#include "qif/ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace qif::ctrl {
+namespace {
+
+/// EWMA smoothing for the per-port latency signal: heavy enough that one
+/// fast cache hit cannot unflag a contended port, light enough to react
+/// within a handful of chunks.
+constexpr double kSignalAlpha = 0.3;
+/// Hysteresis: a hot port cools only after dropping below threshold/2.
+constexpr double kCoolFraction = 0.5;
+/// Decay on the probing controller's best-throughput memory, so a stale
+/// optimum from a quieter phase is forgotten and the walk re-probes.
+constexpr double kBestDecay = 0.9;
+/// Upward probes must beat the best by this margin to be adopted.
+constexpr double kUpMargin = 0.05;
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("bad --mitigate spec '" + spec + "': " + what);
+}
+
+double parse_num(const std::string& spec, const std::string& key,
+                 const std::string& value) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    bad_spec(spec, "key '" + key + "' needs a number, got '" + value + "'");
+  }
+  if (used != value.size()) {
+    bad_spec(spec, "key '" + key + "' needs a number, got '" + value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+MitigationConfig parse_mitigation(const std::string& spec) {
+  MitigationConfig cfg;
+  if (spec.empty() || spec == "off") return cfg;
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (kind == "token") {
+    cfg.policy = Policy::kTokenBucket;
+  } else if (kind == "probe") {
+    cfg.policy = Policy::kProbing;
+  } else {
+    bad_spec(spec, "unknown policy '" + kind + "' (expected off, token or probe)");
+  }
+  if (colon == std::string::npos) return cfg;
+
+  std::istringstream rest(spec.substr(colon + 1));
+  std::string kv;
+  while (std::getline(rest, kv, ',')) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) bad_spec(spec, "expected key=value, got '" + kv + "'");
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "epoch") {
+      const double s = parse_num(spec, key, value);
+      if (s <= 0) bad_spec(spec, "epoch must be > 0 seconds");
+      cfg.epoch = static_cast<sim::SimDuration>(s * static_cast<double>(sim::kSecond));
+    } else if (key == "scope") {
+      if (value == "noise") {
+        cfg.scope = Scope::kNoise;
+      } else if (value == "all") {
+        cfg.scope = Scope::kAll;
+      } else {
+        bad_spec(spec, "scope must be noise or all, got '" + value + "'");
+      }
+    } else if (key == "rate") {
+      const double mib = parse_num(spec, key, value);
+      if (mib <= 0) bad_spec(spec, "rate must be > 0 MiB/s");
+      cfg.rate_bytes_per_s = static_cast<std::int64_t>(mib * (1 << 20));
+    } else if (key == "burst") {
+      const double mib = parse_num(spec, key, value);
+      if (mib <= 0) bad_spec(spec, "burst must be > 0 MiB");
+      cfg.burst_bytes = static_cast<std::int64_t>(mib * (1 << 20));
+    } else if (key == "cut") {
+      cfg.cut = parse_num(spec, key, value);
+      if (cfg.cut <= 0 || cfg.cut > 1) bad_spec(spec, "cut must be in (0, 1]");
+    } else if (key == "flag") {
+      cfg.flag_ns_per_byte = parse_num(spec, key, value);
+      if (cfg.flag_ns_per_byte <= 0) bad_spec(spec, "flag must be > 0 ns/byte");
+    } else if (key == "init") {
+      cfg.probe_init = static_cast<int>(parse_num(spec, key, value));
+    } else if (key == "min") {
+      cfg.probe_min = static_cast<int>(parse_num(spec, key, value));
+    } else if (key == "max") {
+      cfg.probe_max = static_cast<int>(parse_num(spec, key, value));
+    } else if (key == "step") {
+      cfg.probe_step = static_cast<int>(parse_num(spec, key, value));
+      if (cfg.probe_step < 1) bad_spec(spec, "step must be >= 1");
+    } else if (key == "tol") {
+      cfg.probe_tol = parse_num(spec, key, value);
+      if (cfg.probe_tol < 0 || cfg.probe_tol >= 1) bad_spec(spec, "tol must be in [0, 1)");
+    } else {
+      bad_spec(spec, "unknown key '" + key + "'");
+    }
+  }
+  if (cfg.probe_min < 1 || cfg.probe_max < cfg.probe_min) {
+    bad_spec(spec, "need 1 <= min <= max");
+  }
+  if (cfg.probe_init < cfg.probe_min || cfg.probe_init > cfg.probe_max) {
+    bad_spec(spec, "need min <= init <= max");
+  }
+  return cfg;
+}
+
+std::string to_spec(const MitigationConfig& config) {
+  if (config.empty()) return "off";
+  char buf[256];
+  const double epoch_s =
+      static_cast<double>(config.epoch) / static_cast<double>(sim::kSecond);
+  const char* scope = config.scope == Scope::kNoise ? "noise" : "all";
+  if (config.policy == Policy::kTokenBucket) {
+    std::snprintf(buf, sizeof(buf), "token:rate=%g,burst=%g,cut=%g,flag=%g,epoch=%g,scope=%s",
+                  static_cast<double>(config.rate_bytes_per_s) / (1 << 20),
+                  static_cast<double>(config.burst_bytes) / (1 << 20), config.cut,
+                  config.flag_ns_per_byte, epoch_s, scope);
+  } else {
+    std::snprintf(buf, sizeof(buf), "probe:init=%d,min=%d,max=%d,step=%d,tol=%g,epoch=%g,scope=%s",
+                  config.probe_init, config.probe_min, config.probe_max,
+                  config.probe_step, config.probe_tol, epoch_s, scope);
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Controller base: shared epoch accounting and the self latency signal.
+// ---------------------------------------------------------------------------
+
+Controller::Controller(const MitigationConfig& config, int n_ports, sim::SimTime /*now*/)
+    : config_(config), ports_(static_cast<std::size_t>(n_ports)) {}
+
+void Controller::on_chunk_complete(int oss_port, std::int64_t bytes,
+                                   sim::SimDuration rtt) {
+  cur_.completed_bytes += bytes;
+  if (oss_port < 0 || static_cast<std::size_t>(oss_port) >= ports_.size() || bytes <= 0) {
+    return;
+  }
+  PortSignal& p = ports_[static_cast<std::size_t>(oss_port)];
+  const double sample = static_cast<double>(rtt) / static_cast<double>(bytes);
+  p.ewma_ns_per_byte =
+      p.seeded ? kSignalAlpha * sample + (1.0 - kSignalAlpha) * p.ewma_ns_per_byte
+               : sample;
+  p.seeded = true;
+  if (p.hot) {
+    if (p.ewma_ns_per_byte < kCoolFraction * config_.flag_ns_per_byte) p.hot = false;
+  } else if (p.ewma_ns_per_byte > config_.flag_ns_per_byte) {
+    p.hot = true;
+  }
+}
+
+bool Controller::interference_flagged() const {
+  if (board_ != nullptr) {
+    for (std::size_t port = 0; port < ports_.size(); ++port) {
+      if (board_->flagged(static_cast<int>(port))) return true;
+    }
+    return false;
+  }
+  for (const PortSignal& p : ports_) {
+    if (p.hot) return true;
+  }
+  return false;
+}
+
+void Controller::finish_epoch(int admission_level, bool flagged) {
+  cur_.epoch = static_cast<std::int64_t>(log_.size());
+  cur_.admission_level = admission_level;
+  cur_.flagged = flagged;
+  log_.push_back(cur_);
+  cur_ = EpochRow{};
+}
+
+// ---------------------------------------------------------------------------
+// Token-bucket policy.
+// ---------------------------------------------------------------------------
+
+TokenBucketController::TokenBucketController(const MitigationConfig& config,
+                                             int n_ports, sim::SimTime now)
+    : Controller(config, n_ports, now),
+      bucket_(config.burst_bytes, config.rate_bytes_per_s, now) {}
+
+sim::SimDuration TokenBucketController::acquire(int /*oss_port*/, std::int64_t bytes,
+                                                sim::SimTime now) {
+  // A chunk larger than the burst allowance could never be served whole;
+  // meter it as one full burst (cannot happen with sane configs — chunks
+  // are capped at max_rpc_bytes, far below the burst size).
+  const std::int64_t ask = std::min(bytes, bucket_.capacity());
+  if (bucket_.try_consume(ask, now)) {
+    cur_.admitted_bytes += bytes;
+    return 0;
+  }
+  const sim::SimDuration wait = bucket_.wait_for(ask, now);
+  ++cur_.throttle_waits;
+  cur_.throttled_bytes += bytes;
+  cur_.throttle_delay += wait;
+  return wait;
+}
+
+int TokenBucketController::concurrency_cap() const {
+  return std::numeric_limits<int>::max();  // rate-metered, not count-capped
+}
+
+void TokenBucketController::on_epoch(sim::SimTime now) {
+  const bool flagged = interference_flagged();
+  if (flagged != flagged_) {
+    flagged_ = flagged;
+    const double scaled = static_cast<double>(config_.rate_bytes_per_s) *
+                          (flagged ? config_.cut : 1.0);
+    bucket_.set_rate(std::max<std::int64_t>(1, static_cast<std::int64_t>(scaled)), now);
+  }
+  finish_epoch(/*admission_level=*/0, flagged);
+}
+
+// ---------------------------------------------------------------------------
+// Probing (hill-climb concurrency) policy.
+// ---------------------------------------------------------------------------
+
+ProbingController::ProbingController(const MitigationConfig& config, int n_ports,
+                                     sim::SimTime now, std::uint64_t seed)
+    : Controller(config, n_ports, now),
+      level_(config.probe_init), stable_(config.probe_init), rng_(seed) {
+  level_ = clamp_level(level_);
+  stable_ = level_;
+}
+
+int ProbingController::clamp_level(int level) const {
+  return std::clamp(level, config_.probe_min, config_.probe_max);
+}
+
+sim::SimDuration ProbingController::acquire(int /*oss_port*/, std::int64_t bytes,
+                                            sim::SimTime /*now*/) {
+  cur_.admitted_bytes += bytes;  // probing caps concurrency, never delays
+  return 0;
+}
+
+void ProbingController::on_epoch(sim::SimTime /*now*/) {
+  const double tput = static_cast<double>(cur_.completed_bytes);
+  if (cur_.completed_bytes == 0 && cur_.admitted_bytes == 0) {
+    // Idle epoch (think time, setup): no evidence, no move, no RNG draw —
+    // the exploration stream advances only on observed epochs.
+    finish_epoch(level_, interference_flagged());
+    return;
+  }
+  if (level_ > stable_) {
+    // Upward probe: adopt only a strict improvement — more outstanding
+    // RPCs must buy real throughput, or they just deepen server queues.
+    if (tput > best_ * (1.0 + kUpMargin)) {
+      stable_ = level_;
+      best_ = tput;
+    }
+  } else if (level_ < stable_) {
+    // Downward probe: adopt when throughput held (within tol) — the same
+    // bandwidth from less concurrency is a strictly better operating
+    // point.  Under a saturated flat curve this walks to probe_min.
+    if (tput >= best_ * (1.0 - config_.probe_tol)) {
+      stable_ = level_;
+      if (tput > best_) best_ = tput;
+    }
+  } else if (tput > best_) {
+    best_ = tput;
+  }
+  best_ *= kBestDecay;
+  const int dir = rng_.next_double() < 0.5 ? -1 : 1;
+  const int probed = clamp_level(stable_ + dir * config_.probe_step);
+  level_ = probed;
+  finish_epoch(level_, interference_flagged());
+}
+
+std::unique_ptr<Controller> make_controller(const MitigationConfig& config,
+                                            int n_ports, sim::SimTime now,
+                                            std::uint64_t seed) {
+  switch (config.policy) {
+    case Policy::kTokenBucket:
+      return std::make_unique<TokenBucketController>(config, n_ports, now);
+    case Policy::kProbing:
+      return std::make_unique<ProbingController>(config, n_ports, now, seed);
+    case Policy::kOff:
+      break;
+  }
+  throw std::invalid_argument("make_controller: policy is off");
+}
+
+}  // namespace qif::ctrl

@@ -1,0 +1,60 @@
+#include "qif/ctrl/token_bucket.hpp"
+
+#include <cassert>
+
+namespace qif::ctrl {
+
+TokenBucket::TokenBucket(std::int64_t capacity_bytes, std::int64_t rate_bytes_per_s,
+                         sim::SimTime now)
+    : capacity_(capacity_bytes), rate_(rate_bytes_per_s), tokens_(capacity_bytes),
+      carry_(0), last_(now) {
+  assert(capacity_ > 0 && "token bucket capacity must be positive");
+  assert(rate_ > 0 && "token bucket rate must be positive");
+}
+
+void TokenBucket::refill(sim::SimTime now) {
+  if (now <= last_) return;
+  // Accrued volume since the last settle, in byte-nanoseconds.  128-bit:
+  // rate (up to ~1e10 B/s) times a multi-day span overflows 64 bits.
+  const __int128 acc =
+      static_cast<__int128>(rate_) * (now - last_) + carry_;
+  tokens_ += static_cast<std::int64_t>(acc / sim::kSecond);
+  carry_ = static_cast<std::int64_t>(acc % sim::kSecond);
+  if (tokens_ >= capacity_) {
+    // A full bucket stops accruing — the fractional carry is surplus too.
+    tokens_ = capacity_;
+    carry_ = 0;
+  }
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(std::int64_t bytes, sim::SimTime now) {
+  refill(now);
+  if (bytes > tokens_) return false;
+  tokens_ -= bytes;
+  return true;
+}
+
+sim::SimDuration TokenBucket::wait_for(std::int64_t bytes, sim::SimTime now) {
+  refill(now);
+  if (bytes <= tokens_) return 0;
+  // Need `deficit` more whole bytes; the carry already covers part of the
+  // first one.  ceil((deficit * 1s - carry) / rate) is the exact first
+  // instant the balance reaches `bytes`.
+  const __int128 need =
+      static_cast<__int128>(bytes - tokens_) * sim::kSecond - carry_;
+  return static_cast<sim::SimDuration>((need + rate_ - 1) / rate_);
+}
+
+void TokenBucket::set_rate(std::int64_t rate_bytes_per_s, sim::SimTime now) {
+  assert(rate_bytes_per_s > 0 && "token bucket rate must be positive");
+  refill(now);  // settle the balance under the old rate first
+  rate_ = rate_bytes_per_s;
+}
+
+std::int64_t TokenBucket::available(sim::SimTime now) {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace qif::ctrl

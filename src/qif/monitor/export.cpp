@@ -51,6 +51,17 @@ void write_dataset_csv(std::ostream& os, const Dataset& ds) {
   }
 }
 
+void write_ctrl_windows_csv(std::ostream& os, const ctrl::MitigationReport& report) {
+  os.precision(17);
+  os << "window,throttle_waits,throttled_bytes,throttle_delay_s,"
+        "mean_admission_level,flagged_controllers,victim_p99_ms\n";
+  for (const ctrl::WindowCtrl& w : report.windows) {
+    os << w.window_index << ',' << w.throttle_waits << ',' << w.throttled_bytes << ','
+       << w.throttle_delay_s << ',' << w.mean_admission_level << ','
+       << w.flagged_controllers << ',' << w.victim_p99_ms << '\n';
+  }
+}
+
 Dataset read_dataset_csv(std::istream& is) {
   std::string line;
   if (!std::getline(is, line)) throw std::runtime_error("empty dataset CSV");

@@ -65,6 +65,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "qif/ctrl/mitigator.hpp"
 #include "qif/monitor/features.hpp"
 #include "qif/pfs/types.hpp"
 
@@ -81,6 +82,12 @@ void write_dataset_csv(std::ostream& os, const Dataset& ds);
 /// on malformed cells (strict from_chars/strtod parsing — garbage no
 /// longer decays to 0), inconsistent width, or a bad header.
 [[nodiscard]] Dataset read_dataset_csv(std::istream& is);
+
+/// Writes a mitigation report's per-window controller columns as CSV:
+/// window, throttle_waits, throttled_bytes, throttle_delay_s,
+/// mean_admission_level, flagged_controllers, victim_p99_ms — one row per
+/// monitor window the controllers (or the victim job) touched.
+void write_ctrl_windows_csv(std::ostream& os, const ctrl::MitigationReport& report);
 
 /// Per-block storage codec for `.qds` version 2.
 enum class QdsCodec : std::uint32_t {

@@ -1,0 +1,45 @@
+// Client admission-control hook.
+//
+// A PfsClient may carry one AdmissionGate; the data-op pump consults it
+// before issuing each chunk RPC and reports each chunk's completion back.
+// The interface lives in pfs (not ctrl) so the client keeps zero knowledge
+// of mitigation policy — qif::ctrl implements it, the scenario wires it.
+//
+// Contract with the timeout/retry machine (client.cpp): admission runs
+// strictly *before* rpc_faultable, so a throttled chunk's deadline timer
+// only arms once the chunk is actually admitted — an admission delay can
+// never surface as a timeout or retry, and the gate never touches the
+// client's retry RNG stream (a throttle released mid-backoff leaves the
+// jitter sequence exactly as the ungated machine would draw it).
+#pragma once
+
+#include <cstdint>
+
+#include "qif/sim/simulation.hpp"
+
+namespace qif::pfs {
+
+class AdmissionGate {
+ public:
+  virtual ~AdmissionGate() = default;
+
+  /// Asks to issue one data-RPC chunk of `bytes` toward OSS port
+  /// `oss_port` at time `now` (the client's clock).  Returns 0 to admit
+  /// (the gate records the grant), or a positive wait after which the
+  /// client should ask again; a rejected ask consumes nothing, so
+  /// re-asking is free.
+  virtual sim::SimDuration acquire(int oss_port, std::int64_t bytes,
+                                   sim::SimTime now) = 0;
+
+  /// Current cap on one data op's outstanding chunk RPCs.  The client
+  /// clamps it to [1, max_rpcs_in_flight]; it is re-read before every
+  /// chunk, so a decision epoch takes effect mid-op.
+  [[nodiscard]] virtual int concurrency_cap() const = 0;
+
+  /// One admitted chunk finished (success or EIO) after `rtt` of client-
+  /// observed latency — the feedback signal both policies learn from.
+  virtual void on_chunk_complete(int oss_port, std::int64_t bytes,
+                                 sim::SimDuration rtt) = 0;
+};
+
+}  // namespace qif::pfs

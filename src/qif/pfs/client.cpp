@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "qif/pfs/admission.hpp"
 #include "qif/pfs/cluster.hpp"
 
 namespace qif::pfs {
@@ -347,6 +348,7 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
     std::size_t next = 0;
     std::size_t outstanding = 0;
     std::size_t remaining;
+    bool throttle_wait = false;  ///< a gate wake-up event is pending
     explicit OpState(std::size_t n) : remaining(n) {}
   };
   if (is_write) note_small_write(fh, offset, len);
@@ -365,17 +367,46 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
   };
 
   // Issue chunks with at most max_rpcs_in_flight outstanding.  `pump` is
-  // stored in a shared_ptr so completion callbacks can re-enter it.
+  // stored in a shared_ptr so completion callbacks can re-enter it.  With an
+  // admission gate the pump additionally (a) clamps the window to the gate's
+  // concurrency cap, re-read before every chunk so a decision epoch takes
+  // effect mid-op, and (b) asks the gate before issuing each chunk —
+  // strictly before rpc_faultable, so a throttled chunk never arms a
+  // deadline timer and an admission delay can never read as a timeout or
+  // retry.  A refused ask parks the pump behind one wake-up event (single
+  // waiter per op); ungated clients take the exact pre-gate code path.
   auto pump = std::make_shared<std::function<void()>>();
   *pump = [this, is_write, chunks, state, stats, pump, finish = std::move(finish)]() {
-    while (state->next < chunks->size() &&
-           state->outstanding < static_cast<std::size_t>(params_.max_rpcs_in_flight)) {
-      const Chunk c = (*chunks)[state->next++];
+    while (state->next < chunks->size()) {
+      std::size_t cap = static_cast<std::size_t>(params_.max_rpcs_in_flight);
+      if (gate_ != nullptr) {
+        cap = static_cast<std::size_t>(
+            std::clamp(gate_->concurrency_cap(), 1, params_.max_rpcs_in_flight));
+      }
+      if (state->outstanding >= cap) break;
+      const Chunk c = (*chunks)[state->next];
+      const int port = cluster_.oss_port(c.ost);
+      if (gate_ != nullptr) {
+        const sim::SimDuration wait = gate_->acquire(port, c.len, sim_.now());
+        if (wait > 0) {
+          if (!state->throttle_wait) {
+            state->throttle_wait = true;
+            sim_.schedule_after(wait, [state, pump] {
+              state->throttle_wait = false;
+              // The op may have drained (EIO path) while we slept.
+              if (*pump) (*pump)();
+            });
+          }
+          return;
+        }
+      }
+      ++state->next;
       ++state->outstanding;
+      const sim::SimTime issued = sim_.now();
       const std::int64_t req_payload = is_write ? c.len : 0;
       const std::int64_t resp_payload = is_write ? 0 : c.len;
       rpc_faultable(
-          cluster_.oss_port(c.ost), req_payload, resp_payload,
+          port, req_payload, resp_payload,
           [this, is_write, c](std::function<void()> done) {
             if (is_write) {
               cluster_.ost(c.ost).write(c.disk_offset, c.len, std::move(done));
@@ -383,9 +414,12 @@ void PfsClient::data_op(bool is_write, const FileHandle& fh, std::int64_t offset
               cluster_.ost(c.ost).read(c.disk_offset, c.len, std::move(done));
             }
           },
-          [state, pump, finish](bool) {
+          [this, state, pump, finish, port, len = c.len, issued](bool) {
             // ok=false already marked stats->failed; the op still drains its
             // remaining chunks so the completion count stays exact.
+            if (gate_ != nullptr) {
+              gate_->on_chunk_complete(port, len, sim_.now() - issued);
+            }
             --state->outstanding;
             --state->remaining;
             if (state->remaining == 0) {

@@ -25,6 +25,7 @@
 
 namespace qif::pfs {
 
+class AdmissionGate;
 class Cluster;
 
 struct ClientParams {
@@ -99,6 +100,14 @@ class PfsClient {
   [[nodiscard]] std::int64_t total_timeouts() const { return total_timeouts_; }
   [[nodiscard]] std::int64_t total_failed_ops() const { return total_failed_; }
 
+  /// Admission gate for this client's data-RPC chunks (admission.hpp), or
+  /// nullptr — the default, in which case the data-op pump takes the exact
+  /// ungated code path (no extra events, byte-identical traces).  The gate
+  /// must outlive the client; the cluster's gate factory installs it at
+  /// make_client time.
+  void set_gate(AdmissionGate* gate) { gate_ = gate; }
+  [[nodiscard]] AdmissionGate* gate() const { return gate_; }
+
  private:
   /// Small-file dirty state for flush-on-close.
   struct SmallDirty {
@@ -163,6 +172,7 @@ class PfsClient {
   ClientParams params_;
   std::map<FileId, SmallDirty> small_dirty_;
   sim::Rng retry_rng_;
+  AdmissionGate* gate_ = nullptr;
   std::int64_t total_retries_ = 0;
   std::int64_t total_timeouts_ = 0;
   std::int64_t total_failed_ = 0;

@@ -1,6 +1,8 @@
 #include "qif/pfs/cluster.hpp"
 
 #include <algorithm>
+
+#include "qif/pfs/admission.hpp"
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -143,7 +145,11 @@ void Cluster::post_note_size(NodeId node, FileId file, std::int64_t size) {
 
 PfsClient& Cluster::make_client(NodeId node, Rank rank, std::int32_t job) {
   clients_.push_back(std::make_unique<PfsClient>(*this, node, rank, job));
-  return *clients_.back();
+  PfsClient& client = *clients_.back();
+  if (gate_factory_) {
+    if (AdmissionGate* gate = gate_factory_(client)) client.set_gate(gate);
+  }
+  return client;
 }
 
 }  // namespace qif::pfs

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "qif/trace/op_record.hpp"
 
 namespace qif::pfs {
+
+class AdmissionGate;
 
 struct ClusterConfig {
   int n_client_nodes = 7;
@@ -140,6 +143,14 @@ class Cluster {
   /// by the cluster and live for the whole run.
   PfsClient& make_client(NodeId node, Rank rank, std::int32_t job);
 
+  /// Per-client admission-gate factory (the mitigation layer's hook).  Runs
+  /// once inside make_client for each new client; may return nullptr to
+  /// leave that client ungated.  The returned gate must outlive the client
+  /// (the ctrl::Mitigator owns its controllers for the whole run).  Unset —
+  /// the default — means no client is gated and no admission code runs.
+  using GateFactory = std::function<AdmissionGate*(PfsClient&)>;
+  void set_gate_factory(GateFactory factory) { gate_factory_ = std::move(factory); }
+
  private:
   /// Per-lane trace shard: the lane's records plus, for each record, the key
   /// of the event that emitted it and the record's index within that event
@@ -164,6 +175,7 @@ class Cluster {
   std::unique_ptr<MdtServer> mdt_;
   std::unique_ptr<NetworkFabric> net_;
   std::vector<std::unique_ptr<PfsClient>> clients_;
+  GateFactory gate_factory_;
   trace::TraceLog trace_log_;
   std::vector<TraceShard> shards_;  // lane mode: one per data lane
 };

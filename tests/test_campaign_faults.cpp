@@ -89,6 +89,20 @@ TEST(CampaignFaults, FaultedCampaignIsByteIdenticalAcrossJobCounts) {
   EXPECT_NE(seq_csv, golden);
 }
 
+TEST(CampaignFaults, FaultedMitigatedCampaignIsByteIdenticalAcrossJobCounts) {
+  // Faults and mitigation stacked: the controllers react to fault-driven
+  // latency through the same deterministic signal path, so the combined
+  // campaign must still not depend on the worker partition.
+  CampaignConfig cc = golden_config();
+  cc.faults = pfs::faults::parse_fault_plan(
+      "slow:ost=0,start=2,dur=40,factor=6;stall:ost=1,start=10,dur=8");
+  cc.mitigation = ctrl::parse_mitigation("token");
+  const CampaignResult sequential = run_campaign(cc);
+  ASSERT_FALSE(sequential.dataset.empty());
+  const exec::ParallelCampaignRunner runner(cc, 4);
+  EXPECT_EQ(campaign_csv(sequential), campaign_csv(runner.run()));
+}
+
 TEST(CampaignFaults, DegradedOstCampaignShowsHigherDegradationThanHealthyTwin) {
   CampaignConfig cc;
   cc.target_workload = "ior-easy-write";

@@ -3,7 +3,13 @@
 // counter mapping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "qif/pfs/admission.hpp"
 #include "qif/pfs/cluster.hpp"
+#include "qif/pfs/faults.hpp"
 #include "qif/sim/simulation.hpp"
 
 namespace qif::pfs {
@@ -213,6 +219,181 @@ TEST_F(ClusterFixture, DeterministicAcrossIdenticalRuns) {
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));  // jitter differs across seeds
+}
+
+// ---------------------------------------------------------------------------
+// Admission gate x timeout/retry machine (qif::ctrl rides this hook).
+// ---------------------------------------------------------------------------
+
+/// Scriptable test double: waits `delay` for the first `waits_left` asks,
+/// admits everything after, and counts what it sees.
+struct FixedGate final : AdmissionGate {
+  sim::SimDuration delay = 0;
+  int waits_left = 0;
+  int cap = 1 << 20;  ///< far above max_rpcs_in_flight: exercises the clamp
+  std::int64_t asks = 0;
+  std::int64_t admitted = 0;
+  std::int64_t completions = 0;
+  std::int64_t completed_bytes = 0;
+  int inflight = 0;
+  int max_inflight = 0;
+
+  sim::SimDuration acquire(int, std::int64_t, sim::SimTime) override {
+    ++asks;
+    if (waits_left > 0) {
+      --waits_left;
+      return delay;
+    }
+    ++admitted;
+    inflight += 1;
+    max_inflight = std::max(max_inflight, inflight);
+    return 0;
+  }
+  [[nodiscard]] int concurrency_cap() const override { return cap; }
+  void on_chunk_complete(int, std::int64_t bytes, sim::SimDuration) override {
+    inflight -= 1;
+    ++completions;
+    completed_bytes += bytes;
+  }
+};
+
+TEST(AdmissionGate, ThrottleDelayIsNeverCountedAsTimeoutOrRetry) {
+  sim::Simulation s;
+  ClusterConfig cfg;
+  cfg.seed = 9;
+  cfg.client.rpc_deadline = 300 * sim::kMillisecond;
+  Cluster cluster(s, cfg);
+  PfsClient& client = cluster.make_client(0, 0, 0);
+  FixedGate gate;
+  gate.delay = 200 * sim::kMillisecond;
+  gate.waits_left = 3;  // 600 ms of admission delay, past the RPC deadline
+  client.set_gate(&gate);
+  bool done = false;
+  client.create("/throttled", 1, [&](FileHandle fh) {
+    client.write(fh, 0, 4 << 20, [&] { done = true; });
+  });
+  s.run_all();
+  EXPECT_TRUE(done);
+  const auto& rec = cluster.trace_log().records().back();
+  ASSERT_EQ(rec.type, OpType::kWrite);
+  // The per-RPC deadline arms only after admission: throttling for twice
+  // the deadline surfaces as latency, never as a timeout/retry/failure.
+  EXPECT_EQ(rec.retries, 0);
+  EXPECT_EQ(rec.timeouts, 0);
+  EXPECT_FALSE(rec.failed);
+  EXPECT_GE(rec.duration(), 600 * sim::kMillisecond);
+  EXPECT_EQ(gate.admitted, 4);  // 4 x 1 MiB chunks
+  EXPECT_EQ(gate.asks, 4 + 3);  // a rejected ask consumes nothing
+  EXPECT_EQ(gate.completions, 4);
+  EXPECT_EQ(gate.completed_bytes, 4 << 20);
+}
+
+TEST_F(ClusterFixture, GateConcurrencyCapSerializesChunks) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  FixedGate gate;
+  gate.cap = 1;
+  client.set_gate(&gate);
+  client.create("/serial", 1, [&](FileHandle fh) {
+    client.read(fh, 0, 8 << 20, [] {});
+  });
+  s.run_all();
+  EXPECT_EQ(gate.admitted, 8);
+  EXPECT_EQ(gate.max_inflight, 1);
+}
+
+TEST_F(ClusterFixture, GateCapIsClampedToMaxRpcsInFlight) {
+  PfsClient& client = cluster->make_client(0, 0, 0);
+  FixedGate gate;  // cap stays at its huge default
+  client.set_gate(&gate);
+  client.create("/wide-pipe", 1, [&](FileHandle fh) {
+    client.read(fh, 0, 16 << 20, [] {});
+  });
+  s.run_all();
+  EXPECT_EQ(gate.admitted, 16);
+  EXPECT_EQ(gate.max_inflight, 8);  // the client's clamp, not the gate's cap
+}
+
+/// A stall window on OST 0 long enough that the first read attempts hit
+/// their deadline and retry; metadata RPCs (MDS) stay healthy throughout.
+faults::FaultPlan ost0_stall() {
+  faults::FaultPlan plan;
+  plan.stalls.push_back({/*ost=*/0, /*start=*/0, /*duration=*/2500 * sim::kMillisecond});
+  return plan;
+}
+
+TEST(AdmissionGate, ZeroDelayGateIsInvisibleEvenUnderRetries) {
+  // An always-admit gate must not move a single event: same op-end and
+  // fault-counter sequences with and without it, both on the healthy path
+  // and with the timeout/retry machine firing (a stalled OST).  This pins
+  // the no-double-count contract — the gate adds no events when admitting
+  // and never touches the retry RNG's jitter stream.
+  const auto run = [](bool stalled, bool gated) {
+    sim::Simulation s;
+    ClusterConfig cfg;
+    cfg.seed = 9;
+    cfg.client.rpc_deadline = 200 * sim::kMillisecond;
+    Cluster cluster(s, cfg);
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (stalled) {
+      injector = std::make_unique<faults::FaultInjector>(cluster, ost0_stall(), 5);
+    }
+    PfsClient& client = cluster.make_client(0, 0, 0);
+    FixedGate gate;
+    if (gated) client.set_gate(&gate);
+    client.create("/invisible", 1, [&](FileHandle fh) {
+      client.read(fh, 0, 3 << 20, [&, fh] { client.close(fh, [] {}); });
+    }, /*stripe_hint=*/0);  // pin to the (possibly stalled) OST 0
+    s.run_all();
+    std::vector<std::tuple<sim::SimTime, std::int32_t, std::int32_t, bool>> log;
+    for (const auto& r : cluster.trace_log().records()) {
+      log.emplace_back(r.end, r.retries, r.timeouts, r.failed);
+    }
+    return log;
+  };
+  EXPECT_EQ(run(false, true), run(false, false));
+  const auto faulted = run(true, true);
+  EXPECT_EQ(faulted, run(true, false));
+  std::int64_t timeouts = 0;
+  for (const auto& entry : faulted) timeouts += std::get<2>(entry);
+  EXPECT_GT(timeouts, 0) << "the stalled OST should have tripped the retry machine";
+}
+
+TEST(AdmissionGate, RetriesNeverReenterTheGate) {
+  // A chunk that times out is re-issued inside the retry machine, but it is
+  // admitted exactly once: the gate sees chunks + scripted-waits asks, no
+  // matter how many attempts the stall forces.  And two identical runs stay
+  // bit-identical — throttling composes with the deterministic retry jitter
+  // without perturbing it.
+  const auto run = [] {
+    sim::Simulation s;
+    ClusterConfig cfg;
+    cfg.seed = 9;
+    cfg.client.rpc_deadline = 200 * sim::kMillisecond;
+    Cluster cluster(s, cfg);
+    faults::FaultInjector injector(cluster, ost0_stall(), 5);
+    PfsClient& client = cluster.make_client(0, 0, 0);
+    FixedGate gate;
+    gate.delay = 50 * sim::kMillisecond;
+    gate.waits_left = 2;
+    client.set_gate(&gate);
+    trace::OpRecord read_rec;
+    client.create("/stalled", 1, [&](FileHandle fh) {
+      client.read(fh, 0, 3 << 20, [] {});
+    }, /*stripe_hint=*/0);
+    s.run_all();
+    for (const auto& r : cluster.trace_log().records()) {
+      if (r.type == OpType::kRead) read_rec = r;
+    }
+    return std::make_tuple(read_rec.end, read_rec.retries, read_rec.timeouts,
+                           read_rec.failed, gate.asks, gate.admitted,
+                           gate.completions);
+  };
+  const auto first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_EQ(std::get<4>(first), 3 + 2);  // 3 chunk admissions + 2 waits
+  EXPECT_EQ(std::get<5>(first), 3);
+  EXPECT_EQ(std::get<6>(first), 3);      // timed-out chunks still report back
+  EXPECT_GT(std::get<2>(first), 0);      // the stall really forced timeouts
 }
 
 }  // namespace

@@ -176,7 +176,7 @@ int usage() {
                "  workloads lint <file.qwp>          parse + summarize a .qwp program\n"
                "  run <target> [--noise W] [--instances N] [--scale S] [--seed K]"
                " [--faults SPEC]\n"
-               "      [--lanes N] [--topology CxSxT]"
+               "      [--lanes N] [--topology CxSxT] [--mitigate POLICY]"
                " [--replay-timing original|asap|scale=X]\n"
                "        <target>/<W> accept trace:FILE, ckpt:SIZE,BW,MTTI and"
                " qwp:FILE forms\n"
@@ -185,9 +185,17 @@ int usage() {
                "                         trace fingerprint is identical for every N)\n"
                "        --topology CxSxT CLIENTS x OSS x OSTS_PER_OSS cluster shape\n"
                "                         (default 7x3x2 testbed; e.g. 1008x16x8)\n"
+               "        --mitigate POLICY closed-loop mitigation: off |"
+               " token[:k=v,...] | probe[:k=v,...]\n"
+               "                         (token: rate/burst MiB, cut, flag ns-per-byte;"
+               " probe: init/min/max/step,tol;\n"
+               "                         common: epoch seconds, scope=noise|all)\n"
                "  campaign <family> [--richness R] [--bins 2|2,5] [--seed K] [--jobs N]"
-               " [--faults SPEC] [--compress] [--stream-out DIR] --out F.{csv,qds}\n"
+               " [--faults SPEC] [--mitigate POLICY] [--json]\n"
+               "      [--compress] [--stream-out DIR] --out F.{csv,qds}\n"
                "      family `custom` labels any --workload W (trace:/ckpt:/qwp: too)\n"
+               "      --mitigate P runs on-vs-off twins over the same seeds and prints"
+               " the comparison\n"
                "  train --data F.{csv,qds,qdm} --out model.txt [--classes C] [--epochs E]"
                " [--jobs N] [--memory-budget MB]\n"
                "  eval --data F.{csv,qds,qdm} --model model.txt\n"
@@ -408,6 +416,7 @@ int cmd_run(const Args& args) {
   apply_cluster_options(cfg, args);
   const std::string faults_spec = args.get("faults", "");
   if (!faults_spec.empty()) cfg.faults = pfs::faults::parse_fault_plan(faults_spec);
+  cfg.mitigation = ctrl::parse_mitigation(args.get("mitigate", ""));
 
   const auto solo = core::run_scenario(cfg);
   std::printf("solo: %.2f s timed phase (%.2f s total, %llu events)\n",
@@ -440,7 +449,20 @@ int cmd_run(const Args& args) {
               sim::to_seconds(mixed.target_body_duration()),
               static_cast<double>(mixed.target_body_duration()) /
                   static_cast<double>(solo.target_body_duration()));
+  // Same diff anchor as the solo line: mitigated runs must fingerprint
+  // identically at every --lanes and --jobs count.
+  std::printf("noisy trace fp: %016llx\n",
+              static_cast<unsigned long long>(trace::trace_fingerprint(mixed.trace)));
   if (!cfg.faults.empty()) print_fault_summary("noisy", mixed.trace);
+  if (mixed.ctrl.active()) {
+    std::printf("mitigation %s: %d controllers, %lld throttle waits, %.1f MiB"
+                " throttled, %.3f s total delay, mean level %.2f, victim p99 %.3f ms\n",
+                mixed.ctrl.policy.c_str(), mixed.ctrl.controllers,
+                static_cast<long long>(mixed.ctrl.throttle_waits),
+                static_cast<double>(mixed.ctrl.throttled_bytes) / (1 << 20),
+                mixed.ctrl.throttle_delay_s, mixed.ctrl.mean_admission_level,
+                mixed.ctrl.victim_p99_ms);
+  }
 
   const auto matched = trace::TraceMatcher::match(solo.trace, mixed.trace, 0);
   std::map<pfs::OpType, std::pair<sim::RunningStats, sim::RunningStats>> by_type;
@@ -460,6 +482,42 @@ int cmd_run(const Args& args) {
   std::printf("\n%s", table.to_string().c_str());
   return 0;
 }
+
+/// One side's aggregate over every campaign outcome in a mitigation study.
+struct MitigationAggregate {
+  double deg_sum = 0.0;  ///< sampled-window-weighted Level_degrade
+  long long deg_windows = 0;
+  double p99_sum = 0.0;  ///< per-case victim p99 sum
+  long long cases = 0;
+  long long throttle_waits = 0;
+  double throttle_delay_s = 0.0;
+
+  void add(const core::CampaignResult& result) {
+    for (const core::CaseOutcome& o : result.outcomes) {
+      if (!o.ok()) continue;
+      deg_sum += o.mean_degradation * static_cast<double>(o.sampled_windows);
+      deg_windows += static_cast<long long>(o.sampled_windows);
+      p99_sum += o.victim_p99_ms;
+      ++cases;
+      throttle_waits += o.throttle_waits;
+      throttle_delay_s += o.throttle_delay_s;
+    }
+  }
+  void merge(const MitigationAggregate& other) {
+    deg_sum += other.deg_sum;
+    deg_windows += other.deg_windows;
+    p99_sum += other.p99_sum;
+    cases += other.cases;
+    throttle_waits += other.throttle_waits;
+    throttle_delay_s += other.throttle_delay_s;
+  }
+  [[nodiscard]] double mean_deg() const {
+    return deg_windows > 0 ? deg_sum / static_cast<double>(deg_windows) : 1.0;
+  }
+  [[nodiscard]] double mean_p99() const {
+    return cases > 0 ? p99_sum / static_cast<double>(cases) : 0.0;
+  }
+};
 
 int cmd_campaign(const Args& args) {
   if (args.positional.empty() || args.options.count("out") == 0) return usage();
@@ -492,28 +550,53 @@ int cmd_campaign(const Args& args) {
     };
   }
 
-  monitor::Dataset ds;
-  if (family == "io500") {
-    ds = core::build_io500_dataset(opts);
-  } else if (family == "dlio") {
-    ds = core::build_dlio_dataset(opts);
-  } else if (family == "amrex" || family == "enzo" || family == "openpmd") {
-    ds = core::build_app_dataset(family, opts);
-  } else if (family == "custom") {
-    const std::string w = with_replay_timing(args.get("workload", ""), args);
-    if (w.empty()) {
+  std::string custom_workload;
+  if (family == "custom") {
+    custom_workload = with_replay_timing(args.get("workload", ""), args);
+    if (custom_workload.empty()) {
       std::fprintf(stderr, "campaign custom needs --workload W\n");
       return 1;
     }
-    if (!workloads::is_known_workload(w)) {
-      std::fprintf(stderr, "%s\n", workloads::workload_name_error(w).c_str());
+    if (!workloads::is_known_workload(custom_workload)) {
+      std::fprintf(stderr, "%s\n", workloads::workload_name_error(custom_workload).c_str());
       return 1;
     }
-    ds = core::build_app_dataset(w, opts);
-  } else {
+  } else if (family != "io500" && family != "dlio" && family != "amrex" &&
+             family != "enzo" && family != "openpmd") {
     std::fprintf(stderr, "unknown campaign family: %s\n", family.c_str());
     return 1;
   }
+  const auto build_family = [&](const core::DatasetOptions& o) -> monitor::Dataset {
+    if (family == "io500") return core::build_io500_dataset(o);
+    if (family == "dlio") return core::build_dlio_dataset(o);
+    if (family == "custom") return core::build_app_dataset(custom_workload, o);
+    return core::build_app_dataset(family, o);
+  };
+
+  // --mitigate: on-vs-off twins over the same seeds.  The off pass runs
+  // first (plain runner, nothing streamed or saved) purely for comparison;
+  // the mitigated pass produces the dataset written to --out.
+  const ctrl::MitigationConfig mitigation =
+      ctrl::parse_mitigation(args.get("mitigate", ""));
+  std::map<std::string, std::pair<MitigationAggregate, MitigationAggregate>> by_target;
+  if (!mitigation.empty()) {
+    core::DatasetOptions off_opts = opts;
+    off_opts.runner = exec::campaign_runner(jobs);
+    off_opts.on_result = [&by_target](const std::string& target,
+                                      const core::CampaignResult& result) {
+      by_target[target].first.add(result);
+    };
+    std::printf("mitigation study: off pass\n");
+    (void)build_family(off_opts);
+    std::printf("mitigation study: on pass (%s)\n", ctrl::to_spec(mitigation).c_str());
+    opts.mitigation = mitigation;
+    opts.on_result = [&by_target](const std::string& target,
+                                  const core::CampaignResult& result) {
+      by_target[target].second.add(result);
+    };
+  }
+
+  const monitor::Dataset ds = build_family(opts);
   save_dataset(args.get("out", ""), ds, qds_options(args));
   const auto hist = ds.class_histogram();
   std::printf("wrote %zu windows to %s (classes:", ds.size(), args.get("out", "").c_str());
@@ -539,6 +622,36 @@ int cmd_campaign(const Args& args) {
     std::printf("streamed %zu windows to %zu shard(s) behind %s"
                 " (merge check: byte-identical)\n",
                 stream->rows(), n_shards, manifest.c_str());
+  }
+  if (!mitigation.empty()) {
+    core::TextTable table;
+    table.add_row({"campaign", "deg off", "deg on", "victim p99 off", "victim p99 on"});
+    MitigationAggregate off_all;
+    MitigationAggregate on_all;
+    for (const auto& [target, sides] : by_target) {
+      table.add_row({target, core::fmt(sides.first.mean_deg(), 3),
+                     core::fmt(sides.second.mean_deg(), 3),
+                     core::fmt(sides.first.mean_p99(), 3),
+                     core::fmt(sides.second.mean_p99(), 3)});
+      off_all.merge(sides.first);
+      on_all.merge(sides.second);
+    }
+    table.add_row({"ALL", core::fmt(off_all.mean_deg(), 3),
+                   core::fmt(on_all.mean_deg(), 3), core::fmt(off_all.mean_p99(), 3),
+                   core::fmt(on_all.mean_p99(), 3)});
+    std::printf("\nmitigation on-vs-off (%s):\n%s", ctrl::to_spec(mitigation).c_str(),
+                table.to_string().c_str());
+    std::printf("mitigation totals (on): %lld throttle waits, %.3f s total delay\n",
+                on_all.throttle_waits, on_all.throttle_delay_s);
+    if (args.options.count("json") != 0) {
+      std::printf(
+          "{\"policy\":\"%s\",\"off_deg\":%.6f,\"on_deg\":%.6f,"
+          "\"off_p99_ms\":%.6f,\"on_p99_ms\":%.6f,\"throttle_waits\":%lld,"
+          "\"throttle_delay_s\":%.6f}\n",
+          ctrl::to_spec(mitigation).c_str(), off_all.mean_deg(), on_all.mean_deg(),
+          off_all.mean_p99(), on_all.mean_p99(), on_all.throttle_waits,
+          on_all.throttle_delay_s);
+    }
   }
   return 0;
 }
